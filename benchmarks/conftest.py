@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one table or figure from the paper's
+evaluation section: the benchmark measures the harness (so ``pytest
+benchmarks/ --benchmark-only`` exercises every reproduction end to end) and
+the test body prints the paper-vs-model table and asserts the qualitative
+shape the paper reports.  Run with ``-s`` to see the tables inline; the same
+tables are written to ``EXPERIMENTS.md`` by ``examples/regenerate_results.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.costmodel import GpuCostModel
+
+
+@pytest.fixture(scope="session")
+def cost_model() -> GpuCostModel:
+    """One shared Titan V cost model for every benchmark."""
+    return GpuCostModel()

@@ -1,0 +1,21 @@
+"""Benchmarks for the extension ablations (word size, OT base sweep)."""
+
+from __future__ import annotations
+
+from repro.experiments import ablation_ot_base, ablation_word_size, format_experiment
+
+
+def test_bench_word_size_ablation(benchmark, cost_model):
+    result = benchmark(ablation_word_size.run, cost_model)
+    print()
+    print(format_experiment(result))
+    times = result.column("model time (us)")
+    assert abs(times[0] - times[1]) / max(times) < 0.15  # paper: ~5%
+
+
+def test_bench_ot_base_ablation(benchmark, cost_model):
+    result = benchmark(ablation_ot_base.run, cost_model)
+    print()
+    print(format_experiment(result))
+    by_base = {row["OT base"]: row["time (us)"] for row in result.rows}
+    assert min(by_base, key=by_base.get) in (256, 1024)  # paper: base-1024

@@ -1,0 +1,29 @@
+"""Benchmarks for the extension experiments (NTT share, device sensitivity, plan tuner)."""
+
+from __future__ import annotations
+
+from repro.core.tuner import PlanTuner
+from repro.experiments import device_sensitivity, format_experiment, ntt_share
+
+
+def test_bench_ntt_share(benchmark, cost_model):
+    result = benchmark(ntt_share.run, cost_model)
+    print()
+    print(format_experiment(result))
+    for row in result.rows:
+        assert 0.35 < row["model NTT share"] < 0.65  # paper: 50.04%
+
+
+def test_bench_device_sensitivity(benchmark, cost_model):
+    result = benchmark(device_sensitivity.run, cost_model)
+    print()
+    print(format_experiment(result))
+    assert all(row["speedup vs radix-2"] > 3.0 for row in result.rows)
+
+
+def test_bench_plan_tuner(benchmark, cost_model):
+    tuner = PlanTuner(cost_model)
+    best = benchmark(tuner.best, 1 << 17, 21)
+    print()
+    print("tuned best plan for (2^17, 21): %s — %.1f us" % (best.plan.label, best.time_us))
+    assert best.plan.ot is not None

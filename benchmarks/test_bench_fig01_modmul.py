@@ -1,0 +1,13 @@
+"""Benchmark / reproduction of Figure 1 (Shoup vs native modular multiplication)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig01_modmul, format_experiment
+
+
+def test_bench_fig01_modmul(benchmark, cost_model):
+    result = benchmark(fig01_modmul.run, cost_model)
+    print()
+    print(format_experiment(result))
+    shoup = result.row_by("modmul", "Shoup")
+    assert shoup["model speedup vs native"] > 2.0  # paper: 2.37x

@@ -1,0 +1,14 @@
+"""Benchmark / reproduction of Figure 3 (batching sweep for NTT and DFT)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig03_batching, format_experiment
+
+
+def test_bench_fig03_batching(benchmark, cost_model):
+    result = benchmark(fig03_batching.run, cost_model)
+    print()
+    print(format_experiment(result))
+    last = result.rows[-1]
+    assert last["NTT speedup vs batch=1"] > 1.5   # paper: 1.92x
+    assert last["NTT DRAM utilization"] > 0.8     # paper: 86.7%

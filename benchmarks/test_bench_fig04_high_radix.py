@@ -1,0 +1,14 @@
+"""Benchmark / reproduction of Figure 4 (high-radix NTT sweep)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig04_high_radix, format_experiment
+
+
+def test_bench_fig04_high_radix(benchmark, cost_model):
+    result = benchmark(fig04_high_radix.run, cost_model)
+    print()
+    print(format_experiment(result))
+    for log_n in (16, 17):
+        subset = [r for r in result.rows if r["logN"] == log_n]
+        assert min(subset, key=lambda r: r["time (us)"])["radix"] == 16  # paper: radix-16 best

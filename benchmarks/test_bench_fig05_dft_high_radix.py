@@ -1,0 +1,13 @@
+"""Benchmark / reproduction of Figure 5 (high-radix DFT sweep)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig05_dft_high_radix, format_experiment
+
+
+def test_bench_fig05_dft_high_radix(benchmark, cost_model):
+    result = benchmark(fig05_dft_high_radix.run, cost_model)
+    print()
+    print(format_experiment(result))
+    subset = [r for r in result.rows if r["logN"] == 17]
+    assert min(subset, key=lambda r: r["time (us)"])["radix"] == 32  # paper: radix-32 best

@@ -1,0 +1,13 @@
+"""Benchmark / reproduction of Figure 7 (Kernel-1 coalescing)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig07_coalescing, format_experiment
+
+
+def test_bench_fig07_coalescing(benchmark, cost_model):
+    result = benchmark(fig07_coalescing.run, cost_model)
+    print()
+    print(format_experiment(result))
+    for row in result.rows:
+        assert row["speedup from coalescing"] > 1.1  # paper mean: 21.6%

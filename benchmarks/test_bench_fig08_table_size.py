@@ -1,0 +1,12 @@
+"""Benchmark / reproduction of Figure 8 (per-stage twiddle table vs input size)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig08_table_size, format_experiment
+
+
+def test_bench_fig08_table_size(benchmark, cost_model):
+    result = benchmark(fig08_table_size.run, cost_model)
+    print()
+    print(format_experiment(result))
+    assert result.rows[-1]["twiddle / input ratio"] == 0.5

@@ -1,0 +1,13 @@
+"""Benchmark / reproduction of Figure 9 (Kernel-1 twiddle preloading)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig09_preload, format_experiment
+
+
+def test_bench_fig09_preload(benchmark, cost_model):
+    result = benchmark(fig09_preload.run, cost_model)
+    print()
+    print(format_experiment(result))
+    for row in result.rows:
+        assert row["speedup from preloading"] > 1.0  # paper mean: 8.4%

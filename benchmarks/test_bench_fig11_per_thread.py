@@ -1,0 +1,14 @@
+"""Benchmark / reproduction of Figure 11 (per-thread NTT/DFT size and first OT results)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig11_per_thread, format_experiment
+
+
+def test_bench_fig11_per_thread(benchmark, cost_model):
+    result = benchmark(fig11_per_thread.run, cost_model)
+    print()
+    print(format_experiment(result))
+    for row in result.rows:
+        assert row["NTT 8-pt (us)"] < row["NTT 2-pt (us)"]          # fewer syncs win
+        assert row["NTT 8-pt OT last-1 (us)"] < row["NTT 8-pt (us)"]  # OT helps

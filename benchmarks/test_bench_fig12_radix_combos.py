@@ -1,0 +1,14 @@
+"""Benchmark / reproduction of Figure 12 (SMEM radix combinations, OT speedup and traffic)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig12_radix_combos, format_experiment
+
+
+def test_bench_fig12_radix_combos(benchmark, cost_model):
+    result = benchmark(fig12_radix_combos.run, cost_model)
+    print()
+    print(format_experiment(result))
+    for row in result.rows:
+        assert 1.04 < row["OT speedup"] < 1.20      # paper: 8-10% per configuration
+        assert 0.10 < row["DRAM reduction"] < 0.30  # paper: ~24.5%

@@ -1,0 +1,13 @@
+"""Benchmark / reproduction of Figure 13 (execution time vs np at N = 2^17)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig13_batch_sweep, format_experiment
+
+
+def test_bench_fig13_batch_sweep(benchmark, cost_model):
+    result = benchmark(fig13_batch_sweep.run, cost_model)
+    print()
+    print(format_experiment(result))
+    saturated = [r["time per prime (us)"] for r in result.rows if r["np"] >= 21]
+    assert max(saturated) / min(saturated) < 1.05  # linear growth once saturated

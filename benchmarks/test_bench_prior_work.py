@@ -1,0 +1,13 @@
+"""Benchmark / reproduction of the Section VIII comparison against the FPGA prior work [20]."""
+
+from __future__ import annotations
+
+from repro.experiments import format_experiment, prior_work
+
+
+def test_bench_prior_work(benchmark, cost_model):
+    result = benchmark(prior_work.run, cost_model)
+    print()
+    print(format_experiment(result))
+    for row in result.rows:
+        assert row["model speedup"] > 4.0  # paper: 6.48-6.56x

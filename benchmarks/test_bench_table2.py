@@ -1,0 +1,14 @@
+"""Benchmark / reproduction of Table II (radix-2 vs SMEM vs SMEM + OT)."""
+
+from __future__ import annotations
+
+from repro.experiments import format_experiment, table2_summary
+
+
+def test_bench_table2(benchmark, cost_model):
+    result = benchmark(table2_summary.run, cost_model)
+    print()
+    print(format_experiment(result))
+    for row in result.rows:
+        assert 3.0 < row["SMEM w/o OT speedup"] < 5.5  # paper: 3.4-4.3x
+        assert row["SMEM w/ OT speedup"] > row["SMEM w/o OT speedup"]

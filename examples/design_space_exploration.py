@@ -1,0 +1,133 @@
+"""Design-space exploration on the modelled GPU (Sections V-VII of the paper).
+
+Sweeps the paper's main design axes with the analytic Titan V model and
+prints the resulting trade-off tables:
+
+* register-based high-radix NTT vs DFT (best radix, occupancy, bandwidth),
+* the SMEM two-kernel implementation across per-thread NTT sizes and
+  kernel splits,
+* the effect of coalescing, twiddle preloading and on-the-fly twiddling,
+* the final Table II summary (radix-2 vs SMEM vs SMEM + OT).
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.core import OnTheFlyConfig
+from repro.experiments import format_table
+from repro.gpu import GpuCostModel, TITAN_V
+from repro.kernels import (
+    high_radix_dft_model,
+    high_radix_ntt_model,
+    radix2_ntt_model,
+    smem_ntt_model,
+)
+
+N = 1 << 17
+BATCH = 21
+
+
+def explore_high_radix(model: GpuCostModel) -> None:
+    print("== register-based high radix (N = 2^17, np = 21) ==")
+    rows = []
+    for radix in (2, 4, 8, 16, 32, 64, 128):
+        ntt = (
+            radix2_ntt_model(N, BATCH, model)
+            if radix == 2
+            else high_radix_ntt_model(N, BATCH, radix, model)
+        )
+        dft = high_radix_dft_model(N, BATCH, radix, model)
+        rows.append(
+            {
+                "radix": radix,
+                "NTT time (us)": ntt.time_us,
+                "NTT occupancy": ntt.occupancy,
+                "NTT BW util": ntt.bandwidth_utilization,
+                "DFT time (us)": dft.time_us,
+                "DFT occupancy": dft.occupancy,
+            }
+        )
+    print(format_table(list(rows[0].keys()), rows))
+    best_ntt = min(rows, key=lambda r: r["NTT time (us)"])["radix"]
+    best_dft = min(rows, key=lambda r: r["DFT time (us)"])["radix"]
+    print("best NTT radix: %d (paper: 16) | best DFT radix: %d (paper: 32)\n" % (best_ntt, best_dft))
+
+
+def explore_smem(model: GpuCostModel) -> None:
+    print("== SMEM two-kernel implementation (N = 2^17, np = 21) ==")
+    rows = []
+    for split in ((512, 256), (256, 512), (128, 1024), (64, 2048)):
+        for per_thread in (2, 4, 8):
+            result = smem_ntt_model(N, BATCH, model, *split, per_thread_points=per_thread)
+            rows.append(
+                {
+                    "Kernel-1 x Kernel-2": "%dx%d" % split,
+                    "per-thread NTT": per_thread,
+                    "time (us)": result.time_us,
+                    "DRAM (MB)": result.dram_mb,
+                    "BW util": result.bandwidth_utilization,
+                }
+            )
+    print(format_table(list(rows[0].keys()), rows))
+    print()
+
+
+def explore_knobs(model: GpuCostModel) -> None:
+    print("== individual optimisation knobs (Kernel-1 / full transform effects) ==")
+    base = smem_ntt_model(N, BATCH, model, 256, 512)
+    uncoalesced = smem_ntt_model(N, BATCH, model, 256, 512, coalesced=False)
+    no_preload = smem_ntt_model(N, BATCH, model, 256, 512, preload_twiddles=False)
+    ot1 = smem_ntt_model(N, BATCH, model, 256, 512, ot=OnTheFlyConfig(1024, 1))
+    ot2 = smem_ntt_model(N, BATCH, model, 256, 512, ot=OnTheFlyConfig(1024, 2))
+    rows = [
+        {"configuration": "baseline (coalesced, preload, no OT)", "time (us)": base.time_us,
+         "DRAM (MB)": base.dram_mb},
+        {"configuration": "uncoalesced Kernel-1", "time (us)": uncoalesced.time_us,
+         "DRAM (MB)": uncoalesced.dram_mb},
+        {"configuration": "no twiddle preload", "time (us)": no_preload.time_us,
+         "DRAM (MB)": no_preload.dram_mb},
+        {"configuration": "+ OT on last stage", "time (us)": ot1.time_us, "DRAM (MB)": ot1.dram_mb},
+        {"configuration": "+ OT on last two stages", "time (us)": ot2.time_us,
+         "DRAM (MB)": ot2.dram_mb},
+    ]
+    print(format_table(list(rows[0].keys()), rows))
+    print("OT speedup: %.1f%% (paper: 9.3%% average)\n" % (100 * (base.time_us / ot2.time_us - 1)))
+
+
+def summarise_table2(model: GpuCostModel) -> None:
+    print("== Table II summary ==")
+    rows = []
+    for log_n in (14, 15, 16, 17):
+        n = 1 << log_n
+        split = {14: (128, 128), 15: (128, 256), 16: (256, 256), 17: (256, 512)}[log_n]
+        radix2 = radix2_ntt_model(n, BATCH, model)
+        smem = smem_ntt_model(n, BATCH, model, *split)
+        smem_ot = smem_ntt_model(n, BATCH, model, *split, ot=OnTheFlyConfig(1024, 2))
+        rows.append(
+            {
+                "logN": log_n,
+                "radix-2 (us)": radix2.time_us,
+                "SMEM (us)": smem.time_us,
+                "SMEM+OT (us)": smem_ot.time_us,
+                "speedup": radix2.time_us / smem_ot.time_us,
+            }
+        )
+    print(format_table(list(rows[0].keys()), rows))
+    print("paper: 3.8x / 4.0x / 4.4x / 4.7x with OT (4.2x average)")
+
+
+def main() -> None:
+    model = GpuCostModel(TITAN_V)
+    print("modelled device: %s (%d SMs, %.0f GB/s peak)\n"
+          % (TITAN_V.name, TITAN_V.sm_count, TITAN_V.peak_bandwidth_gbps))
+    explore_high_radix(model)
+    explore_smem(model)
+    explore_knobs(model)
+    summarise_table2(model)
+
+
+if __name__ == "__main__":
+    main()

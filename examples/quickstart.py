@@ -1,0 +1,69 @@
+"""Quickstart: negacyclic polynomial multiplication through the NTT engine.
+
+This walks the library's core path end to end:
+
+1. pick an NTT-friendly prime and build an :class:`repro.core.NTTEngine`,
+2. transform two polynomials, multiply them point-wise, transform back,
+3. check the result against the schoolbook negacyclic convolution, and
+4. ask the engine for its execution report and the GPU cost model for the
+   time the same transform would take on the paper's Titan V at
+   bootstrappable scale.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import NTTEngine, NTTPlan, OnTheFlyConfig, best_smem_plan
+from repro.gpu import GpuCostModel, TITAN_V
+from repro.kernels import smem_model_from_plan
+from repro.modarith import generate_ntt_primes, primitive_root_of_unity
+from repro.transforms import naive_negacyclic_convolution
+
+
+def main() -> None:
+    # -- 1. build an engine for a 2^10-point negacyclic NTT --------------------------
+    n = 1 << 10
+    prime = generate_ntt_primes(60, 1, n)[0]
+    plan = NTTPlan(n=n, ot=OnTheFlyConfig(base=64, ot_stages=1))
+    engine = NTTEngine(n, prime, plan)
+    print("prime p        : %d (%d bits)" % (prime, prime.bit_length()))
+    print("2N-th root psi : %d" % engine.psi)
+    print("plan           : %s" % plan.label)
+
+    # -- 2. multiply two random polynomials in Z_p[X]/(X^N + 1) ------------------------
+    rng = random.Random(2020)
+    a = [rng.randrange(1000) for _ in range(n)]
+    b = [rng.randrange(1000) for _ in range(n)]
+    product = engine.multiply(a, b)
+
+    # -- 3. verify against the schoolbook negacyclic convolution -----------------------
+    expected = naive_negacyclic_convolution(a, b, prime)
+    assert product == expected, "NTT-based product disagrees with the schoolbook result"
+    print("negacyclic product verified against the O(N^2) schoolbook convolution")
+
+    # -- 4. inspect what the engine did ---------------------------------------------------
+    _, report = engine.forward_with_report(a)
+    print("forward NTT    : %d butterflies, %d twiddles from the table, %d regenerated (OT)"
+          % (report.butterflies, report.table_fetches, report.regenerated))
+    print("resident table : %d entries (%.1f KiB with Shoup companions)"
+          % (report.resident_table_entries, report.resident_table_bytes / 1024))
+
+    # -- 5. what would this cost on the paper's GPU at bootstrappable scale? -----------------
+    model = GpuCostModel(TITAN_V)
+    paper_plan = best_smem_plan(1 << 17, ot_stages=2)
+    estimate = smem_model_from_plan(paper_plan, batch=21, model=model)
+    print()
+    print("paper-scale workload (N = 2^17, np = 21) on the modelled %s:" % TITAN_V.name)
+    print("  plan                : %s" % paper_plan.label)
+    print("  modelled time       : %.1f us   (paper Table II: 304.2 us)" % estimate.time_us)
+    print("  modelled DRAM moved : %.1f MB" % estimate.dram_mb)
+    print("  bandwidth utilised  : %.0f%%" % (100 * estimate.bandwidth_utilization))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Regenerate every reproduced table and figure and rewrite EXPERIMENTS.md.
+
+Runs the complete experiment registry (all figures, Table II, the prior-work
+comparison and the extension ablations) against the default Titan V cost
+model and writes the paper-vs-model tables to ``EXPERIMENTS.md`` at the
+repository root.
+
+Run with::
+
+    python examples/regenerate_results.py [output-path]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.experiments import format_experiment, run_all
+
+HEADER = """# EXPERIMENTS — paper versus model
+
+Every table and figure of the paper's evaluation section, regenerated with
+`repro.experiments` against the analytic Titan V cost model (see DESIGN.md
+section 5 for the calibration).  Absolute microseconds come from a calibrated
+model, not CUDA measurements; the quantities to compare are the *shapes*:
+which configuration wins, by roughly what factor, and where the crossovers
+fall.  Paper-reported values are included in the tables/notes wherever the
+paper states them.
+
+Regenerate this file with `python examples/regenerate_results.py`, or inspect
+individual experiments with `python -m repro.experiments <key>`.
+"""
+
+
+def main(argv: list[str]) -> int:
+    output = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+    sections = [HEADER]
+    for result in run_all():
+        sections.append("## %s — %s\n" % (result.experiment_id, result.title))
+        sections.append("```")
+        sections.append(format_experiment(result).split("\n", 2)[2])
+        sections.append("```")
+        sections.append("")
+    output.write_text("\n".join(sections), encoding="utf-8")
+    print("wrote %s" % output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that the package can also be installed in environments that lack
+the ``wheel`` package (legacy ``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,121 @@
+"""Batched NTT across the RNS primes of a ciphertext.
+
+An HE multiplication needs ``np`` independent ``N``-point NTTs — one per RNS
+prime — and Section V shows that executing them as one batch is essential for
+GPU utilisation.  :class:`BatchedNTT` bundles one :class:`NTTEngine` per
+prime, runs whole residue matrices through them, and aggregates the
+twiddle-table accounting that distinguishes NTT batching from DFT batching
+(per-prime tables versus one shared table — the ``np``-fold table growth of
+Section IV).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..rns.basis import RnsBasis
+from .engine import ExecutionReport, NTTEngine
+from .plan import NTTPlan
+
+__all__ = ["BatchReport", "BatchedNTT"]
+
+
+@dataclass
+class BatchReport:
+    """Aggregate of the per-prime :class:`ExecutionReport` objects of one batch.
+
+    Attributes:
+        batch_size: Number of independent NTTs executed (``np``).
+        reports: The per-prime reports, in basis order.
+    """
+
+    batch_size: int
+    reports: list[ExecutionReport]
+
+    @property
+    def butterflies(self) -> int:
+        """Total butterflies across the batch."""
+        return sum(r.butterflies for r in self.reports)
+
+    @property
+    def table_fetches(self) -> int:
+        """Total twiddle factors fetched from resident tables across the batch."""
+        return sum(r.table_fetches for r in self.reports)
+
+    @property
+    def regenerated(self) -> int:
+        """Total twiddle factors regenerated on the fly across the batch."""
+        return sum(r.regenerated for r in self.reports)
+
+    @property
+    def resident_table_bytes(self) -> int:
+        """Total resident twiddle bytes across the batch (grows with ``np``)."""
+        return sum(r.resident_table_bytes for r in self.reports)
+
+
+class BatchedNTT:
+    """A batch of per-prime NTT engines sharing a plan.
+
+    Args:
+        basis: RNS basis; one engine is built per prime.
+        n: Transform length.
+        plan: Execution plan shared by every engine (the paper batches
+            identically configured kernels).
+    """
+
+    def __init__(self, basis: RnsBasis, n: int, plan: NTTPlan | None = None) -> None:
+        self.basis = basis
+        self.n = n
+        self.plan = plan if plan is not None else NTTPlan(n=n)
+        self.engines = [NTTEngine(n, p, self.plan) for p in basis.primes]
+
+    @property
+    def batch_size(self) -> int:
+        """Number of independent NTTs per invocation (``np``)."""
+        return self.basis.count
+
+    def resident_table_bytes(self) -> int:
+        """Twiddle bytes resident across the whole batch (one table per prime)."""
+        return sum(engine.resident_table_bytes() for engine in self.engines)
+
+    def forward(self, rows: Sequence[Sequence[int]]) -> list[list[int]]:
+        """Forward-transform one residue row per prime."""
+        self._check_rows(rows)
+        return [engine.forward(row) for engine, row in zip(self.engines, rows)]
+
+    def inverse(self, rows: Sequence[Sequence[int]]) -> list[list[int]]:
+        """Inverse-transform one residue row per prime."""
+        self._check_rows(rows)
+        return [engine.inverse(row) for engine, row in zip(self.engines, rows)]
+
+    def forward_with_report(
+        self, rows: Sequence[Sequence[int]]
+    ) -> tuple[list[list[int]], BatchReport]:
+        """Forward transform returning the aggregated :class:`BatchReport`."""
+        self._check_rows(rows)
+        results: list[list[int]] = []
+        reports: list[ExecutionReport] = []
+        for engine, row in zip(self.engines, rows):
+            result, report = engine.forward_with_report(row)
+            results.append(result)
+            reports.append(report)
+        return results, BatchReport(batch_size=self.batch_size, reports=reports)
+
+    def multiply(
+        self, rows_a: Sequence[Sequence[int]], rows_b: Sequence[Sequence[int]]
+    ) -> list[list[int]]:
+        """Negacyclic product of two residue matrices, row by row."""
+        self._check_rows(rows_a)
+        self._check_rows(rows_b)
+        return [
+            engine.multiply(row_a, row_b)
+            for engine, row_a, row_b in zip(self.engines, rows_a, rows_b)
+        ]
+
+    def _check_rows(self, rows: Sequence[Sequence[int]]) -> None:
+        if len(rows) != self.batch_size:
+            raise ValueError(
+                "expected %d residue rows (one per prime), got %d"
+                % (self.batch_size, len(rows))
+            )

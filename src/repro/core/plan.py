@@ -1,0 +1,166 @@
+"""Execution plans for the NTT engine.
+
+A plan captures *how* an N-point NTT is executed on the modelled GPU — the
+design-space axes explored in Sections V-VII of the paper:
+
+* ``RADIX2`` — the baseline: one kernel launch per radix-2 stage
+  (``log2 N`` passes over main memory).
+* ``HIGH_RADIX`` — register-based radix-``R`` execution: each thread holds
+  ``R`` points in registers, so the data makes ``ceil(log2 N / log2 R)``
+  round trips to main memory, at the price of ``O(R)`` registers per thread.
+* ``SMEM`` — the two-kernel shared-memory decomposition: Kernel-1 performs a
+  radix-``N1`` NTT and Kernel-2 a radix-``N2`` NTT with ``N = N1 * N2``,
+  each kernel staging data through shared memory with small per-thread NTTs
+  between block-level synchronisations.  Optional knobs: coalesced loads in
+  Kernel-1 (thread-block merging, Figure 6/7), preloading each block's
+  twiddles into shared memory (Figure 9), and the per-thread NTT size
+  (Figure 10/11).
+
+Any plan can additionally enable on-the-fly twiddling for the last one or two
+stages (Section VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..transforms.bitrev import is_power_of_two, log2_exact
+from .on_the_fly import OnTheFlyConfig
+
+__all__ = ["NTTAlgorithm", "NTTPlan", "default_smem_split", "best_smem_plan"]
+
+
+class NTTAlgorithm(str, Enum):
+    """Top-level execution strategy."""
+
+    RADIX2 = "radix2"
+    HIGH_RADIX = "high_radix"
+    SMEM = "smem"
+
+
+@dataclass(frozen=True)
+class NTTPlan:
+    """A fully specified execution strategy for one transform size.
+
+    Attributes:
+        n: Transform length (power of two).
+        algorithm: Which execution strategy to use.
+        radix: Per-thread register radix for ``HIGH_RADIX`` plans.
+        kernel1_size: Radix of Kernel-1 for ``SMEM`` plans (``N1``).
+        kernel2_size: Radix of Kernel-2 for ``SMEM`` plans (``N2``).
+        per_thread_points: Size of the per-thread NTT between block-level
+            synchronisations inside an SMEM kernel (2, 4 or 8 in the paper).
+        coalesced: Whether Kernel-1 merges thread blocks to coalesce its
+            strided global-memory accesses (Figure 6).
+        preload_twiddles: Whether Kernel-1 stages its twiddles through shared
+            memory before computing (Figure 9).
+        ot: On-the-fly twiddling configuration, or ``None`` to precompute the
+            full table.
+        word_size_bits: Machine word (32 or 64); the paper uses 64.
+    """
+
+    n: int
+    algorithm: NTTAlgorithm = NTTAlgorithm.SMEM
+    radix: int = 16
+    kernel1_size: int | None = None
+    kernel2_size: int | None = None
+    per_thread_points: int = 8
+    coalesced: bool = True
+    preload_twiddles: bool = True
+    ot: OnTheFlyConfig | None = None
+    word_size_bits: int = 64
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n):
+            raise ValueError("n must be a power of two")
+        if self.word_size_bits not in (32, 64):
+            raise ValueError("word_size_bits must be 32 or 64")
+        if self.algorithm is NTTAlgorithm.HIGH_RADIX:
+            if not is_power_of_two(self.radix) or not 2 <= self.radix <= self.n:
+                raise ValueError("radix must be a power of two in [2, n]")
+        if self.algorithm is NTTAlgorithm.SMEM:
+            k1, k2 = self.smem_split
+            if k1 * k2 != self.n:
+                raise ValueError(
+                    "kernel sizes %d x %d do not multiply to n=%d" % (k1, k2, self.n)
+                )
+            if not (is_power_of_two(k1) and is_power_of_two(k2)):
+                raise ValueError("kernel sizes must be powers of two")
+            if self.per_thread_points not in (2, 4, 8, 16):
+                raise ValueError("per_thread_points must be one of 2, 4, 8, 16")
+
+    # -- derived structure -------------------------------------------------------
+    @property
+    def smem_split(self) -> tuple[int, int]:
+        """The ``(N1, N2)`` kernel split for SMEM plans (derived when unspecified)."""
+        if self.kernel1_size is not None and self.kernel2_size is not None:
+            return self.kernel1_size, self.kernel2_size
+        return default_smem_split(self.n)
+
+    @property
+    def stage_groups(self) -> list[int]:
+        """Radix-2 stages executed per main-memory pass, in order.
+
+        This is the quantity every cost estimate keys off: the data set is
+        read and written once per group.
+        """
+        total = log2_exact(self.n)
+        if self.algorithm is NTTAlgorithm.RADIX2:
+            return [1] * total
+        if self.algorithm is NTTAlgorithm.HIGH_RADIX:
+            per_pass = log2_exact(self.radix)
+            groups = [per_pass] * (total // per_pass)
+            if total % per_pass:
+                groups.append(total % per_pass)
+            return groups
+        k1, k2 = self.smem_split
+        return [log2_exact(k1), log2_exact(k2)]
+
+    @property
+    def passes(self) -> int:
+        """Number of round trips the coefficient data makes to main memory."""
+        return len(self.stage_groups)
+
+    @property
+    def label(self) -> str:
+        """Human-readable configuration label used by the experiment reports."""
+        if self.algorithm is NTTAlgorithm.RADIX2:
+            name = "radix-2"
+        elif self.algorithm is NTTAlgorithm.HIGH_RADIX:
+            name = "radix-%d" % self.radix
+        else:
+            k1, k2 = self.smem_split
+            name = "smem %dx%d (%d-pt/thread)" % (k1, k2, self.per_thread_points)
+        if self.ot is not None and self.ot.ot_stages > 0:
+            name += " +OT(last %d)" % self.ot.ot_stages
+        return name
+
+
+def default_smem_split(n: int) -> tuple[int, int]:
+    """The paper's default Kernel-1/Kernel-2 split.
+
+    Both kernel radices must be at least 64 and at most 2^11 (the largest
+    radix that fits shared memory without occupancy collapse, Section VI-C).
+    We split the stages as evenly as possible, giving the larger half to
+    Kernel-2 — e.g. ``2^17 -> 256 x 512``.
+    """
+    total = log2_exact(n)
+    if n < 64 * 64:
+        # Small transforms: a single SMEM kernel suffices; model it as one pass.
+        half = total // 2
+        return 1 << half, 1 << (total - half)
+    k1_bits = total // 2
+    k2_bits = total - k1_bits
+    return 1 << k1_bits, 1 << k2_bits
+
+
+def best_smem_plan(n: int, ot_stages: int = 1, base: int = 1024) -> NTTPlan:
+    """Convenience constructor for the paper's best configuration.
+
+    8-point per-thread NTT, coalesced Kernel-1, twiddle preload, and
+    on-the-fly twiddling on the last ``ot_stages`` stages (1 by default, the
+    configuration Table II reports as "SMEM w/ OT").
+    """
+    ot = OnTheFlyConfig(base=base, ot_stages=ot_stages) if ot_stages > 0 else None
+    return NTTPlan(n=n, algorithm=NTTAlgorithm.SMEM, per_thread_points=8, ot=ot)

@@ -1,0 +1,129 @@
+"""JSON (de)serialisation of plans, OT configurations and twiddle tables.
+
+An HE service typically generates its NTT parameters once (primes, roots,
+twiddle tables, tuned execution plans) and ships them to workers; this module
+provides a stable, dependency-free JSON representation for those artefacts.
+
+Twiddle tables are stored as hexadecimal strings because 60-bit integers are
+outside the exact range of JSON numbers in many consumers; everything is
+validated on load (the prime must still be an NTT prime for the stored size,
+and the stored root must still generate the stored table).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..modarith.primes import is_ntt_prime
+from .on_the_fly import OnTheFlyConfig
+from .plan import NTTAlgorithm, NTTPlan
+from .twiddle import TwiddleTable
+
+__all__ = [
+    "plan_to_dict",
+    "plan_from_dict",
+    "twiddle_table_to_dict",
+    "twiddle_table_from_dict",
+    "save_json",
+    "load_json",
+]
+
+
+# -- plans -----------------------------------------------------------------------------
+
+
+def plan_to_dict(plan: NTTPlan) -> dict[str, Any]:
+    """Convert an :class:`NTTPlan` into a JSON-serialisable dictionary."""
+    payload: dict[str, Any] = {
+        "kind": "ntt_plan",
+        "n": plan.n,
+        "algorithm": plan.algorithm.value,
+        "radix": plan.radix,
+        "kernel1_size": plan.kernel1_size,
+        "kernel2_size": plan.kernel2_size,
+        "per_thread_points": plan.per_thread_points,
+        "coalesced": plan.coalesced,
+        "preload_twiddles": plan.preload_twiddles,
+        "word_size_bits": plan.word_size_bits,
+        "ot": None,
+    }
+    if plan.ot is not None:
+        payload["ot"] = {"base": plan.ot.base, "ot_stages": plan.ot.ot_stages}
+    return payload
+
+
+def plan_from_dict(payload: dict[str, Any]) -> NTTPlan:
+    """Reconstruct an :class:`NTTPlan` from :func:`plan_to_dict` output."""
+    if payload.get("kind") != "ntt_plan":
+        raise ValueError("payload is not a serialised NTT plan")
+    ot_payload = payload.get("ot")
+    ot = (
+        OnTheFlyConfig(base=ot_payload["base"], ot_stages=ot_payload["ot_stages"])
+        if ot_payload
+        else None
+    )
+    return NTTPlan(
+        n=payload["n"],
+        algorithm=NTTAlgorithm(payload["algorithm"]),
+        radix=payload["radix"],
+        kernel1_size=payload["kernel1_size"],
+        kernel2_size=payload["kernel2_size"],
+        per_thread_points=payload["per_thread_points"],
+        coalesced=payload["coalesced"],
+        preload_twiddles=payload["preload_twiddles"],
+        ot=ot,
+        word_size_bits=payload["word_size_bits"],
+    )
+
+
+# -- twiddle tables -------------------------------------------------------------------------
+
+
+def twiddle_table_to_dict(table: TwiddleTable) -> dict[str, Any]:
+    """Convert a :class:`TwiddleTable` into a JSON-serialisable dictionary.
+
+    Only the defining quantities (``n``, ``p``, ``psi``) and the forward table
+    are stored; the inverse table and Shoup companions are recomputed on load,
+    which keeps the payload small and guarantees internal consistency.
+    """
+    return {
+        "kind": "twiddle_table",
+        "n": table.n,
+        "p": hex(table.p),
+        "psi": hex(table.psi),
+        "word_bits": table.word.bits,
+        "forward": [hex(value) for value in table.forward],
+    }
+
+
+def twiddle_table_from_dict(payload: dict[str, Any]) -> TwiddleTable:
+    """Reconstruct (and validate) a :class:`TwiddleTable` from its dictionary form."""
+    if payload.get("kind") != "twiddle_table":
+        raise ValueError("payload is not a serialised twiddle table")
+    n = payload["n"]
+    p = int(payload["p"], 16)
+    psi = int(payload["psi"], 16)
+    if not is_ntt_prime(p, n):
+        raise ValueError("stored modulus is not an NTT prime for the stored size")
+    table = TwiddleTable.build(n=n, p=p, psi=psi)
+    stored_forward = [int(value, 16) for value in payload["forward"]]
+    if stored_forward != table.forward:
+        raise ValueError("stored twiddle table does not match its stored root of unity")
+    return table
+
+
+# -- files -------------------------------------------------------------------------------------
+
+
+def save_json(payload: dict[str, Any], path: str | Path) -> Path:
+    """Write a serialised artefact to ``path`` (pretty-printed JSON)."""
+    destination = Path(path)
+    destination.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    return destination
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Read a serialised artefact from ``path``."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,131 @@
+"""Plan auto-tuning: search the paper's design space with the cost model.
+
+The paper arrives at its best configuration (two-kernel SMEM execution,
+8-point per-thread NTTs, coalesced Kernel-1, preloaded twiddles, on-the-fly
+twiddling on the last stages) by manual design-space exploration.  The
+:class:`PlanTuner` automates that search: it enumerates the candidate
+:class:`repro.core.plan.NTTPlan` configurations for a transform size, prices
+each with the GPU cost model, and returns the ranking — so a downstream user
+can ask "what is the best plan for my ``(N, np)``?" instead of hard-coding
+the paper's choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.costmodel import GpuCostModel
+from ..transforms.bitrev import is_power_of_two, log2_exact
+from .on_the_fly import OnTheFlyConfig
+from .plan import NTTAlgorithm, NTTPlan
+
+__all__ = ["TunedPlan", "PlanTuner"]
+
+
+@dataclass(frozen=True)
+class TunedPlan:
+    """One evaluated candidate plan.
+
+    Attributes:
+        plan: The candidate configuration.
+        time_us: Modelled execution time for the requested batch.
+        dram_mb: Modelled DRAM traffic in megabytes.
+        bandwidth_utilization: Modelled DRAM bandwidth utilisation.
+    """
+
+    plan: NTTPlan
+    time_us: float
+    dram_mb: float
+    bandwidth_utilization: float
+
+
+class PlanTuner:
+    """Enumerates and ranks NTT execution plans for a transform size.
+
+    Args:
+        model: GPU cost model to evaluate candidates against.
+        radices: Register-radix candidates for the high-radix family.
+        per_thread_sizes: Per-thread NTT sizes for the SMEM family.
+        ot_stage_options: How many trailing stages to cover with on-the-fly
+            twiddling (0 = disabled).
+        ot_base: Factorisation base used when OT is enabled.
+    """
+
+    def __init__(
+        self,
+        model: GpuCostModel | None = None,
+        radices: tuple[int, ...] = (4, 8, 16, 32),
+        per_thread_sizes: tuple[int, ...] = (4, 8),
+        ot_stage_options: tuple[int, ...] = (0, 1, 2),
+        ot_base: int = 1024,
+    ) -> None:
+        self.model = model if model is not None else GpuCostModel()
+        self.radices = radices
+        self.per_thread_sizes = per_thread_sizes
+        self.ot_stage_options = ot_stage_options
+        self.ot_base = ot_base
+
+    # -- candidate enumeration ---------------------------------------------------------
+    def candidate_plans(self, n: int) -> list[NTTPlan]:
+        """Enumerate the candidate plans for an ``n``-point transform."""
+        if not is_power_of_two(n):
+            raise ValueError("n must be a power of two")
+        candidates: list[NTTPlan] = [NTTPlan(n=n, algorithm=NTTAlgorithm.RADIX2)]
+        for radix in self.radices:
+            if radix <= n:
+                candidates.append(NTTPlan(n=n, algorithm=NTTAlgorithm.HIGH_RADIX, radix=radix))
+        candidates.extend(self._smem_candidates(n))
+        return candidates
+
+    def _smem_candidates(self, n: int) -> list[NTTPlan]:
+        total_bits = log2_exact(n)
+        plans: list[NTTPlan] = []
+        for kernel1_bits in range(6, total_bits - 5):
+            kernel2_bits = total_bits - kernel1_bits
+            if kernel2_bits < 6 or kernel1_bits > 11 or kernel2_bits > 11:
+                continue
+            for per_thread in self.per_thread_sizes:
+                for ot_stages in self.ot_stage_options:
+                    ot = (
+                        OnTheFlyConfig(base=self.ot_base, ot_stages=ot_stages)
+                        if ot_stages
+                        else None
+                    )
+                    plans.append(
+                        NTTPlan(
+                            n=n,
+                            algorithm=NTTAlgorithm.SMEM,
+                            kernel1_size=1 << kernel1_bits,
+                            kernel2_size=1 << kernel2_bits,
+                            per_thread_points=per_thread,
+                            ot=ot,
+                        )
+                    )
+        if not plans:
+            # Transform too small for a 64x64 split: fall back to the default split.
+            for ot_stages in self.ot_stage_options:
+                ot = OnTheFlyConfig(base=self.ot_base, ot_stages=ot_stages) if ot_stages else None
+                plans.append(NTTPlan(n=n, algorithm=NTTAlgorithm.SMEM, ot=ot))
+        return plans
+
+    # -- evaluation --------------------------------------------------------------------------
+    def evaluate(self, plan: NTTPlan, batch: int) -> TunedPlan:
+        """Price one plan for a batch of ``batch`` transforms."""
+        from ..kernels.smem import smem_model_from_plan
+
+        result = smem_model_from_plan(plan, batch, self.model)
+        return TunedPlan(
+            plan=plan,
+            time_us=result.time_us,
+            dram_mb=result.dram_mb,
+            bandwidth_utilization=result.bandwidth_utilization,
+        )
+
+    def rank(self, n: int, batch: int) -> list[TunedPlan]:
+        """Evaluate every candidate and return them sorted fastest-first."""
+        evaluated = [self.evaluate(plan, batch) for plan in self.candidate_plans(n)]
+        return sorted(evaluated, key=lambda tuned: tuned.time_us)
+
+    def best(self, n: int, batch: int) -> TunedPlan:
+        """Return the fastest candidate plan for ``(n, batch)``."""
+        return self.rank(n, batch)[0]

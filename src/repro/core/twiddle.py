@@ -1,0 +1,133 @@
+"""Twiddle-factor tables with Shoup companions and size accounting.
+
+Section IV of the paper identifies the twiddle ("precomputed") table as the
+key difference between NTT and DFT on GPUs:
+
+* a DFT batch of any size shares one table of ``N`` complex roots;
+* an NTT batch over ``np`` RNS primes needs a *separate* table per prime
+  because the primitive root of unity differs per modulus, and
+* Shoup's modular multiplication doubles each table by storing the companion
+  word ``w_bar = floor(w * beta / p)`` next to every twiddle factor.
+
+A :class:`TwiddleTable` holds, for a single ``(n, p)`` pair, the forward and
+inverse twiddle factors in the bit-reversed layout Algorithm 1 consumes,
+their Shoup companions, and reports its memory footprint — the quantity that
+drives the DRAM-traffic analysis reproduced in Figures 8 and 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..modarith.modops import inv_mod
+from ..modarith.reducers import ShoupModMul
+from ..modarith.roots import primitive_root_of_unity
+from ..modarith.word import WORD64, WordSpec
+from ..transforms.bitrev import is_power_of_two, log2_exact
+from ..transforms.cooley_tukey import forward_twiddle_table
+
+__all__ = ["TwiddleTable", "stage_table_entries", "stage_input_entries"]
+
+
+def stage_table_entries(stage: int) -> int:
+    """Distinct twiddle factors consumed by radix-2 stage ``stage`` (1-based).
+
+    Stage ``s`` of Algorithm 1 has ``m = 2^(s-1)`` butterfly groups and uses
+    one twiddle per group, so the count doubles every stage — the geometric
+    growth plotted in Figure 8.
+    """
+    if stage < 1:
+        raise ValueError("stages are numbered from 1")
+    return 1 << (stage - 1)
+
+
+def stage_input_entries(n: int) -> int:
+    """Input elements touched by any radix-2 stage (always ``n``)."""
+    if not is_power_of_two(n):
+        raise ValueError("n must be a power of two")
+    return n
+
+
+@dataclass
+class TwiddleTable:
+    """Precomputed twiddle factors for one transform size and one prime.
+
+    Attributes:
+        n: Transform length.
+        p: Prime modulus (``p ≡ 1 mod 2n``).
+        psi: The primitive ``2n``-th root of unity the table is built from.
+        word: Machine word used for storage (64-bit by default).
+        forward: Bit-reversed powers of ``psi`` (Algorithm 1 layout).
+        forward_shoup: Shoup companions of :attr:`forward`.
+        inverse: Bit-reversed powers of ``psi^{-1}``.
+        inverse_shoup: Shoup companions of :attr:`inverse`.
+    """
+
+    n: int
+    p: int
+    psi: int
+    word: WordSpec = WORD64
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n):
+            raise ValueError("n must be a power of two")
+        if (self.p - 1) % (2 * self.n) != 0:
+            raise ValueError("p must satisfy p ≡ 1 (mod 2n)")
+        reducer = ShoupModMul(self.p, self.word)
+        self.forward = forward_twiddle_table(self.n, self.psi, self.p)
+        self.inverse = forward_twiddle_table(self.n, inv_mod(self.psi, self.p), self.p)
+        self.forward_shoup = [reducer.precompute(w)[0] for w in self.forward]
+        self.inverse_shoup = [reducer.precompute(w)[0] for w in self.inverse]
+        self._reducer = reducer
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def build(cls, n: int, p: int, psi: int | None = None, word: WordSpec = WORD64) -> "TwiddleTable":
+        """Build a table, deriving a primitive root when ``psi`` is omitted."""
+        if psi is None:
+            psi = primitive_root_of_unity(2 * n, p)
+        return cls(n=n, p=p, psi=psi, word=word)
+
+    # -- access ---------------------------------------------------------------
+    @property
+    def reducer(self) -> ShoupModMul:
+        """The Shoup reducer matching this table's modulus and word size."""
+        return self._reducer
+
+    def forward_entry(self, index: int) -> tuple[int, int]:
+        """Return ``(twiddle, shoup_companion)`` for forward table ``index``."""
+        return self.forward[index], self.forward_shoup[index]
+
+    def inverse_entry(self, index: int) -> tuple[int, int]:
+        """Return ``(twiddle, shoup_companion)`` for inverse table ``index``."""
+        return self.inverse[index], self.inverse_shoup[index]
+
+    # -- size accounting --------------------------------------------------------
+    @property
+    def entries(self) -> int:
+        """Twiddle factors stored for one direction (``n``)."""
+        return self.n
+
+    @property
+    def words_per_entry(self) -> int:
+        """Machine words stored per twiddle factor (2 with Shoup companions)."""
+        return 2
+
+    def bytes_per_direction(self, with_shoup: bool = True) -> int:
+        """Bytes of one direction's table (forward *or* inverse)."""
+        words = self.words_per_entry if with_shoup else 1
+        return self.n * words * (self.word.bits // 8)
+
+    def total_bytes(self, with_shoup: bool = True, directions: int = 2) -> int:
+        """Bytes of the resident table (both directions by default)."""
+        return directions * self.bytes_per_direction(with_shoup)
+
+    def stage_bytes(self, stage: int, with_shoup: bool = True) -> int:
+        """Bytes of twiddle data consumed by radix-2 stage ``stage``."""
+        words = self.words_per_entry if with_shoup else 1
+        return stage_table_entries(stage) * words * (self.word.bits // 8)
+
+    @property
+    def stages(self) -> int:
+        """Number of radix-2 stages (``log2 n``)."""
+        return log2_exact(self.n)

@@ -1,0 +1,18 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Use :func:`repro.experiments.run_all` (or ``python -m repro.experiments``) to
+regenerate every table and figure series, or import an individual module
+(e.g. :mod:`repro.experiments.table2_summary`) and call its ``run()``.
+"""
+
+from .registry import EXPERIMENTS, run_all, run_experiment
+from .report import ExperimentResult, format_experiment, format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_all",
+    "run_experiment",
+    "ExperimentResult",
+    "format_experiment",
+    "format_table",
+]

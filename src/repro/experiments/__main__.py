@@ -1,0 +1,32 @@
+"""Command-line entry point: print every reproduced table and figure.
+
+Usage::
+
+    python -m repro.experiments            # run everything
+    python -m repro.experiments table2     # run selected experiments
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .registry import EXPERIMENTS, run_experiment
+from .report import format_experiment
+
+
+def main(argv: list[str]) -> int:
+    keys = argv if argv else list(EXPERIMENTS)
+    unknown = [key for key in keys if key not in EXPERIMENTS]
+    if unknown:
+        print("unknown experiment(s): %s" % ", ".join(unknown))
+        print("available: %s" % ", ".join(EXPERIMENTS))
+        return 2
+    for key in keys:
+        result = run_experiment(key)
+        print(format_experiment(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

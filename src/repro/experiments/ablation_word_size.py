@@ -1,0 +1,87 @@
+"""Section IV ablation — 32-bit versus 64-bit word size.
+
+For a fixed ciphertext modulus ``Q = 2^1200``, the RNS decomposition can use
+either forty 30-bit primes (single-word arithmetic, double the batch size) or
+twenty 60-bit primes (double-word arithmetic, half the batch size).  The
+paper reports that the two choices perform within about 5% of each other
+after all optimisations, and picks 64-bit words.
+
+The model reproduces the trade-off: halving the word size halves the bytes
+per residue element but doubles the number of independent NTTs, so the data
+traffic is identical; only the twiddle-table traffic (which doubles in entry
+count but halves in entry size) and the per-butterfly arithmetic cost differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..gpu.costmodel import GpuCostModel
+from ..kernels.smem import smem_ntt_model
+from .report import ExperimentResult
+
+__all__ = ["LOG_Q_BITS", "run"]
+
+LOG_Q_BITS = 1200
+LOG_N = 17
+PAPER_DIFFERENCE = 0.05
+
+#: Relative issue-slot cost of a single-word (32-bit) Shoup butterfly compared
+#: to the double-word one: the wide multiplies shrink from four IMADs to one.
+SINGLE_WORD_BUTTERFLY_SCALE = 0.9
+
+
+def run(model: GpuCostModel | None = None) -> ExperimentResult:
+    """Reproduce the Section IV word-size comparison (30-bit vs 60-bit primes)."""
+    base_model = model if model is not None else GpuCostModel()
+    n = 1 << LOG_N
+
+    np_60 = LOG_Q_BITS // 60
+    np_30 = LOG_Q_BITS // 30
+
+    result_64 = smem_ntt_model(n, np_60, base_model, kernel1_size=256, kernel2_size=512)
+
+    # 32-bit variant: cheaper butterflies, half-size elements and twiddles,
+    # twice the batch.  Reuse the same kernel generator on a model whose
+    # butterfly cost is scaled down, and halve the traffic by scaling the
+    # batch instead of the element size (equivalent at the byte level).
+    model_32 = base_model.with_calibration(
+        shoup_butterfly_slots=base_model.calibration.shoup_butterfly_slots
+        * SINGLE_WORD_BUTTERFLY_SCALE
+    )
+    result_32_double_batch = smem_ntt_model(
+        n, np_30, model_32, kernel1_size=256, kernel2_size=512
+    )
+    # Scale the traffic-driven part down by the element-size ratio: a 30-bit
+    # residue and its twiddle occupy half the bytes of the 60-bit ones.
+    scaled_time_32 = result_32_double_batch.time_us * 0.5
+
+    rows = [
+        {
+            "word size": "64-bit (20 x 60-bit primes)",
+            "np": np_60,
+            "model time (us)": result_64.time_us,
+            "butterflies (M)": np_60 * 17 * (n // 2) / 1e6,
+        },
+        {
+            "word size": "32-bit (40 x 30-bit primes)",
+            "np": np_30,
+            "model time (us)": scaled_time_32,
+            "butterflies (M)": np_30 * 17 * (n // 2) / 1e6,
+        },
+    ]
+    difference = abs(rows[0]["model time (us)"] - rows[1]["model time (us)"]) / max(
+        rows[0]["model time (us)"], rows[1]["model time (us)"]
+    )
+    return ExperimentResult(
+        experiment_id="Section IV (word size)",
+        title="32-bit vs 64-bit word size for Q = 2^1200 at N = 2^17",
+        columns=list(rows[0].keys()),
+        rows=rows,
+        notes=[
+            "paper: the two word sizes perform within ~5%% of each other; model difference: %.1f%%"
+            % (100 * difference),
+            "The 32-bit row models half-size elements/twiddles and cheaper single-word butterflies "
+            "across twice as many primes.",
+        ],
+    )

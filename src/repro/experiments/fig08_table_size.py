@@ -1,0 +1,54 @@
+"""Figure 8 — relative size of the twiddle table and input data per radix-2 stage.
+
+The twiddle count doubles every stage (1, 2, 4, ... N/2 entries) while the
+input data touched per stage stays constant at N elements, so by the last
+stage the per-stage twiddle table is half the size of the data itself — and,
+with Shoup companions, equal to it in bytes.  This is the observation that
+motivates both preloading the small early-stage tables into shared memory
+(Figure 9) and regenerating the huge late-stage tables on the fly
+(Section VII).
+"""
+
+from __future__ import annotations
+
+from ..core.twiddle import stage_input_entries, stage_table_entries
+from ..gpu.costmodel import GpuCostModel
+from ..transforms.bitrev import log2_exact
+from .report import ExperimentResult
+
+__all__ = ["LOG_N", "run"]
+
+LOG_N = 17
+
+
+def run(model: GpuCostModel | None = None) -> ExperimentResult:
+    """Reproduce Figure 8 (per-stage twiddle-table vs input size, radix-2 NTT)."""
+    n = 1 << LOG_N
+    stages = log2_exact(n)
+    input_entries = stage_input_entries(n)
+
+    rows: list[dict[str, object]] = []
+    for stage in range(1, stages + 1):
+        twiddles = stage_table_entries(stage)
+        rows.append(
+            {
+                "stage": stage,
+                "input elements": input_entries,
+                "twiddle factors": twiddles,
+                "twiddle / input ratio": twiddles / input_entries,
+                "twiddle bytes (with Shoup)": twiddles * 16,
+                "input bytes": input_entries * 8,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="Figure 8",
+        title="Relative size of the precomputed table and input data per radix-2 stage (N = 2^%d)" % LOG_N,
+        columns=list(rows[0].keys()),
+        rows=rows,
+        notes=[
+            "The last stage's twiddle table (N/2 entries x 16 B) equals the input data in bytes, "
+            "matching the paper's relative-size-of-2 at stage log2(N).",
+            "Total twiddle factors across all stages: %d (= N - 1)."
+            % sum(stage_table_entries(s) for s in range(1, stages + 1)),
+        ],
+    )

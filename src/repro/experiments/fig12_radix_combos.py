@@ -1,0 +1,113 @@
+"""Figure 12 — SMEM radix combinations across N, and the effect of OT.
+
+Three sub-figures, all at np = 21 with the 8-point-per-thread SMEM NTT:
+
+* (a) execution time for every Kernel-1 x Kernel-2 split the paper lists per
+  logN in {14, 15, 16, 17}, with and without on-the-fly twiddling — the
+  spread between splits is small (<= 7.5% / 15.7% / 16.3% for logN 16/15/14).
+* (b) the speedup and DRAM-bandwidth utilisation of the best split with and
+  without OT (9.3% average speedup, 16.7% lower utilisation with OT).
+* (c) the DRAM access volume with and without OT (24-25% reduction).
+"""
+
+from __future__ import annotations
+
+from ..core.on_the_fly import OnTheFlyConfig
+from ..gpu.costmodel import GpuCostModel
+from ..kernels.base import KernelModelResult
+from ..kernels.smem import smem_ntt_model
+from .report import ExperimentResult
+
+__all__ = ["SPLITS_BY_LOGN", "PAPER_TRAFFIC_REDUCTION", "PAPER_MEAN_SPEEDUP", "run", "best_split"]
+
+#: Kernel-1 x Kernel-2 combinations plotted by Figure 12(a) for each logN.
+SPLITS_BY_LOGN = {
+    14: ((256, 64), (128, 128), (64, 256), (32, 512)),
+    15: ((512, 64), (256, 128), (128, 256), (64, 512)),
+    16: ((512, 128), (256, 256), (128, 512), (64, 1024)),
+    17: ((512, 256), (256, 512), (128, 1024), (64, 2048)),
+}
+BATCH = 21
+OT_STAGES = 2
+PAPER_TRAFFIC_REDUCTION = {14: 0.251, 15: 0.245, 16: 0.235, 17: 0.245}
+PAPER_MEAN_SPEEDUP = 0.093
+
+
+def best_split(
+    log_n: int, model: GpuCostModel, ot: OnTheFlyConfig | None = None, batch: int = BATCH
+) -> tuple[tuple[int, int], KernelModelResult]:
+    """Return the best-performing Kernel-1 x Kernel-2 split for ``log_n``."""
+    n = 1 << log_n
+    best_pair = None
+    best_result = None
+    for kernel1, kernel2 in SPLITS_BY_LOGN[log_n]:
+        result = smem_ntt_model(
+            n, batch, model, kernel1_size=kernel1, kernel2_size=kernel2,
+            per_thread_points=8, ot=ot,
+        )
+        if best_result is None or result.time_us < best_result.time_us:
+            best_pair, best_result = (kernel1, kernel2), result
+    return best_pair, best_result
+
+
+def run(model: GpuCostModel | None = None) -> ExperimentResult:
+    """Reproduce Figure 12 (SMEM radix combinations, OT speedup and traffic)."""
+    model = model if model is not None else GpuCostModel()
+    ot_config = OnTheFlyConfig(base=1024, ot_stages=OT_STAGES)
+
+    rows: list[dict[str, object]] = []
+    summary_notes: list[str] = []
+    speedups = []
+    for log_n, splits in SPLITS_BY_LOGN.items():
+        n = 1 << log_n
+        for kernel1, kernel2 in splits:
+            without_ot = smem_ntt_model(
+                n, BATCH, model, kernel1_size=kernel1, kernel2_size=kernel2, per_thread_points=8
+            )
+            with_ot = smem_ntt_model(
+                n, BATCH, model, kernel1_size=kernel1, kernel2_size=kernel2,
+                per_thread_points=8, ot=ot_config,
+            )
+            rows.append(
+                {
+                    "logN": log_n,
+                    "Kernel-1 x Kernel-2": "%dx%d" % (kernel1, kernel2),
+                    "time w/o OT (us)": without_ot.time_us,
+                    "time w/ OT (us)": with_ot.time_us,
+                    "OT speedup": without_ot.time_us / with_ot.time_us,
+                    "DRAM w/o OT (MB)": without_ot.dram_mb,
+                    "DRAM w/ OT (MB)": with_ot.dram_mb,
+                    "DRAM reduction": 1.0 - with_ot.dram_mb / without_ot.dram_mb,
+                    "BW util w/o OT": without_ot.bandwidth_utilization,
+                    "BW util w/ OT": with_ot.bandwidth_utilization,
+                }
+            )
+
+        (_, best_without) = best_split(log_n, model, ot=None)
+        (_, best_with) = best_split(log_n, model, ot=ot_config)
+        speedup = best_without.time_us / best_with.time_us
+        speedups.append(speedup)
+        summary_notes.append(
+            "logN=%d best split: OT speedup %.1f%% (paper %.1f%%), DRAM reduction %.1f%% (paper %.1f%%)"
+            % (
+                log_n,
+                100 * (speedup - 1),
+                100 * ({17: 0.081, 16: 0.098, 15: 0.092, 14: 0.101}[log_n]),
+                100 * (1 - best_with.dram_mb / best_without.dram_mb),
+                100 * PAPER_TRAFFIC_REDUCTION[log_n],
+            )
+        )
+    mean_speedup = sum(speedups) / len(speedups)
+    summary_notes.append(
+        "mean OT speedup across logN: %.1f%% (paper average 9.3%%)" % (100 * (mean_speedup - 1))
+    )
+    summary_notes.append(
+        "paper: spread between radix combinations is at most 7.5/15.7/16.3 percent for logN 16/15/14"
+    )
+    return ExperimentResult(
+        experiment_id="Figure 12",
+        title="SMEM implementation across Kernel-1 x Kernel-2 splits and N, with and without OT (np = 21)",
+        columns=list(rows[0].keys()),
+        rows=rows,
+        notes=summary_notes,
+    )

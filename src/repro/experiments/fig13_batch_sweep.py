@@ -1,0 +1,59 @@
+"""Figure 13 — best SMEM NTT execution time versus batch size (np) at N = 2^17.
+
+Each batch size corresponds to a ciphertext modulus size logQ ≈ np x 60 bits.
+Because a batch of 21 already saturates the GPU, the execution time grows
+linearly in np across the bootstrappable range.
+"""
+
+from __future__ import annotations
+
+from ..gpu.costmodel import GpuCostModel
+from ..kernels.smem import smem_ntt_model
+from .report import ExperimentResult
+
+__all__ = ["BATCH_SIZES", "PRIME_BITS", "run"]
+
+#: Batch sizes (np) swept, spanning the bootstrappable-parameter range.
+BATCH_SIZES = (3, 6, 9, 12, 15, 18, 21, 24, 27, 30, 33, 36, 39, 42, 45)
+PRIME_BITS = 60
+LOG_N = 17
+
+
+def run(model: GpuCostModel | None = None) -> ExperimentResult:
+    """Reproduce Figure 13 (execution time vs np with logQ labels)."""
+    model = model if model is not None else GpuCostModel()
+    n = 1 << LOG_N
+
+    rows: list[dict[str, object]] = []
+    reference = None
+    for batch in BATCH_SIZES:
+        result = smem_ntt_model(n, batch, model, kernel1_size=256, kernel2_size=512)
+        if reference is None:
+            reference = result.time_us / batch
+        rows.append(
+            {
+                "np": batch,
+                "logQ (~bits)": batch * PRIME_BITS,
+                "time (us)": result.time_us,
+                "time per prime (us)": result.time_us / batch,
+                "linearity vs smallest np": (result.time_us / batch) / reference,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="Figure 13",
+        title="Best SMEM NTT execution time vs batch size np at N = 2^17 (logQ = 60 x np)",
+        columns=list(rows[0].keys()),
+        rows=rows,
+        notes=[
+            "paper: execution time increases linearly with the batch size because np = 21 already "
+            "saturates the GPU; the model's per-prime time varies by %.1f%% across np >= 21"
+            % (
+                100
+                * (
+                    max(r["time per prime (us)"] for r in rows if r["np"] >= 21)
+                    / min(r["time per prime (us)"] for r in rows if r["np"] >= 21)
+                    - 1
+                )
+            ),
+        ],
+    )

@@ -1,0 +1,67 @@
+"""Registry of every reproduced table and figure.
+
+``run_all()`` executes the whole evaluation section and returns the results
+in paper order; ``python -m repro.experiments`` prints them as text tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..gpu.costmodel import GpuCostModel
+from . import (
+    ablation_ot_base,
+    ablation_word_size,
+    device_sensitivity,
+    fig01_modmul,
+    fig03_batching,
+    fig04_high_radix,
+    fig05_dft_high_radix,
+    fig07_coalescing,
+    fig08_table_size,
+    fig09_preload,
+    fig11_per_thread,
+    fig12_radix_combos,
+    fig13_batch_sweep,
+    ntt_share,
+    prior_work,
+    table2_summary,
+)
+from .report import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_all", "run_experiment"]
+
+#: Experiment id -> run() callable, in the order the paper presents them.
+EXPERIMENTS: dict[str, Callable[[GpuCostModel | None], ExperimentResult]] = {
+    "fig1": fig01_modmul.run,
+    "fig3": fig03_batching.run,
+    "fig4": fig04_high_radix.run,
+    "fig5": fig05_dft_high_radix.run,
+    "fig7": fig07_coalescing.run,
+    "fig8": fig08_table_size.run,
+    "fig9": fig09_preload.run,
+    "fig11": fig11_per_thread.run,
+    "fig12": fig12_radix_combos.run,
+    "fig13": fig13_batch_sweep.run,
+    "table2": table2_summary.run,
+    "prior_work": prior_work.run,
+    "word_size": ablation_word_size.run,
+    "ot_base": ablation_ot_base.run,
+    "ntt_share": ntt_share.run,
+    "devices": device_sensitivity.run,
+}
+
+
+def run_experiment(key: str, model: GpuCostModel | None = None) -> ExperimentResult:
+    """Run a single experiment by registry key (e.g. ``"table2"``)."""
+    try:
+        runner = EXPERIMENTS[key]
+    except KeyError:
+        raise KeyError("unknown experiment %r; known: %s" % (key, sorted(EXPERIMENTS)))
+    return runner(model)
+
+
+def run_all(model: GpuCostModel | None = None) -> list[ExperimentResult]:
+    """Run every registered experiment, sharing one cost model."""
+    model = model if model is not None else GpuCostModel()
+    return [runner(model) for runner in EXPERIMENTS.values()]

@@ -1,0 +1,82 @@
+"""Result containers and formatting for the experiment harness.
+
+Every experiment module produces an :class:`ExperimentResult`: a named table
+of rows (one per configuration the paper sweeps) plus free-form notes.  Rows
+carry both the modelled value and, where the paper states a number, the
+paper's value, so ``EXPERIMENTS.md`` and the benchmark output show the two
+side by side.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult", "format_table", "format_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one reproduced table or figure.
+
+    Attributes:
+        experiment_id: Identifier matching the paper ("Figure 4(a)", "Table II", ...).
+        title: One-line description of what is being reproduced.
+        columns: Column names, in display order.
+        rows: One mapping per configuration; keys are column names.
+        notes: Free-form remarks (calibration caveats, paper-text references).
+    """
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, object]]
+    notes: list[str] = field(default_factory=list)
+
+    def column(self, name: str) -> list[object]:
+        """Return one column as a list (missing cells become ``None``)."""
+        return [row.get(name) for row in self.rows]
+
+    def row_by(self, key_column: str, key_value: object) -> dict[str, object]:
+        """Return the first row whose ``key_column`` equals ``key_value``."""
+        for row in self.rows:
+            if row.get(key_column) == key_value:
+                return row
+        raise KeyError("no row with %s == %r" % (key_column, key_value))
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return "%.0f" % value
+        if abs(value) >= 10:
+            return "%.1f" % value
+        return "%.3f" % value
+    return str(value)
+
+
+def format_table(columns: Sequence[str], rows: Iterable[Mapping[str, object]]) -> str:
+    """Render rows as a fixed-width text table."""
+    rendered_rows = [[_format_cell(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered_rows)) if rendered_rows else len(col)
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) for row in rendered_rows
+    )
+    return "\n".join([header, separator, body]) if rendered_rows else header
+
+
+def format_experiment(result: ExperimentResult) -> str:
+    """Render a full experiment (title, table, notes) as text."""
+    lines = ["%s — %s" % (result.experiment_id, result.title), ""]
+    lines.append(format_table(result.columns, result.rows))
+    if result.notes:
+        lines.append("")
+        lines.extend("note: %s" % note for note in result.notes)
+    return "\n".join(lines)

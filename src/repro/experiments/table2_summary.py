@@ -1,0 +1,66 @@
+"""Table II — radix-2 versus the SMEM implementation with and without OT.
+
+The paper's headline table: for logN in {14, 15, 16, 17} at np = 21, the
+execution time of the naive radix-2 NTT, the best SMEM configuration without
+OT, and the best SMEM configuration with OT, with speedups relative to
+radix-2 (3.4-4.3x without OT, 3.8-4.7x with OT — 4.2x on average).
+"""
+
+from __future__ import annotations
+
+from ..core.on_the_fly import OnTheFlyConfig
+from ..gpu.costmodel import GpuCostModel
+from ..kernels.radix2 import radix2_ntt_model
+from .fig12_radix_combos import best_split
+from .report import ExperimentResult
+
+__all__ = ["PAPER_TABLE2", "run"]
+
+#: The paper's Table II: logN -> (radix-2 us, SMEM w/o OT us [speedup], SMEM w/ OT us [speedup]).
+PAPER_TABLE2 = {
+    14: {"radix2": 166.0, "smem": 48.6, "smem_speedup": 3.4, "ot": 44.1, "ot_speedup": 3.8},
+    15: {"radix2": 340.0, "smem": 92.0, "smem_speedup": 3.7, "ot": 84.2, "ot_speedup": 4.0},
+    16: {"radix2": 693.0, "smem": 171.8, "smem_speedup": 4.0, "ot": 156.3, "ot_speedup": 4.4},
+    17: {"radix2": 1427.0, "smem": 329.0, "smem_speedup": 4.3, "ot": 304.2, "ot_speedup": 4.7},
+}
+BATCH = 21
+
+
+def run(model: GpuCostModel | None = None) -> ExperimentResult:
+    """Reproduce Table II (radix-2 vs SMEM vs SMEM + OT across logN)."""
+    model = model if model is not None else GpuCostModel()
+    ot_config = OnTheFlyConfig(base=1024, ot_stages=2)
+
+    rows: list[dict[str, object]] = []
+    for log_n, paper in PAPER_TABLE2.items():
+        n = 1 << log_n
+        radix2 = radix2_ntt_model(n, BATCH, model)
+        _, smem = best_split(log_n, model, ot=None)
+        _, smem_ot = best_split(log_n, model, ot=ot_config)
+        rows.append(
+            {
+                "logN": log_n,
+                "np": BATCH,
+                "radix-2 (us)": radix2.time_us,
+                "paper radix-2 (us)": paper["radix2"],
+                "SMEM w/o OT (us)": smem.time_us,
+                "paper SMEM w/o OT (us)": paper["smem"],
+                "SMEM w/o OT speedup": radix2.time_us / smem.time_us,
+                "paper speedup w/o OT": paper["smem_speedup"],
+                "SMEM w/ OT (us)": smem_ot.time_us,
+                "paper SMEM w/ OT (us)": paper["ot"],
+                "SMEM w/ OT speedup": radix2.time_us / smem_ot.time_us,
+                "paper speedup w/ OT": paper["ot_speedup"],
+            }
+        )
+    mean_speedup = sum(r["SMEM w/ OT speedup"] for r in rows) / len(rows)
+    return ExperimentResult(
+        experiment_id="Table II",
+        title="Radix-2 vs SMEM implementation with and without OT (np = 21)",
+        columns=list(rows[0].keys()),
+        rows=rows,
+        notes=[
+            "paper: the SMEM implementation with OT is 4.2x faster than radix-2 on average; "
+            "model: %.1fx" % mean_speedup,
+        ],
+    )

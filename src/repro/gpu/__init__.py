@@ -1,0 +1,46 @@
+"""Analytic GPU performance model (the substitute for the paper's Titan V).
+
+* :mod:`repro.gpu.device` — device descriptions (:data:`TITAN_V`).
+* :mod:`repro.gpu.occupancy` — NVIDIA-style occupancy calculation.
+* :mod:`repro.gpu.memory` — coalescing model and DRAM traffic accounting.
+* :mod:`repro.gpu.costmodel` — the calibrated roofline timing model.
+"""
+
+from .costmodel import (
+    CalibrationConstants,
+    DEFAULT_CALIBRATION,
+    GpuCostModel,
+    KernelEstimate,
+    KernelLaunch,
+)
+from .device import A100_LIKE, DeviceSpec, TITAN_V
+from .memory import (
+    AccessPattern,
+    MemorySpace,
+    TrafficCounter,
+    coalescing_efficiency,
+    transactions_per_warp,
+)
+from .occupancy import OccupancyResult, occupancy, registers_with_spill
+from .trace import profile_report, summarize
+
+__all__ = [
+    "profile_report",
+    "summarize",
+    "CalibrationConstants",
+    "DEFAULT_CALIBRATION",
+    "GpuCostModel",
+    "KernelEstimate",
+    "KernelLaunch",
+    "DeviceSpec",
+    "TITAN_V",
+    "A100_LIKE",
+    "AccessPattern",
+    "MemorySpace",
+    "TrafficCounter",
+    "coalescing_efficiency",
+    "transactions_per_warp",
+    "OccupancyResult",
+    "occupancy",
+    "registers_with_spill",
+]

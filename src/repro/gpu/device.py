@@ -1,0 +1,134 @@
+"""GPU device descriptions.
+
+The paper evaluates on an NVIDIA Titan V (Volta GV100: 80 SMs, 64 FP32 cores
+per SM, 96 KB configurable shared memory per SM, 256 KB register file per SM,
+HBM2 at ~651 GB/s peak).  :data:`TITAN_V` encodes those datasheet numbers;
+other devices can be described for sensitivity studies (an A100-like preset
+is included as an extension).
+
+The device description is purely declarative — the timing logic lives in
+:mod:`repro.gpu.costmodel` and the occupancy logic in
+:mod:`repro.gpu.occupancy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "TITAN_V", "A100_LIKE"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a GPU for the analytic performance model.
+
+    Attributes:
+        name: Marketing name, used in reports.
+        sm_count: Number of streaming multiprocessors.
+        cores_per_sm: FP32/INT32 lanes per SM (issue slots per cycle).
+        clock_ghz: Sustained SM clock in GHz.
+        registers_per_sm: 32-bit architectural registers per SM.
+        max_registers_per_thread: Hard per-thread register cap (255 on Volta);
+            demand beyond this spills to local memory (LMEM).
+        smem_bytes_per_sm: Shared-memory capacity per SM.
+        smem_bytes_per_block_max: Largest shared-memory allocation one block may make.
+        cmem_bytes: Constant-memory capacity (64 KB).
+        max_threads_per_sm: Concurrent thread limit per SM.
+        max_threads_per_block: Thread-block size limit.
+        max_blocks_per_sm: Concurrent resident blocks per SM.
+        warp_size: Threads per warp.
+        peak_bandwidth_gbps: Peak DRAM (HBM2) bandwidth in GB/s.
+        l2_bytes: L2 cache capacity.
+        memory_transaction_bytes: Granularity of a DRAM transaction (32 B sectors).
+        dram_capacity_bytes: Device-memory capacity.
+    """
+
+    name: str
+    sm_count: int
+    cores_per_sm: int
+    clock_ghz: float
+    registers_per_sm: int
+    max_registers_per_thread: int
+    smem_bytes_per_sm: int
+    smem_bytes_per_block_max: int
+    cmem_bytes: int
+    max_threads_per_sm: int
+    max_threads_per_block: int
+    max_blocks_per_sm: int
+    warp_size: int
+    peak_bandwidth_gbps: float
+    l2_bytes: int
+    memory_transaction_bytes: int
+    dram_capacity_bytes: int
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        """Concurrent warp limit per SM."""
+        return self.max_threads_per_sm // self.warp_size
+
+    @property
+    def lane_throughput_per_second(self) -> float:
+        """Aggregate issue-slot throughput (slots/s) across the whole device."""
+        return self.sm_count * self.cores_per_sm * self.clock_ghz * 1e9
+
+    @property
+    def peak_bandwidth_bytes_per_us(self) -> float:
+        """Peak DRAM bandwidth expressed in bytes per microsecond."""
+        return self.peak_bandwidth_gbps * 1e9 / 1e6
+
+    @property
+    def register_file_bytes_per_sm(self) -> int:
+        """Register-file capacity per SM in bytes (4 bytes per register)."""
+        return self.registers_per_sm * 4
+
+    def validate(self) -> None:
+        """Sanity-check the description; raises ``ValueError`` on nonsense."""
+        if self.sm_count <= 0 or self.cores_per_sm <= 0:
+            raise ValueError("SM and core counts must be positive")
+        if self.warp_size <= 0 or self.max_threads_per_sm % self.warp_size:
+            raise ValueError("max_threads_per_sm must be a multiple of warp_size")
+        if self.peak_bandwidth_gbps <= 0 or self.clock_ghz <= 0:
+            raise ValueError("bandwidth and clock must be positive")
+
+
+#: The paper's evaluation platform (NVIDIA Titan V, Volta GV100).
+TITAN_V = DeviceSpec(
+    name="NVIDIA Titan V",
+    sm_count=80,
+    cores_per_sm=64,
+    clock_ghz=1.2,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    smem_bytes_per_sm=96 * 1024,
+    smem_bytes_per_block_max=96 * 1024,
+    cmem_bytes=64 * 1024,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=32,
+    warp_size=32,
+    peak_bandwidth_gbps=651.0,
+    l2_bytes=4608 * 1024,
+    memory_transaction_bytes=32,
+    dram_capacity_bytes=12 * 1024**3,
+)
+
+#: An A100-class device for sensitivity/extension studies (not used by the paper).
+A100_LIKE = DeviceSpec(
+    name="A100-like",
+    sm_count=108,
+    cores_per_sm=64,
+    clock_ghz=1.41,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    smem_bytes_per_sm=164 * 1024,
+    smem_bytes_per_block_max=164 * 1024,
+    cmem_bytes=64 * 1024,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=32,
+    warp_size=32,
+    peak_bandwidth_gbps=1555.0,
+    l2_bytes=40 * 1024 * 1024,
+    memory_transaction_bytes=32,
+    dram_capacity_bytes=40 * 1024**3,
+)

@@ -1,0 +1,154 @@
+"""Memory-access modelling: coalescing, memory spaces and traffic accounting.
+
+A warp's 32 loads are merged into 32-byte transactions when the addresses are
+contiguous ("memory coalescing", Section II).  Strided access patterns touch
+one transaction per thread and waste most of each transaction — the effect
+Figure 6 illustrates for Kernel-1 of the SMEM NTT, where only 8 useful bytes
+of every 32-byte transaction are consumed before thread-block merging fixes
+the layout.
+
+:func:`coalescing_efficiency` converts an access stride into the fraction of
+transferred bytes that are useful; :class:`TrafficCounter` accumulates the
+DRAM traffic of a kernel broken down by purpose (input data, output data,
+twiddle factors, LMEM spill), which is what the experiment harness reports
+for Figures 4(b), 12(c) and the OT traffic-reduction claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .device import DeviceSpec
+
+__all__ = [
+    "MemorySpace",
+    "AccessPattern",
+    "coalescing_efficiency",
+    "transactions_per_warp",
+    "TrafficCounter",
+]
+
+
+class MemorySpace(str, Enum):
+    """Logical GPU memory spaces (Table I of the paper)."""
+
+    GLOBAL = "gmem"
+    SHARED = "smem"
+    CONSTANT = "cmem"
+    TEXTURE = "tmem"
+    LOCAL = "lmem"
+    REGISTER = "register"
+
+
+class AccessPattern(str, Enum):
+    """Qualitative warp-level access pattern."""
+
+    COALESCED = "coalesced"
+    STRIDED = "strided"
+    BROADCAST = "broadcast"
+
+
+def transactions_per_warp(
+    element_bytes: int,
+    stride_elements: int,
+    device: DeviceSpec,
+) -> int:
+    """Number of 32-byte transactions one warp needs for one element per thread.
+
+    Args:
+        element_bytes: Size of each element (8 for a 64-bit residue,
+            16 for a twiddle factor with its Shoup companion).
+        stride_elements: Distance between consecutive threads' elements, in
+            elements (1 = fully contiguous).
+        device: Device description (supplies warp size and transaction size).
+    """
+    if element_bytes <= 0 or stride_elements <= 0:
+        raise ValueError("element_bytes and stride_elements must be positive")
+    warp_bytes_span = (device.warp_size - 1) * stride_elements * element_bytes + element_bytes
+    contiguous = -(-warp_bytes_span // device.memory_transaction_bytes)  # ceil
+    # Each thread touches at most one transaction for elements <= 32 bytes, so
+    # the transaction count can never exceed the warp size (nor be less than
+    # the fully contiguous case).
+    worst_case = device.warp_size * max(1, -(-element_bytes // device.memory_transaction_bytes))
+    return min(worst_case, max(contiguous, 1))
+
+
+def coalescing_efficiency(
+    element_bytes: int,
+    stride_elements: int,
+    device: DeviceSpec,
+) -> float:
+    """Fraction of transferred bytes that are useful for the given pattern.
+
+    1.0 means perfectly coalesced; 0.25 reproduces the "75% wasted" case of
+    Figure 6(a) (8 useful bytes out of each 32-byte transaction).
+    """
+    useful = device.warp_size * element_bytes
+    transferred = transactions_per_warp(element_bytes, stride_elements, device) * (
+        device.memory_transaction_bytes
+    )
+    return min(1.0, useful / transferred)
+
+
+@dataclass
+class TrafficCounter:
+    """DRAM traffic of one kernel, broken down by purpose (bytes).
+
+    Attributes:
+        data_read: Coefficient bytes read from GMEM (after coalescing waste).
+        data_written: Coefficient bytes written to GMEM.
+        twiddle_read: Twiddle-factor (and Shoup-companion) bytes read.
+        spill: Local-memory spill traffic (read + write).
+    """
+
+    data_read: float = 0.0
+    data_written: float = 0.0
+    twiddle_read: float = 0.0
+    spill: float = 0.0
+
+    def add_data_read(self, useful_bytes: float, efficiency: float = 1.0) -> None:
+        """Account a data read of ``useful_bytes`` at the given coalescing efficiency."""
+        self._check(useful_bytes, efficiency)
+        self.data_read += useful_bytes / efficiency
+
+    def add_data_write(self, useful_bytes: float, efficiency: float = 1.0) -> None:
+        """Account a data write of ``useful_bytes`` at the given coalescing efficiency."""
+        self._check(useful_bytes, efficiency)
+        self.data_written += useful_bytes / efficiency
+
+    def add_twiddle_read(self, useful_bytes: float, efficiency: float = 1.0) -> None:
+        """Account a twiddle-table read."""
+        self._check(useful_bytes, efficiency)
+        self.twiddle_read += useful_bytes / efficiency
+
+    def add_spill(self, bytes_count: float) -> None:
+        """Account local-memory spill traffic."""
+        self._check(bytes_count, 1.0)
+        self.spill += bytes_count
+
+    @staticmethod
+    def _check(byte_count: float, efficiency: float) -> None:
+        if byte_count < 0:
+            raise ValueError("byte counts must be non-negative")
+        if not 0 < efficiency <= 1:
+            raise ValueError("efficiency must lie in (0, 1]")
+
+    @property
+    def total(self) -> float:
+        """Total DRAM bytes moved by the kernel."""
+        return self.data_read + self.data_written + self.twiddle_read + self.spill
+
+    @property
+    def total_mb(self) -> float:
+        """Total DRAM traffic in megabytes (10^6 bytes, as plotted by the paper)."""
+        return self.total / 1e6
+
+    def merged_with(self, other: "TrafficCounter") -> "TrafficCounter":
+        """Return a new counter holding the sum of both kernels' traffic."""
+        return TrafficCounter(
+            data_read=self.data_read + other.data_read,
+            data_written=self.data_written + other.data_written,
+            twiddle_read=self.twiddle_read + other.twiddle_read,
+            spill=self.spill + other.spill,
+        )

@@ -1,0 +1,110 @@
+"""Occupancy calculation for the analytic GPU model.
+
+Occupancy — the ratio of resident warps per SM to the hardware maximum — is
+the lever behind most of the paper's radix findings: pushing the per-thread
+radix up reduces DRAM passes but inflates register usage, which caps the
+number of resident warps and with it the achievable memory bandwidth
+(Figure 4(c) / 5(c)).  The calculation below mirrors NVIDIA's occupancy
+calculator: resident blocks per SM are limited by registers, shared memory,
+the thread count, and the hardware block limit; occupancy follows from the
+surviving block count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+
+__all__ = ["OccupancyResult", "occupancy", "registers_with_spill"]
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of an occupancy calculation.
+
+    Attributes:
+        blocks_per_sm: Thread blocks resident on one SM.
+        warps_per_sm: Warps resident on one SM.
+        occupancy: ``warps_per_sm / max_warps_per_sm`` in ``[0, 1]``.
+        limiter: Which resource bound the block count
+            (``"registers"``, ``"shared_memory"``, ``"threads"`` or ``"blocks"``).
+        spilled_bytes_per_thread: Register demand that did not fit under the
+            per-thread cap and therefore lives in local memory.
+    """
+
+    blocks_per_sm: int
+    warps_per_sm: float
+    occupancy: float
+    limiter: str
+    spilled_bytes_per_thread: int = 0
+
+
+def registers_with_spill(requested_registers: int, device: DeviceSpec) -> tuple[int, int]:
+    """Split a register demand into (allocated registers, spilled bytes).
+
+    Demand beyond the hardware per-thread cap spills to local memory at
+    4 bytes per register — the LMEM behaviour the paper observes for the
+    radix-64/128 NTT kernels.
+    """
+    if requested_registers <= device.max_registers_per_thread:
+        return requested_registers, 0
+    spilled_registers = requested_registers - device.max_registers_per_thread
+    return device.max_registers_per_thread, spilled_registers * 4
+
+
+def occupancy(
+    device: DeviceSpec,
+    threads_per_block: int,
+    registers_per_thread: int,
+    smem_bytes_per_block: int = 0,
+) -> OccupancyResult:
+    """Compute the occupancy of a kernel configuration on ``device``.
+
+    Args:
+        device: Target GPU description.
+        threads_per_block: Launch block size.
+        registers_per_thread: Architectural registers demanded per thread
+            (before the per-thread cap; excess is reported as spill).
+        smem_bytes_per_block: Shared memory allocated per block.
+
+    Returns:
+        An :class:`OccupancyResult`; ``occupancy`` is 0 when even a single
+        block does not fit (which the caller should treat as a launch error).
+    """
+    if threads_per_block <= 0:
+        raise ValueError("threads_per_block must be positive")
+    if threads_per_block > device.max_threads_per_block:
+        raise ValueError(
+            "block of %d threads exceeds the device limit of %d"
+            % (threads_per_block, device.max_threads_per_block)
+        )
+    if registers_per_thread < 0 or smem_bytes_per_block < 0:
+        raise ValueError("resource demands must be non-negative")
+
+    allocated_registers, spilled_bytes = registers_with_spill(registers_per_thread, device)
+
+    limits: dict[str, float] = {}
+    limits["threads"] = device.max_threads_per_sm // threads_per_block
+    limits["blocks"] = device.max_blocks_per_sm
+    if allocated_registers > 0:
+        limits["registers"] = device.registers_per_sm // (
+            allocated_registers * threads_per_block
+        )
+    if smem_bytes_per_block > 0:
+        if smem_bytes_per_block > device.smem_bytes_per_block_max:
+            limits["shared_memory"] = 0
+        else:
+            limits["shared_memory"] = device.smem_bytes_per_sm // smem_bytes_per_block
+
+    limiter = min(limits, key=lambda key: limits[key])
+    blocks = int(limits[limiter])
+    warps_per_block = threads_per_block / device.warp_size
+    warps = blocks * warps_per_block
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        occupancy=min(1.0, warps / device.max_warps_per_sm),
+        limiter=limiter,
+        spilled_bytes_per_thread=spilled_bytes,
+    )

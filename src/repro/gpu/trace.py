@@ -1,0 +1,81 @@
+"""Profiler-style reporting for kernel estimate sequences.
+
+The paper's analysis reads like an ``nvprof``/Nsight session: per-kernel
+times, DRAM traffic, occupancy and bandwidth utilisation.  This module
+renders a sequence of :class:`repro.gpu.costmodel.KernelEstimate` objects in
+that familiar form so examples and downstream users can inspect *why* a
+configuration is fast or slow, not just its total time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .costmodel import KernelEstimate
+
+__all__ = ["profile_report", "summarize"]
+
+
+def summarize(estimates: Sequence[KernelEstimate]) -> dict[str, float]:
+    """Aggregate totals for a kernel sequence.
+
+    Returns a mapping with ``time_us``, ``dram_mb``, ``bandwidth_utilization``
+    (time-weighted) and ``occupancy`` (time-weighted).
+    """
+    total_time = sum(e.time_us for e in estimates)
+    total_bytes = sum(e.dram_bytes for e in estimates)
+    if total_time == 0:
+        return {"time_us": 0.0, "dram_mb": 0.0, "bandwidth_utilization": 0.0, "occupancy": 0.0}
+    weighted_bw = sum(e.bandwidth_utilization * e.time_us for e in estimates) / total_time
+    weighted_occ = sum(e.occupancy.occupancy * e.time_us for e in estimates) / total_time
+    return {
+        "time_us": total_time,
+        "dram_mb": total_bytes / 1e6,
+        "bandwidth_utilization": weighted_bw,
+        "occupancy": weighted_occ,
+    }
+
+
+def profile_report(estimates: Sequence[KernelEstimate], title: str = "kernel profile") -> str:
+    """Render a per-kernel profile table plus a totals line.
+
+    Args:
+        estimates: Kernel estimates in launch order.
+        title: Heading printed above the table.
+
+    Returns:
+        A multi-line string ready to print.
+    """
+    header = (
+        "%-28s %10s %10s %10s %8s %8s %8s"
+        % ("kernel", "time(us)", "mem(us)", "comp(us)", "MB", "occ", "bw")
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for estimate in estimates:
+        lines.append(
+            "%-28s %10.1f %10.1f %10.1f %8.1f %8.2f %8.2f"
+            % (
+                estimate.name[:28],
+                estimate.time_us,
+                estimate.memory_time_us,
+                estimate.compute_time_us,
+                estimate.dram_bytes / 1e6,
+                estimate.occupancy.occupancy,
+                estimate.bandwidth_utilization,
+            )
+        )
+    totals = summarize(estimates)
+    lines.append("-" * len(header))
+    lines.append(
+        "%-28s %10.1f %10s %10s %8.1f %8.2f %8.2f"
+        % (
+            "total",
+            totals["time_us"],
+            "",
+            "",
+            totals["dram_mb"],
+            totals["occupancy"],
+            totals["bandwidth_utilization"],
+        )
+    )
+    return "\n".join(lines)

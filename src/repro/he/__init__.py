@@ -1,0 +1,58 @@
+"""RNS-BGV homomorphic-encryption layer built on the repository's NTT engine.
+
+This is the application substrate that generates the NTT workload the paper
+studies: every homomorphic multiplication is a batch of ``np`` negacyclic
+polynomial products computed through forward/inverse NTTs.
+
+Typical usage::
+
+    from repro.he import (BatchEncoder, Decryptor, Encryptor, Evaluator,
+                          KeyGenerator, toy_params)
+
+    params = toy_params()
+    keygen = KeyGenerator(params)
+    secret, public = keygen.secret_key(), keygen.public_key()
+    relin = keygen.relinearization_key()
+    encoder = BatchEncoder(params, keygen.basis)
+    encryptor, decryptor = Encryptor(params, public), Decryptor(params, secret)
+    evaluator = Evaluator(params)
+
+    ct = encryptor.encrypt(encoder.encode([1, 2, 3]))
+    product = evaluator.relinearize(evaluator.multiply(ct, ct), relin)
+    print(encoder.decode(decryptor.decrypt(product))[:3])   # [1, 4, 9]
+"""
+
+from .bootstrap import BootstrapEstimate, BootstrapWorkloadModel, NoiseRefresher
+from .ciphertext import Ciphertext
+from .encoder import BatchEncoder, IntegerEncoder
+from .encryptor import Decryptor, Encryptor
+from .evaluator import Evaluator
+from .keys import KeyGenerator, PublicKey, RelinearizationKey, SecretKey
+from .params import (
+    HEParams,
+    bootstrappable_params,
+    generate_bgv_primes,
+    small_params,
+    toy_params,
+)
+
+__all__ = [
+    "BootstrapEstimate",
+    "BootstrapWorkloadModel",
+    "NoiseRefresher",
+    "Ciphertext",
+    "BatchEncoder",
+    "IntegerEncoder",
+    "Decryptor",
+    "Encryptor",
+    "Evaluator",
+    "KeyGenerator",
+    "PublicKey",
+    "RelinearizationKey",
+    "SecretKey",
+    "HEParams",
+    "bootstrappable_params",
+    "generate_bgv_primes",
+    "small_params",
+    "toy_params",
+]

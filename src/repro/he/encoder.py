@@ -1,0 +1,88 @@
+"""Plaintext encoders.
+
+Two encoders are provided:
+
+* :class:`IntegerEncoder` — places a single integer (mod ``t``) in the
+  constant coefficient.  Simple, mainly used by tests.
+* :class:`BatchEncoder` — SIMD "batching": when the plaintext modulus ``t``
+  is a prime with ``t ≡ 1 (mod 2N)``, the plaintext ring ``Z_t[X]/(X^N + 1)``
+  is isomorphic to ``N`` copies of ``Z_t``, with the isomorphism computed by
+  exactly the negacyclic NTT this library accelerates.  Homomorphic addition
+  and multiplication then act slot-wise, which is how HE applications pack
+  vectors of data into one ciphertext.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..modarith.primes import is_ntt_prime
+from ..rns.basis import RnsBasis
+from ..rns.poly import RnsPolynomial
+from ..transforms.cooley_tukey import NegacyclicTransformer
+from .params import HEParams
+
+__all__ = ["IntegerEncoder", "BatchEncoder"]
+
+
+class IntegerEncoder:
+    """Encode a single integer modulo ``t`` into the constant coefficient."""
+
+    def __init__(self, params: HEParams, basis: RnsBasis) -> None:
+        self.params = params
+        self.basis = basis
+
+    def encode(self, value: int) -> RnsPolynomial:
+        """Encode ``value mod t`` as a constant polynomial."""
+        t = self.params.plaintext_modulus
+        coefficients = [value % t] + [0] * (self.params.n - 1)
+        return RnsPolynomial.from_coefficients(coefficients, self.basis)
+
+    def decode(self, coefficients: Sequence[int]) -> int:
+        """Decode the constant coefficient of a decrypted plaintext polynomial."""
+        return coefficients[0] % self.params.plaintext_modulus
+
+
+class BatchEncoder:
+    """SIMD slot encoder over ``Z_t`` using the negacyclic NTT.
+
+    Args:
+        params: Scheme parameters; ``plaintext_modulus`` must be an NTT prime
+            for the scheme's ``n`` (``t ≡ 1 mod 2n``).
+        basis: RNS basis of the ciphertext modulus (used to embed plaintext
+            polynomials as :class:`RnsPolynomial`).
+    """
+
+    def __init__(self, params: HEParams, basis: RnsBasis) -> None:
+        t = params.plaintext_modulus
+        if not is_ntt_prime(t, params.n):
+            raise ValueError(
+                "batching requires a prime plaintext modulus with t ≡ 1 (mod 2n); got t=%d" % t
+            )
+        self.params = params
+        self.basis = basis
+        self._transformer = NegacyclicTransformer(params.n, t)
+
+    @property
+    def slot_count(self) -> int:
+        """Number of plaintext slots (equal to the polynomial degree)."""
+        return self.params.n
+
+    def encode(self, values: Sequence[int]) -> RnsPolynomial:
+        """Encode up to ``slot_count`` integers (mod ``t``) into a plaintext polynomial.
+
+        Shorter inputs are zero-padded.  The encoding is the *inverse* NTT, so
+        the coefficient-domain product of two encodings corresponds to the
+        slot-wise product of the inputs.
+        """
+        if len(values) > self.slot_count:
+            raise ValueError("too many values: %d > %d slots" % (len(values), self.slot_count))
+        t = self.params.plaintext_modulus
+        slots = [v % t for v in values] + [0] * (self.slot_count - len(values))
+        coefficients = self._transformer.inverse(slots)
+        return RnsPolynomial.from_coefficients(coefficients, self.basis)
+
+    def decode(self, coefficients: Sequence[int]) -> list[int]:
+        """Decode a decrypted plaintext polynomial back into its slot values."""
+        t = self.params.plaintext_modulus
+        return self._transformer.forward([c % t for c in coefficients])

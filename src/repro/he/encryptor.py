@@ -1,0 +1,103 @@
+"""Encryption and decryption for the RNS-BGV scheme."""
+
+from __future__ import annotations
+
+import random
+
+from ..rns.poly import RnsPolynomial
+from .ciphertext import Ciphertext
+from .keys import PublicKey, SecretKey
+from .params import HEParams
+
+__all__ = ["Encryptor", "Decryptor"]
+
+
+class Encryptor:
+    """Encrypts plaintext polynomials under a public key.
+
+    A BGV encryption of the plaintext ``m`` is::
+
+        c0 = b*u + t*e0 + m
+        c1 = a*u + t*e1
+
+    with ``(b, a)`` the public key, ``u`` a fresh ternary polynomial and
+    ``e0, e1`` fresh Gaussian errors, so that ``c0 + c1*s = m + t*(noise)``.
+    """
+
+    def __init__(
+        self, params: HEParams, public_key: PublicKey, seed: int = 95
+    ) -> None:
+        self.params = params
+        self.public_key = public_key
+        self.basis = public_key.a.basis
+        self.rng = random.Random(seed)
+
+    def encrypt(self, plaintext: RnsPolynomial) -> Ciphertext:
+        """Encrypt a plaintext polynomial (coefficients understood mod ``t``)."""
+        t = self.params.plaintext_modulus
+        u = RnsPolynomial.random_ternary(self.basis, self.params.n, self.rng)
+        e0 = RnsPolynomial.random_gaussian(
+            self.basis, self.params.n, self.rng, stddev=self.params.error_std
+        )
+        e1 = RnsPolynomial.random_gaussian(
+            self.basis, self.params.n, self.rng, stddev=self.params.error_std
+        )
+        c0 = self.public_key.b * u + e0.scalar_mul(t) + plaintext
+        c1 = self.public_key.a * u + e1.scalar_mul(t)
+        return Ciphertext(polys=[c0, c1], params=self.params)
+
+
+class Decryptor:
+    """Decrypts ciphertexts (of any size) with the secret key."""
+
+    def __init__(self, params: HEParams, secret_key: SecretKey) -> None:
+        self.params = params
+        self.secret_key = secret_key
+
+    def _inner_product(self, ciphertext: Ciphertext) -> RnsPolynomial:
+        """Evaluate ``sum_i c_i * s^i`` over the ciphertext's own basis."""
+        s = self.secret_key.s
+        if s.basis.primes != ciphertext.basis.primes:
+            # The ciphertext has been modulus-switched; drop the key to match.
+            drop = len(s.basis.primes) - len(ciphertext.basis.primes)
+            if drop < 0:
+                raise ValueError("ciphertext modulus is larger than the key's modulus")
+            reduced = s
+            for _ in range(drop):
+                reduced = reduced.drop_last_prime()
+            s = reduced
+        accumulator = ciphertext.polys[0]
+        s_power = None
+        for component in ciphertext.polys[1:]:
+            s_power = s if s_power is None else s_power * s
+            accumulator = accumulator + component * s_power
+        return accumulator
+
+    def raw_decrypt(self, ciphertext: Ciphertext) -> list[int]:
+        """Return the centered value of ``sum_i c_i s^i`` (``m + t*e`` before mod-t)."""
+        return self._inner_product(ciphertext).to_big_coefficients(centered=True)
+
+    def decrypt(self, ciphertext: Ciphertext) -> list[int]:
+        """Decrypt to the plaintext polynomial's coefficients (mod ``t``)."""
+        t = self.params.plaintext_modulus
+        return [value % t for value in self.raw_decrypt(ciphertext)]
+
+    def noise_magnitude(self, ciphertext: Ciphertext) -> int:
+        """Infinity norm of the noise term ``t*e`` inside the ciphertext."""
+        t = self.params.plaintext_modulus
+        noise = 0
+        for value in self.raw_decrypt(ciphertext):
+            remainder = value % t
+            noise = max(noise, abs(value - remainder))
+        return noise
+
+    def noise_budget_bits(self, ciphertext: Ciphertext) -> float:
+        """Remaining noise budget in bits: ``log2(Q / (2 * |noise|))``.
+
+        Decryption stays correct while this is positive; each multiplication
+        spends budget and bootstrapping (or a fresh encryption) restores it.
+        """
+        import math
+
+        noise = max(self.noise_magnitude(ciphertext), 1)
+        return math.log2(ciphertext.modulus / (2 * noise))

@@ -1,0 +1,161 @@
+"""Homomorphic operations: addition, multiplication, relinearisation, modulus switching.
+
+Every ciphertext multiplication performed here is, computationally, a batch
+of ``np`` negacyclic polynomial multiplications — each of which is the
+``iNTT(NTT(a) ⊙ NTT(b))`` pipeline the paper accelerates.  The evaluator
+therefore also exposes :meth:`Evaluator.ntt_invocations`, the running count
+of forward/inverse NTT calls it has triggered, which the examples use to
+connect the HE layer to the GPU performance model.
+"""
+
+from __future__ import annotations
+
+from ..rns.poly import Domain, RnsPolynomial
+from .ciphertext import Ciphertext
+from .keys import RelinearizationKey
+from .params import HEParams
+
+__all__ = ["Evaluator"]
+
+
+class Evaluator:
+    """Homomorphic evaluator for the RNS-BGV scheme."""
+
+    def __init__(self, params: HEParams) -> None:
+        self.params = params
+        self._ntt_invocations = 0
+
+    # -- bookkeeping -----------------------------------------------------------------
+    @property
+    def ntt_invocations(self) -> int:
+        """Forward/inverse NTT invocations triggered so far (per RNS prime)."""
+        return self._ntt_invocations
+
+    def _count_poly_multiplications(self, count: int, basis_size: int) -> None:
+        # One polynomial product = 2 forward + 1 inverse NTT per RNS prime.
+        self._ntt_invocations += 3 * count * basis_size
+
+    @staticmethod
+    def _check_same_ring(a: Ciphertext, b: Ciphertext) -> None:
+        if a.basis.primes != b.basis.primes:
+            raise ValueError("ciphertexts are at different levels; mod-switch first")
+
+    # -- linear operations ---------------------------------------------------------------
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Homomorphic addition (component-wise)."""
+        self._check_same_ring(a, b)
+        size = max(a.size, b.size)
+        polys = []
+        for index in range(size):
+            if index < a.size and index < b.size:
+                polys.append(a.polys[index] + b.polys[index])
+            elif index < a.size:
+                polys.append(a.polys[index].copy())
+            else:
+                polys.append(b.polys[index].copy())
+        return Ciphertext(polys=polys, params=self.params, level=a.level)
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Homomorphic subtraction."""
+        self._check_same_ring(a, b)
+        negated = Ciphertext(
+            polys=[-poly for poly in b.polys], params=self.params, level=b.level
+        )
+        return self.add(a, negated)
+
+    def negate(self, a: Ciphertext) -> Ciphertext:
+        """Homomorphic negation."""
+        return Ciphertext(
+            polys=[-poly for poly in a.polys], params=self.params, level=a.level
+        )
+
+    def add_plain(self, a: Ciphertext, plaintext: RnsPolynomial) -> Ciphertext:
+        """Add an (unencrypted) plaintext polynomial."""
+        polys = [a.polys[0] + plaintext] + [poly.copy() for poly in a.polys[1:]]
+        return Ciphertext(polys=polys, params=self.params, level=a.level)
+
+    def multiply_plain(self, a: Ciphertext, plaintext: RnsPolynomial) -> Ciphertext:
+        """Multiply by an (unencrypted) plaintext polynomial."""
+        self._count_poly_multiplications(a.size, len(a.basis))
+        polys = [poly * plaintext for poly in a.polys]
+        return Ciphertext(polys=polys, params=self.params, level=a.level)
+
+    # -- multiplication -------------------------------------------------------------------
+    def multiply(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Homomorphic multiplication (tensor product, result has size a.size + b.size - 1)."""
+        self._check_same_ring(a, b)
+        result_size = a.size + b.size - 1
+        zero = RnsPolynomial.zero(a.basis, self.params.n)
+        accumulators = [zero for _ in range(result_size)]
+        # Convert operands to the NTT domain once, multiply element-wise, and
+        # accumulate — the double-CRT strategy every RNS HE library uses.
+        a_ntt = [poly.to_ntt() for poly in a.polys]
+        b_ntt = [poly.to_ntt() for poly in b.polys]
+        self._ntt_invocations += (a.size + b.size) * len(a.basis)
+        accumulators = [zero.to_ntt() for _ in range(result_size)]
+        for i, poly_a in enumerate(a_ntt):
+            for j, poly_b in enumerate(b_ntt):
+                accumulators[i + j] = accumulators[i + j] + (poly_a * poly_b)
+        self._ntt_invocations += result_size * len(a.basis)  # the inverse transforms
+        polys = [accumulator.to_coefficient() for accumulator in accumulators]
+        return Ciphertext(polys=polys, params=self.params, level=a.level)
+
+    def square(self, a: Ciphertext) -> Ciphertext:
+        """Homomorphic squaring (multiply by itself)."""
+        return self.multiply(a, a)
+
+    # -- relinearisation ---------------------------------------------------------------------
+    def relinearize(self, a: Ciphertext, relin_key: RelinearizationKey) -> Ciphertext:
+        """Reduce a size-3 ciphertext back to size 2 using the key-switching key."""
+        if a.size == 2:
+            return a.copy()
+        if a.size != 3:
+            raise ValueError("relinearisation supports size-3 ciphertexts only")
+        if len(relin_key.components) != len(a.basis):
+            raise ValueError("relinearisation key was generated for a different basis")
+        c0, c1, c2 = a.polys
+        # RNS digit decomposition of c2: one digit per prime, each with small
+        # coefficients, paired with the matching key component.
+        c2_coeffs = c2.to_big_coefficients()
+        new_c0 = c0.copy()
+        new_c1 = c1.copy()
+        for (rk0, rk1), prime in zip(relin_key.components, a.basis.primes):
+            digit_coeffs = [value % prime for value in c2_coeffs]
+            digit = RnsPolynomial.from_coefficients(digit_coeffs, a.basis)
+            self._count_poly_multiplications(2, len(a.basis))
+            new_c0 = new_c0 + digit * rk0
+            new_c1 = new_c1 + digit * rk1
+        return Ciphertext(polys=[new_c0, new_c1], params=self.params, level=a.level)
+
+    # -- modulus switching --------------------------------------------------------------------
+    def mod_switch_to_next(self, a: Ciphertext) -> Ciphertext:
+        """Drop the last RNS prime, scaling the ciphertext (and its noise) down.
+
+        Requires the dropped prime ``q ≡ 1 (mod t)`` (guaranteed by
+        :func:`repro.he.params.generate_bgv_primes`), which keeps the
+        plaintext unchanged.  Each coefficient ``c`` is replaced by
+        ``(c + δ) / q`` with ``δ ≡ -c (mod q)`` and ``δ ≡ 0 (mod t)``.
+        """
+        basis = a.basis
+        if len(basis) < 2:
+            raise ValueError("cannot modulus-switch below a single prime")
+        t = self.params.plaintext_modulus
+        q_last = basis.primes[-1]
+        if q_last % t != 1:
+            raise ValueError("modulus switching requires q_last ≡ 1 (mod t)")
+        t_inv = pow(t, -1, q_last)
+        new_basis = basis.drop_last(1)
+
+        new_polys = []
+        for poly in a.polys:
+            coefficients = poly.to_big_coefficients(centered=True)
+            switched = []
+            for value in coefficients:
+                correction = (-value * t_inv) % q_last
+                # Center the correction so the added term stays small.
+                if correction > q_last // 2:
+                    correction -= q_last
+                delta = t * correction
+                switched.append((value + delta) // q_last)
+            new_polys.append(RnsPolynomial.from_coefficients(switched, new_basis))
+        return Ciphertext(polys=new_polys, params=self.params, level=a.level + 1)

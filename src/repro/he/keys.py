@@ -1,0 +1,102 @@
+"""Key material and key generation for the RNS-BGV scheme."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..rns.basis import RnsBasis
+from ..rns.poly import RnsPolynomial, TransformerCache
+from .params import HEParams
+
+__all__ = ["SecretKey", "PublicKey", "RelinearizationKey", "KeyGenerator"]
+
+
+@dataclass
+class SecretKey:
+    """The secret key: a ternary polynomial ``s``."""
+
+    s: RnsPolynomial
+
+
+@dataclass
+class PublicKey:
+    """The public key ``(b, a)`` with ``b = -(a*s + t*e)`` (an RLWE sample of zero)."""
+
+    b: RnsPolynomial
+    a: RnsPolynomial
+
+
+@dataclass
+class RelinearizationKey:
+    """RNS-decomposition key-switching key for ``s^2``.
+
+    For every RNS prime index ``i`` the key holds an RLWE encryption of
+    ``f_i * s^2`` where ``f_i`` is the CRT basis element that is 1 modulo
+    ``q_i`` and 0 modulo every other prime.  Relinearisation decomposes the
+    quadratic ciphertext component into its per-prime digits and pairs each
+    digit with the matching key component, which keeps the switching noise at
+    the scale of a single prime instead of the whole modulus.
+    """
+
+    components: list[tuple[RnsPolynomial, RnsPolynomial]]
+
+
+class KeyGenerator:
+    """Generates secret, public and relinearisation keys for a parameter set.
+
+    Args:
+        params: Scheme parameters.
+        seed: Seed for the deterministic RNG (tests rely on reproducibility).
+    """
+
+    def __init__(self, params: HEParams, seed: int = 2020) -> None:
+        self.params = params
+        self.basis: RnsBasis = params.make_basis()
+        self.rng = random.Random(seed)
+        self.cache = TransformerCache()
+        self._secret: SecretKey | None = None
+
+    # -- helpers -------------------------------------------------------------------
+    def _gaussian(self) -> RnsPolynomial:
+        return RnsPolynomial.random_gaussian(
+            self.basis, self.params.n, self.rng, stddev=self.params.error_std
+        )
+
+    def _uniform(self) -> RnsPolynomial:
+        return RnsPolynomial.random_uniform(self.basis, self.params.n, self.rng)
+
+    def _ternary(self) -> RnsPolynomial:
+        return RnsPolynomial.random_ternary(self.basis, self.params.n, self.rng)
+
+    # -- key generation ---------------------------------------------------------------
+    def secret_key(self) -> SecretKey:
+        """Generate (once) and return the secret key."""
+        if self._secret is None:
+            self._secret = SecretKey(s=self._ternary())
+        return self._secret
+
+    def public_key(self) -> PublicKey:
+        """Generate a public key for the (possibly newly created) secret key."""
+        s = self.secret_key().s
+        t = self.params.plaintext_modulus
+        a = self._uniform()
+        e = self._gaussian()
+        b = -(a * s + e.scalar_mul(t))
+        return PublicKey(b=b, a=a)
+
+    def relinearization_key(self) -> RelinearizationKey:
+        """Generate the RNS-decomposition relinearisation key for ``s^2``."""
+        s = self.secret_key().s
+        t = self.params.plaintext_modulus
+        s_squared = s * s
+        modulus = self.basis.modulus
+        components: list[tuple[RnsPolynomial, RnsPolynomial]] = []
+        for prime in self.basis.primes:
+            punctured = modulus // prime
+            basis_element = punctured * pow(punctured, -1, prime) % modulus
+            a_i = self._uniform()
+            e_i = self._gaussian()
+            rk0 = -(a_i * s + e_i.scalar_mul(t)) + s_squared.scalar_mul(basis_element)
+            components.append((rk0, a_i))
+        return RelinearizationKey(components=components)

@@ -1,0 +1,61 @@
+"""GPU kernel models: each paper configuration as a cost-model workload.
+
+* :mod:`repro.kernels.radix2` — per-stage radix-2 baseline (plus the
+  native-modulo variant of Figure 1).
+* :mod:`repro.kernels.high_radix` — register-based high-radix NTT/DFT.
+* :mod:`repro.kernels.smem` — the two-kernel shared-memory implementation
+  with coalescing, twiddle preloading, per-thread NTT size, and on-the-fly
+  twiddling knobs.
+"""
+
+from .base import (
+    DEFAULT_THREADS_PER_BLOCK,
+    DFT_ELEMENT_BYTES,
+    KernelModelResult,
+    NTT_ELEMENT_BYTES,
+    TWIDDLE_ENTRY_BYTES_DFT,
+    TWIDDLE_ENTRY_BYTES_NTT,
+    dft_registers_for_radix,
+    ntt_registers_for_radix,
+    smem_thread_registers,
+)
+from .high_radix import high_radix_dft_model, high_radix_ntt_model
+from .polymul import (
+    PolynomialMultiplyEstimate,
+    dyadic_multiply_launch,
+    polynomial_multiply_model,
+)
+from .radix2 import butterfly_slots_for_modmul, radix2_ntt_model
+from .smem import (
+    NO_PRELOAD_TWIDDLE_FACTOR,
+    UNCOALESCED_READ_EFFICIENCY,
+    per_thread_rounds,
+    smem_dft_model,
+    smem_model_from_plan,
+    smem_ntt_model,
+)
+
+__all__ = [
+    "DEFAULT_THREADS_PER_BLOCK",
+    "DFT_ELEMENT_BYTES",
+    "KernelModelResult",
+    "NTT_ELEMENT_BYTES",
+    "TWIDDLE_ENTRY_BYTES_DFT",
+    "TWIDDLE_ENTRY_BYTES_NTT",
+    "dft_registers_for_radix",
+    "ntt_registers_for_radix",
+    "smem_thread_registers",
+    "high_radix_dft_model",
+    "high_radix_ntt_model",
+    "PolynomialMultiplyEstimate",
+    "dyadic_multiply_launch",
+    "polynomial_multiply_model",
+    "butterfly_slots_for_modmul",
+    "radix2_ntt_model",
+    "NO_PRELOAD_TWIDDLE_FACTOR",
+    "UNCOALESCED_READ_EFFICIENCY",
+    "per_thread_rounds",
+    "smem_dft_model",
+    "smem_model_from_plan",
+    "smem_ntt_model",
+]

@@ -1,0 +1,151 @@
+"""Shared building blocks for the GPU kernel models.
+
+Each module in :mod:`repro.kernels` describes one of the paper's kernel
+families (radix-2 baseline, register-based high radix, shared-memory
+two-kernel, their DFT counterparts, and the on-the-fly-twiddling variants) as
+a sequence of :class:`repro.gpu.costmodel.KernelLaunch` objects and asks the
+cost model for a time estimate.  This module holds what they share:
+
+* the per-radix register-usage tables for NTT and DFT threads (calibrated so
+  that the occupancy trends of Figures 4(c)/5(c) are reproduced — see
+  DESIGN.md section 5),
+* the result container :class:`KernelModelResult`, and
+* small helpers for traffic construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.costmodel import GpuCostModel, KernelEstimate, KernelLaunch
+from ..transforms.bitrev import log2_exact
+
+__all__ = [
+    "NTT_ELEMENT_BYTES",
+    "DFT_ELEMENT_BYTES",
+    "TWIDDLE_ENTRY_BYTES_NTT",
+    "TWIDDLE_ENTRY_BYTES_DFT",
+    "DEFAULT_THREADS_PER_BLOCK",
+    "ntt_registers_for_radix",
+    "dft_registers_for_radix",
+    "smem_thread_registers",
+    "KernelModelResult",
+    "run_launches",
+    "stages_of",
+]
+
+#: Bytes per NTT residue element (64-bit word; the paper's chosen word size).
+NTT_ELEMENT_BYTES = 8
+#: Bytes per DFT element (complex single precision, the 32-bit word choice the
+#: paper's Section IV describes for the DFT comparison workload).
+DFT_ELEMENT_BYTES = 8
+#: Bytes per NTT twiddle-table entry: the factor plus its Shoup companion.
+TWIDDLE_ENTRY_BYTES_NTT = 16
+#: Bytes per DFT twiddle-table entry (one complex float, no companion needed).
+TWIDDLE_ENTRY_BYTES_DFT = 8
+#: Default thread-block size used by all modelled kernels.
+DEFAULT_THREADS_PER_BLOCK = 256
+
+# ---------------------------------------------------------------------------
+# Register-usage calibration tables.
+#
+# A thread of a register-based radix-R NTT keeps R 64-bit residues (2
+# registers each) plus the prime, the Shoup companion, loop indices and
+# address arithmetic live; the DFT thread keeps R complex values but needs no
+# modulus constants and the compiler contracts its arithmetic into FMAs.  The
+# exact values below are calibrated so the occupancy and bandwidth-utilisation
+# trends of Figures 4(c) and 5(c) are reproduced: NTT occupancy collapses past
+# radix-16 while DFT holds on until radix-32, and radix-64/128 NTT threads
+# exceed the 255-register cap and spill to local memory.
+# ---------------------------------------------------------------------------
+
+_NTT_REGISTERS = {2: 30, 4: 34, 8: 40, 16: 50, 32: 70, 64: 120, 128: 290}
+_DFT_REGISTERS = {2: 28, 4: 30, 8: 34, 16: 40, 32: 48, 64: 96, 128: 200}
+
+
+def ntt_registers_for_radix(radix: int) -> int:
+    """Registers per thread of a register-based radix-``radix`` NTT kernel."""
+    if radix in _NTT_REGISTERS:
+        return _NTT_REGISTERS[radix]
+    # Generic extrapolation: two registers per 64-bit point plus fixed overhead.
+    return 2 * radix + 26
+
+
+def dft_registers_for_radix(radix: int) -> int:
+    """Registers per thread of a register-based radix-``radix`` DFT kernel."""
+    if radix in _DFT_REGISTERS:
+        return _DFT_REGISTERS[radix]
+    return radix + 26
+
+
+def smem_thread_registers(per_thread_points: int, ntt: bool = True) -> int:
+    """Registers per thread of an SMEM-implementation kernel.
+
+    Shared-memory staging keeps only the per-thread NTT's points in registers
+    (Section V: register pressure drops from O(R) to O(sqrt(R))), so the
+    demand follows the per-thread size, not the kernel radix.
+    """
+    if ntt:
+        return ntt_registers_for_radix(per_thread_points)
+    return dft_registers_for_radix(per_thread_points)
+
+
+@dataclass
+class KernelModelResult:
+    """Aggregate of the kernel estimates making up one modelled NTT/DFT execution.
+
+    Attributes:
+        label: Configuration label (mirrors :attr:`repro.core.plan.NTTPlan.label`).
+        estimates: Per-kernel estimates, in launch order.
+    """
+
+    label: str
+    estimates: list[KernelEstimate]
+
+    @property
+    def time_us(self) -> float:
+        """Total modelled execution time in microseconds."""
+        return sum(estimate.time_us for estimate in self.estimates)
+
+    @property
+    def dram_bytes(self) -> float:
+        """Total DRAM traffic in bytes."""
+        return sum(estimate.dram_bytes for estimate in self.estimates)
+
+    @property
+    def dram_mb(self) -> float:
+        """Total DRAM traffic in megabytes (10^6 bytes, as the paper plots)."""
+        return self.dram_bytes / 1e6
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Time-weighted average DRAM bandwidth utilisation."""
+        total_time = self.time_us
+        if total_time == 0:
+            return 0.0
+        return sum(e.bandwidth_utilization * e.time_us for e in self.estimates) / total_time
+
+    @property
+    def occupancy(self) -> float:
+        """Time-weighted average occupancy across the kernels."""
+        total_time = self.time_us
+        if total_time == 0:
+            return 0.0
+        return sum(e.occupancy.occupancy * e.time_us for e in self.estimates) / total_time
+
+    @property
+    def kernel_count(self) -> int:
+        """Number of kernel launches."""
+        return len(self.estimates)
+
+
+def run_launches(
+    label: str, launches: list[KernelLaunch], model: GpuCostModel
+) -> KernelModelResult:
+    """Estimate a launch sequence and wrap it into a :class:`KernelModelResult`."""
+    return KernelModelResult(label=label, estimates=model.estimate_sequence(launches))
+
+
+def stages_of(n: int) -> int:
+    """Number of radix-2 stages of an ``n``-point transform."""
+    return log2_exact(n)

@@ -1,0 +1,111 @@
+"""End-to-end model of a full negacyclic polynomial multiplication on the GPU.
+
+The NTT kernels modelled elsewhere are one leg of the pipeline an HE library
+actually runs per ciphertext-polynomial product:
+
+    forward NTT (operand A)  ->  forward NTT (operand B)
+        ->  element-wise (dyadic) multiplication  ->  inverse NTT (result)
+
+This module prices that whole pipeline for a batch of ``np`` RNS primes, so
+the examples and the HE layer can answer "what does one double-CRT polynomial
+product cost on the modelled Titan V?" — and quantify how much of it the
+NTT stages represent, the motivation stated in the paper's introduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.on_the_fly import OnTheFlyConfig
+from ..gpu.costmodel import GpuCostModel, KernelLaunch
+from ..gpu.memory import TrafficCounter
+from .base import DEFAULT_THREADS_PER_BLOCK, KernelModelResult, NTT_ELEMENT_BYTES
+from .smem import smem_ntt_model
+
+__all__ = ["PolynomialMultiplyEstimate", "dyadic_multiply_launch", "polynomial_multiply_model"]
+
+#: Issue slots per element-wise modular multiplication (one Shoup-style product).
+DYADIC_SLOTS_PER_ELEMENT = 12.0
+
+
+@dataclass(frozen=True)
+class PolynomialMultiplyEstimate:
+    """Cost breakdown of one batched negacyclic polynomial multiplication.
+
+    Attributes:
+        forward_a: Kernel estimates of operand A's forward NTT batch.
+        forward_b: Kernel estimates of operand B's forward NTT batch.
+        dyadic_time_us: Time of the element-wise multiplication kernel.
+        inverse: Kernel estimates of the result's inverse NTT batch.
+        total_time_us: End-to-end pipeline time.
+        ntt_time_us: Time spent in forward/inverse NTT kernels.
+        ntt_share: Fraction of the pipeline spent in NTTs.
+    """
+
+    forward_a: KernelModelResult
+    forward_b: KernelModelResult
+    dyadic_time_us: float
+    inverse: KernelModelResult
+    total_time_us: float
+    ntt_time_us: float
+    ntt_share: float
+
+
+def dyadic_multiply_launch(n: int, batch: int) -> KernelLaunch:
+    """The element-wise (Hadamard) modular multiplication kernel of the pipeline."""
+    traffic = TrafficCounter()
+    traffic.add_data_read(2 * n * batch * NTT_ELEMENT_BYTES)
+    traffic.add_data_write(n * batch * NTT_ELEMENT_BYTES)
+    return KernelLaunch(
+        name="dyadic-multiply",
+        traffic=traffic,
+        compute_slots=n * batch * DYADIC_SLOTS_PER_ELEMENT,
+        threads_total=n * batch,
+        threads_per_block=DEFAULT_THREADS_PER_BLOCK,
+        registers_per_thread=32,
+        loads_in_flight_per_thread=4,
+    )
+
+
+def polynomial_multiply_model(
+    n: int,
+    batch: int,
+    model: GpuCostModel,
+    kernel1_size: int | None = None,
+    kernel2_size: int | None = None,
+    per_thread_points: int = 8,
+    ot: OnTheFlyConfig | None = None,
+) -> PolynomialMultiplyEstimate:
+    """Price one batched negacyclic polynomial product (NTT, NTT, dyadic, iNTT).
+
+    The inverse NTT is modelled with the same kernel structure as the forward
+    transform (the Gentleman-Sande sweep moves exactly the same data and
+    twiddle volume).
+    """
+    def ntt_batch() -> KernelModelResult:
+        return smem_ntt_model(
+            n,
+            batch,
+            model,
+            kernel1_size=kernel1_size,
+            kernel2_size=kernel2_size,
+            per_thread_points=per_thread_points,
+            ot=ot,
+        )
+
+    forward_a = ntt_batch()
+    forward_b = ntt_batch()
+    inverse = ntt_batch()
+    dyadic_time = model.estimate(dyadic_multiply_launch(n, batch)).time_us
+
+    ntt_time = forward_a.time_us + forward_b.time_us + inverse.time_us
+    total = ntt_time + dyadic_time
+    return PolynomialMultiplyEstimate(
+        forward_a=forward_a,
+        forward_b=forward_b,
+        dyadic_time_us=dyadic_time,
+        inverse=inverse,
+        total_time_us=total,
+        ntt_time_us=ntt_time,
+        ntt_share=ntt_time / total,
+    )

@@ -1,0 +1,93 @@
+"""Model of the baseline radix-2 NTT kernels (one launch per stage).
+
+This is the paper's baseline (Algorithm 1 mapped naively onto the GPU): each
+of the ``log2 N`` stages is a separate kernel in which every thread performs
+one butterfly, reading its two operands from global memory and writing them
+back.  The twiddle factor (and its Shoup companion) for the thread's butterfly
+group is read from the per-prime precomputed table.
+
+The same generator also produces the *native-modulo* variant used by
+Figure 1: the butterfly cost switches to the ~68-instruction modulo expansion
+and the expanded sequence's extra register demand lowers occupancy.
+"""
+
+from __future__ import annotations
+
+from ..gpu.costmodel import GpuCostModel, KernelLaunch
+from ..gpu.memory import TrafficCounter
+from .base import (
+    DEFAULT_THREADS_PER_BLOCK,
+    KernelModelResult,
+    NTT_ELEMENT_BYTES,
+    TWIDDLE_ENTRY_BYTES_NTT,
+    ntt_registers_for_radix,
+    run_launches,
+    stages_of,
+)
+
+__all__ = ["radix2_ntt_model", "butterfly_slots_for_modmul"]
+
+
+def butterfly_slots_for_modmul(modmul: str, model: GpuCostModel) -> float:
+    """Issue-slot cost of one butterfly under the given modular-multiplication scheme."""
+    calibration = model.calibration
+    try:
+        return {
+            "shoup": calibration.shoup_butterfly_slots,
+            "native": calibration.native_butterfly_slots,
+            "barrett": calibration.barrett_butterfly_slots,
+        }[modmul]
+    except KeyError:
+        raise ValueError("unknown modmul scheme %r (expected shoup/native/barrett)" % modmul)
+
+
+def radix2_ntt_model(
+    n: int,
+    batch: int,
+    model: GpuCostModel,
+    modmul: str = "shoup",
+    threads_per_block: int = DEFAULT_THREADS_PER_BLOCK,
+) -> KernelModelResult:
+    """Model the per-stage radix-2 NTT kernels for a batch of ``batch`` primes.
+
+    Args:
+        n: Transform length.
+        batch: Number of independent NTTs executed together (``np``).
+        model: The GPU cost model to evaluate against.
+        modmul: Modular-multiplication scheme (``"shoup"``, ``"native"``, ``"barrett"``).
+        threads_per_block: Launch block size.
+
+    Returns:
+        A :class:`KernelModelResult` with one estimate per stage.
+    """
+    if batch < 1:
+        raise ValueError("batch must be at least 1")
+    slots_per_butterfly = butterfly_slots_for_modmul(modmul, model)
+    registers = ntt_registers_for_radix(2)
+    if modmul == "native":
+        registers += model.calibration.native_extra_registers
+
+    launches: list[KernelLaunch] = []
+    butterflies_per_stage = (n // 2) * batch
+    for stage in range(1, stages_of(n) + 1):
+        distinct_twiddles = 1 << (stage - 1)
+        traffic = TrafficCounter()
+        traffic.add_data_read(n * batch * NTT_ELEMENT_BYTES)
+        traffic.add_data_write(n * batch * NTT_ELEMENT_BYTES)
+        twiddle_bytes = 0 if modmul == "native" else distinct_twiddles * batch * TWIDDLE_ENTRY_BYTES_NTT
+        if modmul == "native":
+            # the native variant still reads the bare twiddle factor (8 bytes)
+            twiddle_bytes = distinct_twiddles * batch * NTT_ELEMENT_BYTES
+        traffic.add_twiddle_read(twiddle_bytes)
+        launches.append(
+            KernelLaunch(
+                name="radix2-stage%d" % stage,
+                traffic=traffic,
+                compute_slots=butterflies_per_stage * slots_per_butterfly,
+                threads_total=butterflies_per_stage,
+                threads_per_block=threads_per_block,
+                registers_per_thread=registers,
+            )
+        )
+    label = "radix-2" if modmul == "shoup" else "radix-2 (%s)" % modmul
+    return run_launches(label, launches, model)

@@ -1,0 +1,373 @@
+"""Model of the shared-memory (SMEM) two-kernel NTT/DFT implementation.
+
+Section VI-C's best-performing design executes an ``N``-point NTT as two
+kernels, Kernel-1 of radix ``N1`` and Kernel-2 of radix ``N2`` with
+``N = N1 * N2``.  Inside each kernel a thread block stages its points through
+shared memory: every thread performs a small per-thread NTT (2/4/8 points) in
+registers, writes to shared memory, block-synchronises, reloads transposed,
+and repeats until the kernel's radix is covered (Figures 2 and 10).
+
+The model captures the design knobs the paper sweeps:
+
+* **Coalescing** (Figure 6/7): without thread-block merging, Kernel-1's
+  strided loads waste most of each 32-byte transaction; the model charges the
+  extra read traffic (partially recovered by the L2, calibrated to the
+  paper's 21.6% Kernel-1 speedup).
+* **Twiddle preloading** (Figure 9): staging Kernel-1's twiddles through
+  shared memory replaces scattered cached reads with one clean block-level
+  fetch, reducing effective DRAM traffic.
+* **Per-thread NTT size** (Figures 10/11): smaller per-thread NTTs need fewer
+  registers but more block-level synchronisations.
+* **On-the-fly twiddling** (Section VII, Figures 11(c)/12): the last one or
+  two stages' twiddles — half to three quarters of the whole table — are
+  regenerated from factored tables instead of being streamed from DRAM, at
+  the cost of one extra modular multiplication per covered butterfly.
+
+Every knob is also available for the DFT counterpart
+(:func:`smem_dft_model`) so Figure 11(b) can be reproduced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.on_the_fly import OnTheFlyConfig
+from ..core.plan import NTTAlgorithm, NTTPlan
+from ..gpu.costmodel import GpuCostModel, KernelLaunch
+from ..gpu.memory import TrafficCounter
+from ..transforms.bitrev import log2_exact
+from .base import (
+    DEFAULT_THREADS_PER_BLOCK,
+    DFT_ELEMENT_BYTES,
+    KernelModelResult,
+    NTT_ELEMENT_BYTES,
+    TWIDDLE_ENTRY_BYTES_DFT,
+    TWIDDLE_ENTRY_BYTES_NTT,
+    run_launches,
+    smem_thread_registers,
+)
+
+__all__ = [
+    "UNCOALESCED_READ_EFFICIENCY",
+    "NO_PRELOAD_TWIDDLE_FACTOR",
+    "per_thread_rounds",
+    "smem_kernel_launch",
+    "smem_ntt_model",
+    "smem_dft_model",
+    "smem_model_from_plan",
+]
+
+#: Effective efficiency of Kernel-1's strided reads when thread blocks are not
+#: merged: each 32-byte transaction carries one useful 8-byte element (25%
+#: efficiency at the L1), of which the L2 recovers roughly half before DRAM.
+UNCOALESCED_READ_EFFICIENCY = 0.5
+
+#: Multiplier on Kernel-1 twiddle traffic when the per-block twiddle slice is
+#: *not* preloaded into shared memory: the scattered per-butterfly reads miss
+#: in L1 and are refetched (calibrated to the paper’s 8.4% Kernel-1 gain from
+#: preloading, Figure 9).
+NO_PRELOAD_TWIDDLE_FACTOR = 3.2
+
+#: Factor by which each block re-reads the (small) factored OT tables.
+OT_TABLE_REFETCH_FACTOR = 4.0
+
+
+def per_thread_rounds(kernel_radix: int, per_thread_points: int) -> int:
+    """Number of per-thread NTT rounds needed to cover ``kernel_radix`` points.
+
+    Each round performs a ``per_thread_points``-point NTT per thread; covering
+    a radix-``R`` kernel therefore needs ``ceil(log2 R / log2 r)`` rounds with
+    a block-level synchronisation between consecutive rounds (Figure 10).
+    """
+    return math.ceil(log2_exact(kernel_radix) / log2_exact(per_thread_points))
+
+
+@dataclass(frozen=True)
+class _Workload:
+    """Internal: arithmetic/layout constants distinguishing NTT from DFT."""
+
+    element_bytes: int
+    twiddle_entry_bytes: int
+    twiddle_scales_with_batch: bool
+    butterfly_slots_attr: str
+    is_ntt: bool
+
+
+_NTT_WORKLOAD = _Workload(
+    element_bytes=NTT_ELEMENT_BYTES,
+    twiddle_entry_bytes=TWIDDLE_ENTRY_BYTES_NTT,
+    twiddle_scales_with_batch=True,
+    butterfly_slots_attr="shoup_butterfly_slots",
+    is_ntt=True,
+)
+_DFT_WORKLOAD = _Workload(
+    element_bytes=DFT_ELEMENT_BYTES,
+    twiddle_entry_bytes=TWIDDLE_ENTRY_BYTES_DFT,
+    twiddle_scales_with_batch=False,
+    butterfly_slots_attr="dft_butterfly_slots",
+    is_ntt=False,
+)
+
+
+def smem_kernel_launch(
+    name: str,
+    n: int,
+    batch: int,
+    kernel_radix: int,
+    stage_span: tuple[int, int],
+    per_thread_points: int,
+    model: GpuCostModel,
+    workload: _Workload,
+    coalesced_reads: bool = True,
+    preload_twiddles: bool = False,
+    ot: OnTheFlyConfig | None = None,
+    threads_per_block: int = DEFAULT_THREADS_PER_BLOCK,
+) -> KernelLaunch:
+    """Build the :class:`KernelLaunch` for one SMEM kernel (Kernel-1 or Kernel-2).
+
+    Args:
+        name: Kernel label.
+        n: Full transform length.
+        batch: Number of independent transforms (``np`` for NTT, 1-shared-table DFT).
+        kernel_radix: This kernel's radix (``N1`` or ``N2``).
+        stage_span: Half-open range ``(first_stage, last_stage)`` of global
+            radix-2 stage indices (1-based) this kernel executes.
+        per_thread_points: Per-thread NTT size between synchronisations.
+        model: Cost model (source of calibration constants).
+        workload: NTT or DFT constants.
+        coalesced_reads: Whether the kernel's global reads are coalesced.
+        preload_twiddles: Whether the kernel stages its twiddles through SMEM.
+        ot: On-the-fly twiddling configuration (affects only the stages this
+            kernel covers).
+        threads_per_block: Launch block size.
+    """
+    first_stage, last_stage = stage_span
+    stage_count = last_stage - first_stage + 1
+    if stage_count != log2_exact(kernel_radix):
+        raise ValueError("stage span does not match kernel radix")
+
+    calibration = model.calibration
+    slots_per_butterfly = getattr(calibration, workload.butterfly_slots_attr)
+    threads_total = (n // per_thread_points) * batch
+    blocks = max(1, threads_total // threads_per_block)
+    total_stages = log2_exact(n)
+
+    # --- traffic ---------------------------------------------------------------
+    traffic = TrafficCounter()
+    read_efficiency = 1.0 if coalesced_reads else UNCOALESCED_READ_EFFICIENCY
+    traffic.add_data_read(n * batch * workload.element_bytes, efficiency=read_efficiency)
+    traffic.add_data_write(n * batch * workload.element_bytes)
+
+    twiddle_batch = batch if workload.twiddle_scales_with_batch else 1
+
+    # Twiddle entries consumed per transform by the stages of this kernel,
+    # split into OT-covered (regenerated) and table-resident entries.
+    ot_first_covered_stage = total_stages + 1
+    if ot is not None and ot.ot_stages > 0:
+        ot_first_covered_stage = total_stages - min(ot.ot_stages, total_stages) + 1
+    table_entries = 0
+    regenerated_entries = 0
+    covered_butterflies = 0
+    for stage in range(first_stage, last_stage + 1):
+        stage_entries = 1 << (stage - 1)
+        if stage >= ot_first_covered_stage:
+            regenerated_entries += stage_entries
+            covered_butterflies += (n // 2) * batch
+        else:
+            table_entries += stage_entries
+
+    if first_stage == 1:
+        # Kernel-1: its stages have few distinct twiddles, but every block of
+        # every transform must fetch the kernel's whole slice (it cannot be
+        # shared across blocks), so the traffic is counted per block.  Without
+        # the shared-memory preload the scattered reads are refetched several
+        # times over (Figure 9).
+        twiddle_factor = 1.0 if preload_twiddles else NO_PRELOAD_TWIDDLE_FACTOR
+        traffic.add_twiddle_read(
+            blocks * kernel_radix * workload.twiddle_entry_bytes * twiddle_factor
+        )
+    else:
+        # Kernel-2: the late stages' twiddles are each used by only a handful
+        # of butterflies inside one block, so per-transform counting and
+        # per-block counting coincide.
+        traffic.add_twiddle_read(
+            table_entries * twiddle_batch * workload.twiddle_entry_bytes
+        )
+    if regenerated_entries:
+        stored_entries = ot.table_entries(n) if ot is not None else 0
+        traffic.add_twiddle_read(
+            stored_entries
+            * twiddle_batch
+            * workload.twiddle_entry_bytes
+            * OT_TABLE_REFETCH_FACTOR
+        )
+
+    # --- compute ----------------------------------------------------------------
+    butterflies = (n // 2) * stage_count * batch
+    compute_slots = butterflies * slots_per_butterfly
+    compute_slots += covered_butterflies * calibration.ot_regeneration_slots
+
+    # --- launch geometry ----------------------------------------------------------
+    registers = smem_thread_registers(per_thread_points, ntt=workload.is_ntt)
+    smem_bytes = per_thread_points * threads_per_block * workload.element_bytes
+    if preload_twiddles:
+        smem_bytes += kernel_radix * workload.element_bytes
+    syncs = per_thread_rounds(kernel_radix, per_thread_points) - 1
+
+    return KernelLaunch(
+        name=name,
+        traffic=traffic,
+        compute_slots=compute_slots,
+        threads_total=threads_total,
+        threads_per_block=threads_per_block,
+        registers_per_thread=registers,
+        smem_bytes_per_block=smem_bytes,
+        block_syncs=syncs,
+        loads_in_flight_per_thread=per_thread_points,
+    )
+
+
+def _two_kernel_model(
+    n: int,
+    batch: int,
+    kernel1_size: int,
+    kernel2_size: int,
+    per_thread_points: int,
+    model: GpuCostModel,
+    workload: _Workload,
+    coalesced: bool,
+    preload_twiddles: bool,
+    ot: OnTheFlyConfig | None,
+    threads_per_block: int,
+    label: str,
+) -> KernelModelResult:
+    if kernel1_size * kernel2_size != n:
+        raise ValueError("kernel1_size * kernel2_size must equal n")
+    k1_stages = log2_exact(kernel1_size)
+    k2_stages = log2_exact(kernel2_size)
+    launches = [
+        smem_kernel_launch(
+            name="Kernel-1 (radix-%d)" % kernel1_size,
+            n=n,
+            batch=batch,
+            kernel_radix=kernel1_size,
+            stage_span=(1, k1_stages),
+            per_thread_points=per_thread_points,
+            model=model,
+            workload=workload,
+            coalesced_reads=coalesced,
+            preload_twiddles=preload_twiddles,
+            ot=ot,
+            threads_per_block=threads_per_block,
+        ),
+        smem_kernel_launch(
+            name="Kernel-2 (radix-%d)" % kernel2_size,
+            n=n,
+            batch=batch,
+            kernel_radix=kernel2_size,
+            stage_span=(k1_stages + 1, k1_stages + k2_stages),
+            per_thread_points=per_thread_points,
+            model=model,
+            workload=workload,
+            coalesced_reads=True,  # Kernel-2's accesses are contiguous by construction
+            preload_twiddles=False,  # the paper preloads only in Kernel-1
+            ot=ot,
+            threads_per_block=threads_per_block,
+        ),
+    ]
+    return run_launches(label, launches, model)
+
+
+def smem_ntt_model(
+    n: int,
+    batch: int,
+    model: GpuCostModel,
+    kernel1_size: int | None = None,
+    kernel2_size: int | None = None,
+    per_thread_points: int = 8,
+    coalesced: bool = True,
+    preload_twiddles: bool = True,
+    ot: OnTheFlyConfig | None = None,
+    threads_per_block: int = DEFAULT_THREADS_PER_BLOCK,
+) -> KernelModelResult:
+    """Model the SMEM two-kernel NTT for a batch of ``batch`` primes."""
+    from ..core.plan import default_smem_split
+
+    if kernel1_size is None or kernel2_size is None:
+        kernel1_size, kernel2_size = default_smem_split(n)
+    label = "smem %dx%d (%d-pt/thread)" % (kernel1_size, kernel2_size, per_thread_points)
+    if ot is not None and ot.ot_stages > 0:
+        label += " +OT(last %d)" % ot.ot_stages
+    return _two_kernel_model(
+        n,
+        batch,
+        kernel1_size,
+        kernel2_size,
+        per_thread_points,
+        model,
+        _NTT_WORKLOAD,
+        coalesced,
+        preload_twiddles,
+        ot,
+        threads_per_block,
+        label,
+    )
+
+
+def smem_dft_model(
+    n: int,
+    batch: int,
+    model: GpuCostModel,
+    kernel1_size: int | None = None,
+    kernel2_size: int | None = None,
+    per_thread_points: int = 8,
+    coalesced: bool = True,
+    preload_twiddles: bool = True,
+    threads_per_block: int = DEFAULT_THREADS_PER_BLOCK,
+) -> KernelModelResult:
+    """Model the SMEM two-kernel DFT counterpart (Figure 11(b))."""
+    from ..core.plan import default_smem_split
+
+    if kernel1_size is None or kernel2_size is None:
+        kernel1_size, kernel2_size = default_smem_split(n)
+    label = "dft smem %dx%d (%d-pt/thread)" % (kernel1_size, kernel2_size, per_thread_points)
+    return _two_kernel_model(
+        n,
+        batch,
+        kernel1_size,
+        kernel2_size,
+        per_thread_points,
+        model,
+        _DFT_WORKLOAD,
+        coalesced,
+        preload_twiddles,
+        None,
+        threads_per_block,
+        label,
+    )
+
+
+def smem_model_from_plan(
+    plan: NTTPlan, batch: int, model: GpuCostModel
+) -> KernelModelResult:
+    """Model any :class:`NTTPlan` (radix-2 / high-radix / SMEM) for a batch."""
+    from .high_radix import high_radix_ntt_model
+    from .radix2 import radix2_ntt_model
+
+    if plan.algorithm is NTTAlgorithm.RADIX2:
+        return radix2_ntt_model(plan.n, batch, model)
+    if plan.algorithm is NTTAlgorithm.HIGH_RADIX:
+        return high_radix_ntt_model(plan.n, batch, plan.radix, model)
+    kernel1, kernel2 = plan.smem_split
+    return smem_ntt_model(
+        plan.n,
+        batch,
+        model,
+        kernel1_size=kernel1,
+        kernel2_size=kernel2,
+        per_thread_points=plan.per_thread_points,
+        coalesced=plan.coalesced,
+        preload_twiddles=plan.preload_twiddles,
+        ot=plan.ot,
+    )

@@ -1,0 +1,72 @@
+"""Fixed-width modular arithmetic substrate.
+
+This package provides everything the NTT engine needs from number theory:
+
+* machine-word semantics (:mod:`repro.modarith.word`),
+* scalar modular operations (:mod:`repro.modarith.modops`),
+* NTT-friendly prime generation (:mod:`repro.modarith.primes`),
+* primitive roots of unity (:mod:`repro.modarith.roots`),
+* the modular-multiplication strategies the paper compares — native modulo,
+  Barrett, Shoup, Montgomery — with per-operation cost metadata
+  (:mod:`repro.modarith.reducers`).
+"""
+
+from .modops import add_mod, inv_mod, lazy_reduce, mul_mod, neg_mod, pow_mod, sub_mod
+from .primes import (
+    PrimeChain,
+    generate_ntt_primes,
+    generate_prime_chain,
+    is_ntt_prime,
+    is_probable_prime,
+)
+from .reducers import (
+    BarrettModMul,
+    ModMulStrategy,
+    MontgomeryModMul,
+    NativeModMul,
+    OpCost,
+    REDUCER_NAMES,
+    ShoupModMul,
+    make_reducer,
+)
+from .roots import (
+    find_generator,
+    inverse_root,
+    is_primitive_root_of_unity,
+    minimal_primitive_root_of_unity,
+    primitive_root_of_unity,
+    root_powers,
+)
+from .word import WORD32, WORD64, WordSpec
+
+__all__ = [
+    "add_mod",
+    "sub_mod",
+    "neg_mod",
+    "mul_mod",
+    "pow_mod",
+    "inv_mod",
+    "lazy_reduce",
+    "PrimeChain",
+    "generate_ntt_primes",
+    "generate_prime_chain",
+    "is_ntt_prime",
+    "is_probable_prime",
+    "find_generator",
+    "inverse_root",
+    "is_primitive_root_of_unity",
+    "minimal_primitive_root_of_unity",
+    "primitive_root_of_unity",
+    "root_powers",
+    "WordSpec",
+    "WORD32",
+    "WORD64",
+    "OpCost",
+    "ModMulStrategy",
+    "NativeModMul",
+    "BarrettModMul",
+    "ShoupModMul",
+    "MontgomeryModMul",
+    "make_reducer",
+    "REDUCER_NAMES",
+]

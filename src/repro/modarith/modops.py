@@ -1,0 +1,101 @@
+"""Core modular-arithmetic operations used throughout the library.
+
+These are the scalar building blocks: modular addition, subtraction,
+multiplication, exponentiation and inversion over ``Z_p`` for an odd prime
+``p``.  They are written for clarity and correctness; the hot paths of the
+library (the NTT engine) use the reducer objects in :mod:`repro.modarith.shoup`
+/ :mod:`repro.modarith.barrett` which model the word-level algorithms the
+paper's GPU kernels use.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "add_mod",
+    "sub_mod",
+    "neg_mod",
+    "mul_mod",
+    "pow_mod",
+    "inv_mod",
+    "lazy_reduce",
+]
+
+
+def add_mod(a: int, b: int, p: int) -> int:
+    """Return ``(a + b) mod p`` for operands already reduced mod ``p``."""
+    total = a + b
+    if total >= p:
+        total -= p
+    return total
+
+
+def sub_mod(a: int, b: int, p: int) -> int:
+    """Return ``(a - b) mod p`` for operands already reduced mod ``p``."""
+    diff = a - b
+    if diff < 0:
+        diff += p
+    return diff
+
+
+def neg_mod(a: int, p: int) -> int:
+    """Return ``(-a) mod p``."""
+    return 0 if a == 0 else p - a
+
+
+def mul_mod(a: int, b: int, p: int) -> int:
+    """Return ``(a * b) mod p`` using Python's arbitrary-precision integers.
+
+    This is the *native* modular multiplication: it corresponds to the
+    expensive double-word modulo instruction sequence on GPUs that Figure 1
+    of the paper benchmarks against Shoup's method.
+    """
+    return (a * b) % p
+
+
+def pow_mod(base: int, exponent: int, p: int) -> int:
+    """Return ``base ** exponent mod p`` (binary exponentiation).
+
+    Negative exponents are supported and are interpreted as powers of the
+    modular inverse, which is convenient when constructing inverse-NTT
+    twiddle tables.
+    """
+    if exponent < 0:
+        return pow_mod(inv_mod(base, p), -exponent, p)
+    return pow(base, exponent, p)
+
+
+def inv_mod(a: int, p: int) -> int:
+    """Return the modular inverse of ``a`` modulo the prime ``p``.
+
+    Raises:
+        ZeroDivisionError: if ``a`` is congruent to zero mod ``p``.
+    """
+    a %= p
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse modulo %d" % p)
+    return pow(a, p - 2, p)
+
+
+def lazy_reduce(value: int, p: int, bound_multiple: int = 4) -> int:
+    """Reduce a *lazily accumulated* value into ``[0, p)``.
+
+    The butterfly in Algorithm 2 of the paper keeps operands in ``[0, 4p)``
+    to avoid a conditional subtraction per addition (a standard lazy-reduction
+    trick, also used by SEAL).  This helper performs the final correction and
+    asserts that the stated bound was respected.
+
+    Args:
+        value: The lazily accumulated value.
+        p: The prime modulus.
+        bound_multiple: The allowed multiple of ``p`` bounding ``value``.
+
+    Returns:
+        ``value mod p``.
+    """
+    if not 0 <= value < bound_multiple * p:
+        raise ValueError(
+            "value %d outside lazy-reduction bound [0, %d*p)" % (value, bound_multiple)
+        )
+    while value >= p:
+        value -= p
+    return value

@@ -1,0 +1,283 @@
+"""Modular-multiplication strategies ("reducers") with cost metadata.
+
+The paper (Section IV, Figure 1) compares three ways of performing the
+``(b * w) mod p`` step at the heart of every NTT butterfly:
+
+* **Native** — let the compiler emit a double-word modulo.  On NVIDIA GPUs a
+  64-bit-by-32-bit modulo compiles to ~68 machine instructions with a latency
+  around 500 cycles; the 128-by-64 case used by 60-bit primes is even worse.
+* **Barrett reduction** — replaces the division with two multiplications by a
+  precomputed reciprocal approximation.
+* **Shoup's modmul** (Algorithm 4) — when one operand ``w`` is known in
+  advance (as every twiddle factor is), a single precomputed companion word
+  ``w_bar = floor(w * beta / p)`` reduces the modulo to two multiplications,
+  one subtraction, and one conditional correction.
+
+Each reducer in this module is bit-exact at the word level (it goes through
+:mod:`repro.modarith.word` so the high/low product truncation matches
+hardware) and exposes an :class:`OpCost` describing how many machine
+instructions a single invocation costs on the modelled GPU.  The cost
+metadata is what lets the experiment harness reproduce the *shape* of
+Figure 1 without a GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .word import WORD64, WordSpec, mul_hi
+
+__all__ = [
+    "OpCost",
+    "ModMulStrategy",
+    "NativeModMul",
+    "BarrettModMul",
+    "ShoupModMul",
+    "MontgomeryModMul",
+    "make_reducer",
+    "REDUCER_NAMES",
+]
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Instruction-count cost of one modular multiplication.
+
+    Attributes:
+        instructions: Total machine instructions issued.
+        multiplies: Wide (double-word producing) integer multiplies among them.
+        precomputed_words: Extra precomputed words that must be fetched from
+            memory per distinct constant operand (0, 1 or 2); this feeds the
+            twiddle-table-size accounting of Section IV.
+        latency_cycles: Approximate dependent-chain latency in cycles.
+    """
+
+    instructions: int
+    multiplies: int
+    precomputed_words: int
+    latency_cycles: int
+
+
+class ModMulStrategy:
+    """Interface for a modular-multiplication strategy for a fixed prime ``p``.
+
+    Subclasses implement :meth:`mul` for general operands and
+    :meth:`mul_by_constant` for the twiddle-factor case where one operand is
+    known in advance and may have precomputed companions.
+    """
+
+    #: Human-readable strategy name used by the experiment harness.
+    name: str = "abstract"
+
+    def __init__(self, p: int, word: WordSpec = WORD64) -> None:
+        if p <= 2:
+            raise ValueError("modulus must be an odd prime > 2")
+        if p >= word.modulus // 4:
+            # Shoup's algorithm requires p < beta / 4 (Algorithm 4, input
+            # constraint); we enforce the same bound for every strategy so the
+            # strategies are interchangeable.
+            raise ValueError(
+                "modulus %d too large for %d-bit lazy arithmetic (need p < 2^%d)"
+                % (p, word.bits, word.bits - 2)
+            )
+        self.p = p
+        self.word = word
+
+    # -- functional interface -------------------------------------------------
+    def mul(self, a: int, b: int) -> int:
+        """Return ``(a * b) mod p`` for two run-time operands."""
+        raise NotImplementedError
+
+    def precompute(self, constant: int) -> tuple[int, ...]:
+        """Return the precomputed companion words for a constant operand."""
+        return ()
+
+    def mul_by_constant(self, a: int, constant: int, companions: tuple[int, ...]) -> int:
+        """Return ``(a * constant) mod p`` using precomputed ``companions``."""
+        return self.mul(a, constant)
+
+    # -- cost interface --------------------------------------------------------
+    @property
+    def cost(self) -> OpCost:
+        """Cost of one :meth:`mul_by_constant` invocation."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "%s(p=%d, word=%d)" % (type(self).__name__, self.p, self.word.bits)
+
+
+class NativeModMul(ModMulStrategy):
+    """Modular multiplication through the hardware's native modulo.
+
+    This corresponds to writing ``(a * b) % p`` in CUDA and letting the
+    compiler expand the double-word division.  Functionally trivial in
+    Python; the point of the class is its :class:`OpCost`, taken from the
+    paper's measurement that a 64b-by-32b modulo expands to ~68 instructions
+    with ~500 cycles of latency (Section IV).
+    """
+
+    name = "native"
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.p
+
+    @property
+    def cost(self) -> OpCost:
+        return OpCost(instructions=68, multiplies=3, precomputed_words=0, latency_cycles=500)
+
+
+class BarrettModMul(ModMulStrategy):
+    """Barrett reduction: division replaced by multiplication with ``mu = floor(beta^2 / p)``.
+
+    The classical two-multiplication Barrett variant; requires one global
+    precomputed word per *modulus* (not per constant), so its table overhead
+    is negligible, but each reduction needs two wide multiplies plus
+    corrections.
+    """
+
+    name = "barrett"
+
+    def __init__(self, p: int, word: WordSpec = WORD64) -> None:
+        super().__init__(p, word)
+        self._shift = 2 * word.bits
+        self._mu = (1 << self._shift) // p
+
+    @property
+    def mu(self) -> int:
+        """The precomputed reciprocal ``floor(beta^2 / p)``."""
+        return self._mu
+
+    def reduce(self, value: int) -> int:
+        """Reduce a double-word ``value`` into ``[0, p)``."""
+        if value < 0:
+            raise ValueError("Barrett reduction expects a non-negative value")
+        q = (value * self._mu) >> self._shift
+        r = value - q * self.p
+        while r >= self.p:
+            r -= self.p
+        return r
+
+    def mul(self, a: int, b: int) -> int:
+        return self.reduce(a * b)
+
+    @property
+    def cost(self) -> OpCost:
+        # one wide mul for a*b, two for the reduction, plus corrections.
+        return OpCost(instructions=14, multiplies=3, precomputed_words=0, latency_cycles=60)
+
+
+class ShoupModMul(ModMulStrategy):
+    """Shoup's modular multiplication (Algorithm 4 of the paper).
+
+    For a constant ``w`` with companion ``w_bar = floor(w * beta / p)``::
+
+        q = hi_word(b * w_bar)
+        r = (b * w - q * p) mod beta      # low words only
+        if r >= p: r -= p
+
+    The output lies in ``[0, 2p)`` before the conditional correction — the
+    same lazy bound the paper's butterfly exploits — and in ``[0, p)`` after
+    it.  One extra precomputed word is required per twiddle factor, which is
+    exactly the doubling of the twiddle table called out in Section IV
+    ("Precomputed table size with batching").
+    """
+
+    name = "shoup"
+
+    def precompute(self, constant: int) -> tuple[int, ...]:
+        if not 0 <= constant < self.p:
+            raise ValueError("constant must be reduced mod p")
+        return ((constant << self.word.bits) // self.p,)
+
+    def mul_by_constant(self, a: int, constant: int, companions: tuple[int, ...]) -> int:
+        (w_bar,) = companions
+        q = mul_hi(a, w_bar, self.word)
+        r = (a * constant - q * self.p) & self.word.max_value
+        if r >= self.p:
+            r -= self.p
+        return r
+
+    def mul(self, a: int, b: int) -> int:
+        # General-operand fallback: compute the companion on the fly.  This is
+        # exactly why on-the-fly twiddle generation is expensive for NTT
+        # (Section VII): the companion itself needs a division.
+        return self.mul_by_constant(a, b % self.p, self.precompute(b % self.p))
+
+    @property
+    def cost(self) -> OpCost:
+        # mul.hi, two mul.lo, subtract, compare, conditional subtract.
+        return OpCost(instructions=6, multiplies=3, precomputed_words=1, latency_cycles=25)
+
+
+class MontgomeryModMul(ModMulStrategy):
+    """Montgomery multiplication (REDC), included as an extension.
+
+    Not evaluated in the paper but a common alternative in NTT libraries;
+    provided for ablation studies.  Operands are kept in the Montgomery
+    domain ``a * R mod p`` with ``R = beta``.
+    """
+
+    name = "montgomery"
+
+    def __init__(self, p: int, word: WordSpec = WORD64) -> None:
+        super().__init__(p, word)
+        if p % 2 == 0:
+            raise ValueError("Montgomery reduction requires an odd modulus")
+        self._r = word.modulus
+        self._r_mask = word.max_value
+        self._r_bits = word.bits
+        # p' such that p * p' ≡ -1 (mod R)
+        self._p_inv_neg = (-pow(p, -1, self._r)) % self._r
+        self._r2 = (self._r * self._r) % p
+
+    def to_montgomery(self, a: int) -> int:
+        """Map ``a`` into the Montgomery domain (``a * R mod p``)."""
+        return self.redc(a * self._r2)
+
+    def from_montgomery(self, a_mont: int) -> int:
+        """Map a Montgomery-domain value back to the ordinary domain."""
+        return self.redc(a_mont)
+
+    def redc(self, t: int) -> int:
+        """Montgomery reduction of a double-word value ``t``."""
+        m = ((t & self._r_mask) * self._p_inv_neg) & self._r_mask
+        u = (t + m * self.p) >> self._r_bits
+        if u >= self.p:
+            u -= self.p
+        return u
+
+    def mul(self, a: int, b: int) -> int:
+        """Return ``(a * b) mod p`` for ordinary-domain operands."""
+        return self.redc(self.to_montgomery(a) * b)
+
+    def mul_montgomery(self, a_mont: int, b_mont: int) -> int:
+        """Multiply two Montgomery-domain operands, staying in the domain."""
+        return self.redc(a_mont * b_mont)
+
+    @property
+    def cost(self) -> OpCost:
+        return OpCost(instructions=8, multiplies=3, precomputed_words=1, latency_cycles=30)
+
+
+REDUCER_NAMES = ("native", "barrett", "shoup", "montgomery")
+
+
+def make_reducer(name: str, p: int, word: WordSpec = WORD64) -> ModMulStrategy:
+    """Factory returning the reducer registered under ``name``.
+
+    Args:
+        name: One of ``"native"``, ``"barrett"``, ``"shoup"``, ``"montgomery"``.
+        p: Prime modulus.
+        word: Machine word the strategy operates on.
+    """
+    registry = {
+        NativeModMul.name: NativeModMul,
+        BarrettModMul.name: BarrettModMul,
+        ShoupModMul.name: ShoupModMul,
+        MontgomeryModMul.name: MontgomeryModMul,
+    }
+    try:
+        cls = registry[name]
+    except KeyError:
+        raise ValueError("unknown reducer %r; expected one of %s" % (name, REDUCER_NAMES))
+    return cls(p, word)

@@ -1,0 +1,108 @@
+"""Fixed-width machine-word helpers.
+
+The GPU kernels modelled in this repository operate on 32-bit or 64-bit
+unsigned machine words.  Python integers are arbitrary precision, so the
+functions in this module make the word-level semantics explicit: wrapping
+addition/subtraction/multiplication, high/low product halves, and shifts.
+
+Keeping the word semantics explicit matters for two reasons:
+
+* Shoup's modular multiplication (Algorithm 4 in the paper) relies on taking
+  only the *high* half of a double-word product; reproducing it faithfully
+  requires modelling the truncation that real hardware performs.
+* The instruction-cost tables in :mod:`repro.gpu.costmodel` charge different
+  costs for single-word and double-word operations, so code that builds on
+  this module can report how many of each it performed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "WordSpec",
+    "WORD32",
+    "WORD64",
+    "mask",
+    "wrap_add",
+    "wrap_sub",
+    "wrap_mul",
+    "mul_hi",
+    "mul_lo",
+    "mul_wide",
+    "bit_length_fits",
+]
+
+
+@dataclass(frozen=True)
+class WordSpec:
+    """Description of an unsigned machine word.
+
+    Attributes:
+        bits: Number of bits in the word (32 or 64 in practice).
+    """
+
+    bits: int
+
+    @property
+    def modulus(self) -> int:
+        """The value ``2**bits`` (``beta`` in the paper's Algorithm 4)."""
+        return 1 << self.bits
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value, ``2**bits - 1``."""
+        return self.modulus - 1
+
+    def contains(self, value: int) -> bool:
+        """Return ``True`` when ``value`` fits in this word without wrapping."""
+        return 0 <= value <= self.max_value
+
+
+WORD32 = WordSpec(bits=32)
+WORD64 = WordSpec(bits=64)
+
+
+def mask(value: int, word: WordSpec = WORD64) -> int:
+    """Truncate ``value`` to the low bits of ``word``."""
+    return value & word.max_value
+
+
+def wrap_add(a: int, b: int, word: WordSpec = WORD64) -> int:
+    """Add two words with wrap-around (as the hardware ``add`` would)."""
+    return (a + b) & word.max_value
+
+
+def wrap_sub(a: int, b: int, word: WordSpec = WORD64) -> int:
+    """Subtract two words with wrap-around."""
+    return (a - b) & word.max_value
+
+
+def wrap_mul(a: int, b: int, word: WordSpec = WORD64) -> int:
+    """Multiply two words keeping only the low word of the product."""
+    return (a * b) & word.max_value
+
+
+def mul_wide(a: int, b: int, word: WordSpec = WORD64) -> tuple[int, int]:
+    """Return the (high, low) words of the double-word product ``a * b``.
+
+    Mirrors the ``mul.hi`` / ``mul.lo`` pair emitted for a widening multiply
+    on NVIDIA GPUs.
+    """
+    product = a * b
+    return product >> word.bits, product & word.max_value
+
+
+def mul_hi(a: int, b: int, word: WordSpec = WORD64) -> int:
+    """Return only the high word of the double-word product ``a * b``."""
+    return (a * b) >> word.bits
+
+
+def mul_lo(a: int, b: int, word: WordSpec = WORD64) -> int:
+    """Return only the low word of the double-word product ``a * b``."""
+    return (a * b) & word.max_value
+
+
+def bit_length_fits(value: int, word: WordSpec) -> bool:
+    """Return ``True`` when ``value`` is a non-negative word-sized integer."""
+    return 0 <= value < word.modulus

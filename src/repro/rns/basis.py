@@ -1,0 +1,133 @@
+"""Residue-number-system (RNS) basis.
+
+HE schemes avoid multi-precision arithmetic by representing every big-integer
+coefficient (mod ``Q``) as its residues modulo a set of machine-word primes
+``p_1 .. p_np`` with ``prod(p_i) >= Q`` — the Chinese-remainder-theorem
+decomposition described in Section III-B of the paper.  An :class:`RnsBasis`
+bundles those primes with the precomputed constants CRT reconstruction needs
+(the "punctured products" ``Q/p_i`` and their inverses mod ``p_i``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from ..modarith.modops import inv_mod
+from ..modarith.primes import generate_ntt_primes, is_ntt_prime
+
+__all__ = ["RnsBasis"]
+
+
+@dataclass(frozen=True)
+class RnsBasis:
+    """An ordered set of pairwise-coprime NTT-friendly primes.
+
+    Attributes:
+        primes: The RNS primes, all congruent to ``1 mod 2n``.
+        n: Polynomial degree the basis is meant for (used for validation
+            only; a basis can be reused for any smaller power-of-two degree).
+    """
+
+    primes: tuple[int, ...]
+    n: int
+    _punctured: tuple[int, ...] = field(init=False, repr=False, compare=False)
+    _punctured_inv: tuple[int, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.primes:
+            raise ValueError("an RNS basis needs at least one prime")
+        if len(set(self.primes)) != len(self.primes):
+            raise ValueError("RNS primes must be distinct")
+        for p in self.primes:
+            if not is_ntt_prime(p, self.n):
+                raise ValueError("prime %d is not an NTT prime for n=%d" % (p, self.n))
+        modulus = 1
+        for p in self.primes:
+            modulus *= p
+        punctured = tuple(modulus // p for p in self.primes)
+        punctured_inv = tuple(
+            inv_mod(q_i % p, p) for q_i, p in zip(punctured, self.primes)
+        )
+        object.__setattr__(self, "_punctured", punctured)
+        object.__setattr__(self, "_punctured_inv", punctured_inv)
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def generate(cls, n: int, count: int, bit_size: int = 60) -> "RnsBasis":
+        """Generate a basis of ``count`` fresh ``bit_size``-bit primes for degree ``n``."""
+        return cls(primes=tuple(generate_ntt_primes(bit_size, count, n)), n=n)
+
+    @classmethod
+    def from_primes(cls, primes: Iterable[int], n: int) -> "RnsBasis":
+        """Wrap an explicit list of primes (validated) into a basis."""
+        return cls(primes=tuple(primes), n=n)
+
+    # -- properties -----------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of primes (``np`` in the paper)."""
+        return len(self.primes)
+
+    @property
+    def modulus(self) -> int:
+        """The composite modulus ``Q = prod(p_i)``."""
+        product = 1
+        for p in self.primes:
+            product *= p
+        return product
+
+    @property
+    def log_q(self) -> int:
+        """``ceil(log2 Q)`` as quoted in the paper's Figure 13."""
+        return self.modulus.bit_length()
+
+    # -- CRT ------------------------------------------------------------------
+    def to_residues(self, value: int) -> list[int]:
+        """Decompose ``value`` (interpreted mod ``Q``) into its residue vector."""
+        value %= self.modulus
+        return [value % p for p in self.primes]
+
+    def from_residues(self, residues: Sequence[int]) -> int:
+        """Reconstruct the unique value in ``[0, Q)`` from a residue vector (CRT)."""
+        if len(residues) != self.count:
+            raise ValueError(
+                "expected %d residues, got %d" % (self.count, len(residues))
+            )
+        modulus = self.modulus
+        total = 0
+        for r, p, q_i, q_inv in zip(
+            residues, self.primes, self._punctured, self._punctured_inv
+        ):
+            total += (r % p) * q_inv % p * q_i
+        return total % modulus
+
+    def from_residues_centered(self, residues: Sequence[int]) -> int:
+        """CRT reconstruction mapped to the centered interval ``(-Q/2, Q/2]``.
+
+        HE decryption needs the *signed* representative of a coefficient
+        because plaintexts are small signed integers embedded near zero.
+        """
+        value = self.from_residues(residues)
+        if value > self.modulus // 2:
+            value -= self.modulus
+        return value
+
+    def drop_last(self, count: int = 1) -> "RnsBasis":
+        """Return a new basis with the last ``count`` primes removed.
+
+        This models the modulus-switching / rescaling step of RNS-CKKS, where
+        each multiplication consumes one prime of the chain.
+        """
+        if count < 1 or count >= self.count:
+            raise ValueError("can drop between 1 and count-1 primes")
+        return RnsBasis(primes=self.primes[: self.count - count], n=self.n)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self):
+        return iter(self.primes)
+
+    def __getitem__(self, index: int) -> int:
+        return self.primes[index]

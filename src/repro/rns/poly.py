@@ -1,0 +1,247 @@
+"""Polynomials in RNS (double-CRT) representation.
+
+A ciphertext polynomial in ``Z_Q[X]/(X^N + 1)`` is stored as an
+``np x N`` matrix of residues: row ``i`` holds the polynomial's coefficients
+reduced modulo ``p_i``.  Converting every row to the NTT domain yields the
+"double-CRT" layout in which both polynomial multiplication and addition are
+coefficient-wise — the representation all RNS-based HE libraries (SEAL,
+HEAAN, PALISADE) compute in, and the workload whose NTT conversions the paper
+accelerates.
+
+:class:`RnsPolynomial` is deliberately explicit about which domain it is in
+(``coefficient`` or ``ntt``); mixing domains raises instead of silently
+producing garbage.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+from enum import Enum
+
+from ..modarith.modops import add_mod, mul_mod, neg_mod, sub_mod
+from ..transforms.cooley_tukey import NegacyclicTransformer
+from .basis import RnsBasis
+
+__all__ = ["Domain", "RnsPolynomial", "TransformerCache"]
+
+
+class Domain(str, Enum):
+    """Representation domain of an :class:`RnsPolynomial`."""
+
+    COEFFICIENT = "coefficient"
+    NTT = "ntt"
+
+
+class TransformerCache:
+    """Per-prime :class:`NegacyclicTransformer` cache shared across polynomials.
+
+    Twiddle-table construction is O(N) modular multiplications per prime, so
+    the cache keys transformers by ``(n, p)`` and reuses them; this mirrors
+    the precomputed twiddle tables an HE library keeps resident (the very
+    tables whose size Section IV analyses).
+    """
+
+    def __init__(self) -> None:
+        self._transformers: dict[tuple[int, int], NegacyclicTransformer] = {}
+
+    def get(self, n: int, p: int) -> NegacyclicTransformer:
+        """Return (building if needed) the transformer for ``(n, p)``."""
+        key = (n, p)
+        if key not in self._transformers:
+            self._transformers[key] = NegacyclicTransformer(n, p)
+        return self._transformers[key]
+
+    def __len__(self) -> int:
+        return len(self._transformers)
+
+
+_DEFAULT_CACHE = TransformerCache()
+
+
+@dataclass
+class RnsPolynomial:
+    """A polynomial of degree < ``n`` in RNS representation.
+
+    Attributes:
+        basis: The RNS basis giving one modulus per residue row.
+        n: Polynomial degree bound (power of two).
+        residues: ``basis.count`` rows of ``n`` integers each.
+        domain: Whether the rows are coefficients or NTT values.
+    """
+
+    basis: RnsBasis
+    n: int
+    residues: list[list[int]]
+    domain: Domain = Domain.COEFFICIENT
+    cache: TransformerCache | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.residues) != self.basis.count:
+            raise ValueError(
+                "expected %d residue rows, got %d" % (self.basis.count, len(self.residues))
+            )
+        for row in self.residues:
+            if len(row) != self.n:
+                raise ValueError("every residue row must have exactly n entries")
+        if self.cache is None:
+            self.cache = _DEFAULT_CACHE
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def from_coefficients(
+        cls,
+        coefficients: Sequence[int],
+        basis: RnsBasis,
+        cache: TransformerCache | None = None,
+    ) -> "RnsPolynomial":
+        """Build a polynomial from big-integer (or signed) coefficients mod ``Q``."""
+        n = len(coefficients)
+        rows = [[c % p for c in coefficients] for p in basis.primes]
+        return cls(basis=basis, n=n, residues=rows, domain=Domain.COEFFICIENT, cache=cache)
+
+    @classmethod
+    def zero(
+        cls, basis: RnsBasis, n: int, domain: Domain = Domain.COEFFICIENT
+    ) -> "RnsPolynomial":
+        """The all-zero polynomial (identical in both domains)."""
+        rows = [[0] * n for _ in basis.primes]
+        return cls(basis=basis, n=n, residues=rows, domain=domain)
+
+    @classmethod
+    def random_uniform(
+        cls, basis: RnsBasis, n: int, rng: random.Random, domain: Domain = Domain.COEFFICIENT
+    ) -> "RnsPolynomial":
+        """Uniformly random residues — used for the `a` part of RLWE samples."""
+        rows = [[rng.randrange(p) for _ in range(n)] for p in basis.primes]
+        return cls(basis=basis, n=n, residues=rows, domain=domain)
+
+    @classmethod
+    def random_ternary(
+        cls, basis: RnsBasis, n: int, rng: random.Random
+    ) -> "RnsPolynomial":
+        """Random ternary ({-1, 0, 1}) polynomial — HE secret-key distribution."""
+        coefficients = [rng.choice((-1, 0, 1)) for _ in range(n)]
+        return cls.from_coefficients(coefficients, basis)
+
+    @classmethod
+    def random_gaussian(
+        cls, basis: RnsBasis, n: int, rng: random.Random, stddev: float = 3.2
+    ) -> "RnsPolynomial":
+        """Discrete-Gaussian-ish error polynomial (rounded normal, HE error distribution)."""
+        coefficients = [round(rng.gauss(0.0, stddev)) for _ in range(n)]
+        return cls.from_coefficients(coefficients, basis)
+
+    # -- domain conversion ------------------------------------------------------
+    def to_ntt(self) -> "RnsPolynomial":
+        """Return the NTT-domain version of this polynomial (``np`` forward NTTs)."""
+        if self.domain is Domain.NTT:
+            return self
+        rows = [
+            self.cache.get(self.n, p).forward(row)
+            for p, row in zip(self.basis.primes, self.residues)
+        ]
+        return RnsPolynomial(self.basis, self.n, rows, Domain.NTT, self.cache)
+
+    def to_coefficient(self) -> "RnsPolynomial":
+        """Return the coefficient-domain version (``np`` inverse NTTs)."""
+        if self.domain is Domain.COEFFICIENT:
+            return self
+        rows = [
+            self.cache.get(self.n, p).inverse(row)
+            for p, row in zip(self.basis.primes, self.residues)
+        ]
+        return RnsPolynomial(self.basis, self.n, rows, Domain.COEFFICIENT, self.cache)
+
+    # -- arithmetic -------------------------------------------------------------
+    def _check_compatible(self, other: "RnsPolynomial") -> None:
+        if self.basis.primes != other.basis.primes or self.n != other.n:
+            raise ValueError("polynomials live in different rings")
+        if self.domain is not other.domain:
+            raise ValueError(
+                "domain mismatch: %s vs %s — convert explicitly first"
+                % (self.domain.value, other.domain.value)
+            )
+
+    def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._check_compatible(other)
+        rows = [
+            [add_mod(a, b, p) for a, b in zip(row_a, row_b)]
+            for p, row_a, row_b in zip(self.basis.primes, self.residues, other.residues)
+        ]
+        return RnsPolynomial(self.basis, self.n, rows, self.domain, self.cache)
+
+    def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._check_compatible(other)
+        rows = [
+            [sub_mod(a, b, p) for a, b in zip(row_a, row_b)]
+            for p, row_a, row_b in zip(self.basis.primes, self.residues, other.residues)
+        ]
+        return RnsPolynomial(self.basis, self.n, rows, self.domain, self.cache)
+
+    def __neg__(self) -> "RnsPolynomial":
+        rows = [
+            [neg_mod(a, p) for a in row]
+            for p, row in zip(self.basis.primes, self.residues)
+        ]
+        return RnsPolynomial(self.basis, self.n, rows, self.domain, self.cache)
+
+    def __mul__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Negacyclic polynomial product.
+
+        In the NTT domain this is element-wise; in the coefficient domain the
+        operands are transformed, multiplied element-wise and transformed
+        back (the ``iNTT(NTT(a) ⊙ NTT(b))`` pipeline of Section III-A).
+        """
+        self._check_compatible(other)
+        if self.domain is Domain.NTT:
+            rows = [
+                [mul_mod(a, b, p) for a, b in zip(row_a, row_b)]
+                for p, row_a, row_b in zip(self.basis.primes, self.residues, other.residues)
+            ]
+            return RnsPolynomial(self.basis, self.n, rows, Domain.NTT, self.cache)
+        return (self.to_ntt() * other.to_ntt()).to_coefficient()
+
+    def scalar_mul(self, scalar: int) -> "RnsPolynomial":
+        """Multiply every coefficient by an integer scalar (domain-independent)."""
+        rows = [
+            [mul_mod(a, scalar % p, p) for a in row]
+            for p, row in zip(self.basis.primes, self.residues)
+        ]
+        return RnsPolynomial(self.basis, self.n, rows, self.domain, self.cache)
+
+    # -- reconstruction ----------------------------------------------------------
+    def to_big_coefficients(self, centered: bool = False) -> list[int]:
+        """CRT-reconstruct the coefficient vector mod ``Q`` (optionally centered)."""
+        poly = self.to_coefficient()
+        reconstruct = (
+            poly.basis.from_residues_centered if centered else poly.basis.from_residues
+        )
+        return [
+            reconstruct([poly.residues[i][j] for i in range(poly.basis.count)])
+            for j in range(poly.n)
+        ]
+
+    def drop_last_prime(self) -> "RnsPolynomial":
+        """Drop the last RNS component (used by rescaling in the HE layer)."""
+        new_basis = self.basis.drop_last(1)
+        return RnsPolynomial(
+            new_basis, self.n, [list(r) for r in self.residues[:-1]], self.domain, self.cache
+        )
+
+    def copy(self) -> "RnsPolynomial":
+        """Deep copy of the residue matrix."""
+        return RnsPolynomial(
+            self.basis, self.n, [list(r) for r in self.residues], self.domain, self.cache
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RnsPolynomial):
+            return NotImplemented
+        return (
+            self.basis.primes == other.basis.primes
+            and self.n == other.n
+            and self.domain == other.domain
+            and self.residues == other.residues
+        )

@@ -1,0 +1,65 @@
+"""Bit-reversal permutation utilities.
+
+The decimation-in-time Cooley-Tukey NTT (Algorithm 1 of the paper) consumes
+its twiddle table in bit-reversed order and produces output in bit-reversed
+order.  For HE this is harmless — Section IV points out that element-wise
+multiplication between two bit-reversed NTT outputs followed by an inverse
+transform that *consumes* bit-reversed input yields correctly ordered
+results — but the library still needs the permutation for constructing
+twiddle tables and for tests that compare against the reference transform.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = [
+    "bit_reverse",
+    "bit_reverse_indices",
+    "bit_reverse_permute",
+    "is_power_of_two",
+    "log2_exact",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return ``True`` when ``n`` is a positive power of two."""
+    return n > 0 and n & (n - 1) == 0
+
+
+def log2_exact(n: int) -> int:
+    """Return ``log2(n)`` for a power-of-two ``n``; raise otherwise."""
+    if not is_power_of_two(n):
+        raise ValueError("%d is not a positive power of two" % n)
+    return n.bit_length() - 1
+
+
+def bit_reverse(value: int, bits: int) -> int:
+    """Reverse the low ``bits`` bits of ``value``.
+
+    Example:
+        >>> bit_reverse(0b0011, 4)
+        12
+    """
+    if value < 0 or value >= (1 << bits):
+        raise ValueError("value %d does not fit in %d bits" % (value, bits))
+    result = 0
+    for _ in range(bits):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def bit_reverse_indices(n: int) -> list[int]:
+    """Return the bit-reversal permutation of ``range(n)`` for power-of-two ``n``."""
+    bits = log2_exact(n)
+    return [bit_reverse(i, bits) for i in range(n)]
+
+
+def bit_reverse_permute(values: Sequence[int]) -> list:
+    """Return ``values`` permuted into bit-reversed order.
+
+    The permutation is an involution: applying it twice restores the input.
+    """
+    indices = bit_reverse_indices(len(values))
+    return [values[i] for i in indices]

@@ -1,0 +1,102 @@
+"""Butterfly operations for the forward and inverse NTT.
+
+The forward (Cooley-Tukey / decimation-in-time) butterfly is Algorithm 2 of
+the paper::
+
+    B_hat = (B * psi) mod p
+    B     = A - B_hat
+    A     = A + B_hat
+
+The inverse transform uses the Gentleman-Sande (decimation-in-frequency)
+butterfly, which defers the twiddle multiplication until after the add/sub::
+
+    T = A - B
+    A = A + B
+    B = (T * psi) mod p
+
+Both are provided in a strict variant (every result reduced into ``[0, p)``)
+and a lazy variant that matches the paper's ``[0, 4p)`` operand bound, used
+by the GPU kernel models to account for the saved correction instructions.
+"""
+
+from __future__ import annotations
+
+from ..modarith.modops import add_mod, mul_mod, sub_mod
+from ..modarith.reducers import ModMulStrategy
+
+__all__ = [
+    "ct_butterfly",
+    "gs_butterfly",
+    "ct_butterfly_lazy",
+    "butterfly_instruction_count",
+]
+
+
+def ct_butterfly(a: int, b: int, psi: int, p: int) -> tuple[int, int]:
+    """Cooley-Tukey butterfly with strict reduction.
+
+    Args:
+        a: Upper operand, in ``[0, p)``.
+        b: Lower operand, in ``[0, p)``.
+        psi: Twiddle factor, in ``[0, p)``.
+        p: Prime modulus.
+
+    Returns:
+        The pair ``(a + b*psi, a - b*psi) mod p``.
+    """
+    b_hat = mul_mod(b, psi, p)
+    return add_mod(a, b_hat, p), sub_mod(a, b_hat, p)
+
+
+def gs_butterfly(a: int, b: int, psi: int, p: int) -> tuple[int, int]:
+    """Gentleman-Sande butterfly with strict reduction (used by the inverse NTT).
+
+    Returns:
+        The pair ``((a + b) mod p, (a - b) * psi mod p)``.
+    """
+    t = sub_mod(a, b, p)
+    return add_mod(a, b, p), mul_mod(t, psi, p)
+
+
+def ct_butterfly_lazy(
+    a: int, b: int, psi: int, companions: tuple[int, ...], reducer: ModMulStrategy
+) -> tuple[int, int]:
+    """Cooley-Tukey butterfly with lazy (``[0, 4p)``) operand bounds.
+
+    This mirrors Algorithm 2 exactly: the inputs may be as large as ``4p``,
+    the twiddle product is computed with the supplied reducer (typically
+    Shoup's, using its precomputed companion), and the outputs are only
+    guaranteed to lie in ``[0, 4p)``.
+
+    Args:
+        a: Upper operand in ``[0, 4p)``.
+        b: Lower operand in ``[0, 4p)``.
+        psi: Twiddle factor in ``[0, p)``.
+        companions: Precomputed companion words for ``psi`` under ``reducer``.
+        reducer: Modular-multiplication strategy.
+
+    Returns:
+        ``(a + b*psi, a - b*psi)`` with both results in ``[0, 4p)``.
+    """
+    p = reducer.p
+    two_p = 2 * p
+    if a >= 4 * p or b >= 4 * p:
+        raise ValueError("lazy butterfly operands must lie in [0, 4p)")
+    # Conditional reduction of `a` keeps the running bound at 4p, as in SEAL.
+    if a >= two_p:
+        a -= two_p
+    b_hat = reducer.mul_by_constant(b, psi, companions)
+    return a + b_hat, a - b_hat + two_p
+
+
+def butterfly_instruction_count(reducer: ModMulStrategy, lazy: bool = True) -> int:
+    """Machine-instruction estimate for one butterfly under ``reducer``.
+
+    Used by :mod:`repro.gpu.costmodel` to convert butterfly counts into
+    compute time.  A butterfly is one modular multiplication plus an add, a
+    subtract, and (for the strict variant) two conditional corrections.
+    """
+    base = reducer.cost.instructions + 2
+    if not lazy:
+        base += 4  # two compare-and-correct pairs
+    return base

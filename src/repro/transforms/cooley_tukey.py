@@ -1,0 +1,195 @@
+"""Iterative radix-2 Cooley-Tukey NTT and Gentleman-Sande inverse NTT.
+
+This module implements Algorithm 1 of the paper verbatim (forward,
+decimation-in-time, twiddles consumed in bit-reversed order, output produced
+in bit-reversed order) and its conventional inverse (Gentleman-Sande,
+decimation-in-frequency, which consumes bit-reversed input and produces
+naturally ordered output).  Together they realise the merged negacyclic
+transform pair: the ``psi_2N`` powers are folded into the twiddle table, so
+no separate pre/post scaling pass is needed for negacyclic convolution.
+
+These are the *algorithm-level* implementations — they transform real data
+with Python integers.  The GPU-mapped counterparts that additionally report
+memory traffic and instruction counts live in :mod:`repro.kernels`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..modarith.modops import add_mod, inv_mod, mul_mod, pow_mod, sub_mod
+from ..modarith.roots import primitive_root_of_unity
+from .bitrev import bit_reverse_permute, is_power_of_two, log2_exact
+
+__all__ = [
+    "forward_twiddle_table",
+    "inverse_twiddle_table",
+    "ntt_forward_inplace",
+    "ntt_inverse_inplace",
+    "ntt_forward",
+    "ntt_inverse",
+    "negacyclic_multiply",
+    "NegacyclicTransformer",
+]
+
+
+def forward_twiddle_table(n: int, psi_2n: int, p: int) -> list[int]:
+    """Build the forward twiddle table ``Psi[i] = psi_2N^bit_reverse(i)``.
+
+    This is exactly the table Algorithm 1 expects: entry ``m + j`` (for stage
+    ``m`` and butterfly group ``j``) holds the twiddle factor for that group.
+    """
+    if not is_power_of_two(n):
+        raise ValueError("n must be a power of two")
+    powers = [1] * n
+    for i in range(1, n):
+        powers[i] = mul_mod(powers[i - 1], psi_2n, p)
+    return bit_reverse_permute(powers)
+
+
+def inverse_twiddle_table(n: int, psi_2n: int, p: int) -> list[int]:
+    """Build the inverse twiddle table ``Psi_inv[i] = psi_2N^-bit_reverse(i)``."""
+    return forward_twiddle_table(n, inv_mod(psi_2n, p), p)
+
+
+def ntt_forward_inplace(a: list[int], twiddles: Sequence[int], p: int) -> None:
+    """Algorithm 1: in-place forward negacyclic NTT, output in bit-reversed order.
+
+    Args:
+        a: Coefficient vector of power-of-two length; modified in place.
+        twiddles: Table from :func:`forward_twiddle_table` for the same ``n``.
+        p: Prime modulus with ``p ≡ 1 (mod 2n)``.
+    """
+    n = len(a)
+    if not is_power_of_two(n):
+        raise ValueError("length must be a power of two")
+    if len(twiddles) != n:
+        raise ValueError("twiddle table must have exactly n entries")
+    t = n // 2
+    m = 1
+    while m < n:
+        for j in range(m):
+            psi = twiddles[m + j]
+            start = 2 * j * t
+            for k in range(start, start + t):
+                b_hat = mul_mod(a[k + t], psi, p)
+                a[k + t] = sub_mod(a[k], b_hat, p)
+                a[k] = add_mod(a[k], b_hat, p)
+        m *= 2
+        t //= 2
+
+
+def ntt_inverse_inplace(a: list[int], inv_twiddles: Sequence[int], p: int) -> None:
+    """Gentleman-Sande inverse NTT consuming bit-reversed input, in place.
+
+    After the butterfly sweep every coefficient is scaled by ``n^{-1} mod p``,
+    completing the inverse of :func:`ntt_forward_inplace`.
+    """
+    n = len(a)
+    if not is_power_of_two(n):
+        raise ValueError("length must be a power of two")
+    if len(inv_twiddles) != n:
+        raise ValueError("twiddle table must have exactly n entries")
+    t = 1
+    m = n // 2
+    while m >= 1:
+        for j in range(m):
+            psi = inv_twiddles[m + j]
+            start = 2 * j * t
+            for k in range(start, start + t):
+                u = a[k]
+                v = a[k + t]
+                a[k] = add_mod(u, v, p)
+                a[k + t] = mul_mod(sub_mod(u, v, p), psi, p)
+        m //= 2
+        t *= 2
+    n_inv = inv_mod(n, p)
+    for i in range(n):
+        a[i] = mul_mod(a[i], n_inv, p)
+
+
+def ntt_forward(values: Sequence[int], psi_2n: int, p: int) -> list[int]:
+    """Convenience wrapper: forward negacyclic NTT returning a new list."""
+    a = [v % p for v in values]
+    ntt_forward_inplace(a, forward_twiddle_table(len(a), psi_2n, p), p)
+    return a
+
+
+def ntt_inverse(values: Sequence[int], psi_2n: int, p: int) -> list[int]:
+    """Convenience wrapper: inverse negacyclic NTT returning a new list."""
+    a = [v % p for v in values]
+    ntt_inverse_inplace(a, inverse_twiddle_table(len(a), psi_2n, p), p)
+    return a
+
+
+def negacyclic_multiply(a: Sequence[int], b: Sequence[int], psi_2n: int, p: int) -> list[int]:
+    """Multiply two polynomials in ``Z_p[X]/(X^N + 1)`` via NTT.
+
+    Computes ``iNTT(NTT(a) ⊙ NTT(b))`` — the relationship from Section III-A
+    with the ``psi`` powers merged into the transforms.
+    """
+    if len(a) != len(b):
+        raise ValueError("operands must have equal length")
+    fa = ntt_forward(a, psi_2n, p)
+    fb = ntt_forward(b, psi_2n, p)
+    pointwise = [mul_mod(x, y, p) for x, y in zip(fa, fb)]
+    return ntt_inverse(pointwise, psi_2n, p)
+
+
+class NegacyclicTransformer:
+    """Cached transform context for one ``(n, p)`` pair.
+
+    Building twiddle tables costs O(n) modular multiplications; callers that
+    transform many polynomials under the same modulus (the RNS polynomial
+    layer, the HE evaluator) construct one transformer per prime and reuse it.
+
+    Attributes:
+        n: Transform length.
+        p: Prime modulus, ``p ≡ 1 (mod 2n)``.
+        psi: The primitive ``2n``-th root of unity used by the tables.
+    """
+
+    def __init__(self, n: int, p: int, psi_2n: int | None = None) -> None:
+        if not is_power_of_two(n):
+            raise ValueError("n must be a power of two")
+        if (p - 1) % (2 * n) != 0:
+            raise ValueError("p must satisfy p ≡ 1 (mod 2n)")
+        self.n = n
+        self.p = p
+        self.psi = psi_2n if psi_2n is not None else primitive_root_of_unity(2 * n, p)
+        self.log_n = log2_exact(n)
+        self._forward_table = forward_twiddle_table(n, self.psi, p)
+        self._inverse_table = inverse_twiddle_table(n, self.psi, p)
+
+    @property
+    def forward_table(self) -> list[int]:
+        """The bit-reversed forward twiddle table (copy-safe reference)."""
+        return self._forward_table
+
+    @property
+    def inverse_table(self) -> list[int]:
+        """The bit-reversed inverse twiddle table."""
+        return self._inverse_table
+
+    def forward(self, values: Sequence[int]) -> list[int]:
+        """Forward negacyclic NTT of ``values`` (output bit-reversed)."""
+        if len(values) != self.n:
+            raise ValueError("expected %d coefficients, got %d" % (self.n, len(values)))
+        a = [v % self.p for v in values]
+        ntt_forward_inplace(a, self._forward_table, self.p)
+        return a
+
+    def inverse(self, values: Sequence[int]) -> list[int]:
+        """Inverse negacyclic NTT of bit-reversed ``values``."""
+        if len(values) != self.n:
+            raise ValueError("expected %d coefficients, got %d" % (self.n, len(values)))
+        a = [v % self.p for v in values]
+        ntt_inverse_inplace(a, self._inverse_table, self.p)
+        return a
+
+    def multiply(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
+        """Negacyclic product of two coefficient vectors under this context."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        pointwise = [mul_mod(x, y, self.p) for x, y in zip(fa, fb)]
+        return self.inverse(pointwise)

@@ -1,0 +1,107 @@
+"""Floating-point DFT/FFT counterpart used as the comparison workload.
+
+The paper contrasts NTT against an equivalently structured complex-valued
+DFT at several points (Figures 3(b), 5, 11(b)).  This module provides a
+radix-2 Cooley-Tukey FFT with the same stage structure as the NTT in
+:mod:`repro.transforms.cooley_tukey`, so the two workloads differ only in
+their arithmetic (complex floating-point multiply-add versus modular
+multiply-add) and in their twiddle-table behaviour (a single shared table for
+any batch versus one table per RNS prime) — exactly the distinction the
+paper draws in Section IV.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+import cmath
+
+import numpy as np
+
+from .bitrev import bit_reverse_permute, is_power_of_two
+
+__all__ = [
+    "dft_twiddle_table",
+    "fft_forward_inplace",
+    "fft_forward",
+    "fft_inverse",
+    "naive_dft",
+]
+
+
+def dft_twiddle_table(n: int) -> list[complex]:
+    """Bit-reversed table of ``exp(-pi*i*k/n)`` (2N-th roots, mirroring the NTT table).
+
+    Using the 2N-th roots keeps the table layout byte-for-byte comparable to
+    the negacyclic NTT table so that the memory-traffic accounting of the two
+    workloads is directly comparable; the transform computed is the
+    corresponding "odd-frequency" DFT, which is irrelevant for the
+    performance study (the paper's custom FFT likewise skips bit-reversal
+    because only throughput is being measured).
+    """
+    if not is_power_of_two(n):
+        raise ValueError("n must be a power of two")
+    powers = [cmath.exp(-1j * cmath.pi * k / n) for k in range(n)]
+    return bit_reverse_permute(powers)
+
+
+def fft_forward_inplace(a: list[complex], twiddles: Sequence[complex]) -> None:
+    """Radix-2 decimation-in-time FFT sweep with the same loop nest as Algorithm 1."""
+    n = len(a)
+    if not is_power_of_two(n):
+        raise ValueError("length must be a power of two")
+    t = n // 2
+    m = 1
+    while m < n:
+        for j in range(m):
+            w = twiddles[m + j]
+            start = 2 * j * t
+            for k in range(start, start + t):
+                b_hat = a[k + t] * w
+                a[k + t] = a[k] - b_hat
+                a[k] = a[k] + b_hat
+        m *= 2
+        t //= 2
+
+
+def fft_forward(values: Sequence[complex]) -> list[complex]:
+    """Forward FFT (bit-reversed output) of ``values`` using the 2N-th-root table."""
+    a = [complex(v) for v in values]
+    fft_forward_inplace(a, dft_twiddle_table(len(a)))
+    return a
+
+
+def fft_inverse(values: Sequence[complex]) -> list[complex]:
+    """Inverse of :func:`fft_forward` (bit-reversed input, natural output)."""
+    n = len(values)
+    if not is_power_of_two(n):
+        raise ValueError("length must be a power of two")
+    table = [w.conjugate() for w in dft_twiddle_table(n)]
+    a = [complex(v) for v in values]
+    t = 1
+    m = n // 2
+    while m >= 1:
+        for j in range(m):
+            w = table[m + j]
+            start = 2 * j * t
+            for k in range(start, start + t):
+                u = a[k]
+                v = a[k + t]
+                a[k] = u + v
+                a[k + t] = (u - v) * w
+        m //= 2
+        t *= 2
+    return [x / n for x in a]
+
+
+def naive_dft(values: Sequence[complex]) -> np.ndarray:
+    """Quadratic "odd-frequency" DFT matching :func:`fft_forward` in natural order.
+
+    Computes ``X_k = sum_n x_n * exp(-pi*i*n*(2k+1)/N)``, the complex analogue
+    of the merged negacyclic NTT, used as the oracle for the FFT tests.
+    """
+    x = np.asarray(values, dtype=complex)
+    n = len(x)
+    indices = np.arange(n)
+    exponent = np.outer(indices, 2 * indices + 1)
+    matrix = np.exp(-1j * np.pi * exponent / n)
+    return x @ matrix

@@ -1,0 +1,133 @@
+"""Four-step (Bailey) decomposition of the negacyclic NTT.
+
+The shared-memory two-kernel implementation of Section VI-C is, viewed
+algorithmically, the classic four-step transform: an ``N``-point NTT with
+``N = N1 * N2`` is computed as
+
+1. ``N2`` strided ``N1``-point NTTs (the paper's Kernel-1),
+2. an element-wise multiplication by the "twist" factors ``omega^(n2 * k1)``,
+3. ``N1`` contiguous ``N2``-point NTTs (the paper's Kernel-2),
+4. a transpose that brings the result into natural order.
+
+This module provides the functional four-step transform so the decomposition
+the GPU kernels model can be validated exactly: for any ``(N1, N2)`` split
+the output equals the reference negacyclic transform in natural order.  The
+merged negacyclic behaviour is obtained, as in the rest of the library, by
+pre-twisting the input with powers of the ``2N``-th root of unity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..modarith.modops import inv_mod, mul_mod, pow_mod
+from .bitrev import is_power_of_two, log2_exact
+from .stockham import stockham_cyclic_ntt
+
+__all__ = [
+    "four_step_cyclic_ntt",
+    "four_step_negacyclic_ntt",
+    "four_step_negacyclic_intt",
+    "default_split",
+]
+
+
+def default_split(n: int) -> tuple[int, int]:
+    """Split ``n`` into two power-of-two factors as evenly as possible."""
+    bits = log2_exact(n)
+    first = bits // 2
+    return 1 << first, 1 << (bits - first)
+
+
+def four_step_cyclic_ntt(
+    values: Sequence[int], omega: int, p: int, n1: int | None = None
+) -> list[int]:
+    """Cyclic NTT ``X_k = sum_n x_n omega^(n k)`` via the four-step decomposition.
+
+    Args:
+        values: Input vector of power-of-two length ``n``.
+        omega: Primitive ``n``-th root of unity modulo ``p``.
+        p: Prime modulus.
+        n1: Size of the inner (Kernel-1) transforms; ``n2 = n / n1``.  Chosen
+            automatically when omitted.
+
+    Returns:
+        The transform in natural order.
+    """
+    n = len(values)
+    if not is_power_of_two(n):
+        raise ValueError("length must be a power of two")
+    if n1 is None:
+        n1, _ = default_split(n)
+    if not is_power_of_two(n1) or n % n1:
+        raise ValueError("n1 must be a power-of-two divisor of n")
+    n2 = n // n1
+    if n1 == 1 or n2 == 1:
+        return stockham_cyclic_ntt(values, omega, p)
+
+    omega_inner = pow_mod(omega, n2, p)  # primitive n1-th root
+    omega_outer = pow_mod(omega, n1, p)  # primitive n2-th root
+
+    # Step 1: n2 strided n1-point NTTs (column transforms).
+    columns: list[list[int]] = []
+    for n2_index in range(n2):
+        column = [values[n2_index + n2 * n1_index] % p for n1_index in range(n1)]
+        columns.append(stockham_cyclic_ntt(column, omega_inner, p))
+
+    # Step 2: twist by omega^(n2_index * k1).
+    for n2_index in range(n2):
+        twist = 1
+        step = pow_mod(omega, n2_index, p)
+        column = columns[n2_index]
+        for k1 in range(n1):
+            column[k1] = mul_mod(column[k1], twist, p)
+            twist = mul_mod(twist, step, p)
+
+    # Steps 3 + 4: n1 contiguous n2-point NTTs (row transforms) and transpose.
+    result = [0] * n
+    for k1 in range(n1):
+        row = [columns[n2_index][k1] for n2_index in range(n2)]
+        transformed = stockham_cyclic_ntt(row, omega_outer, p)
+        for k2 in range(n2):
+            result[k1 + n1 * k2] = transformed[k2]
+    return result
+
+
+def four_step_negacyclic_ntt(
+    values: Sequence[int], psi_2n: int, p: int, n1: int | None = None
+) -> list[int]:
+    """Merged negacyclic NTT via the four-step decomposition (natural order).
+
+    Equals :func:`repro.transforms.reference.naive_negacyclic_ntt` and the
+    bit-reverse-permuted Cooley-Tukey output for every valid ``(N1, N2)``
+    split.
+    """
+    n = len(values)
+    if not is_power_of_two(n):
+        raise ValueError("length must be a power of two")
+    omega = mul_mod(psi_2n, psi_2n, p)
+    twisted = [0] * n
+    phase = 1
+    for index, value in enumerate(values):
+        twisted[index] = mul_mod(value % p, phase, p)
+        phase = mul_mod(phase, psi_2n, p)
+    return four_step_cyclic_ntt(twisted, omega, p, n1)
+
+
+def four_step_negacyclic_intt(
+    values: Sequence[int], psi_2n: int, p: int, n1: int | None = None
+) -> list[int]:
+    """Inverse of :func:`four_step_negacyclic_ntt` (natural order in and out)."""
+    n = len(values)
+    if not is_power_of_two(n):
+        raise ValueError("length must be a power of two")
+    psi_inv = inv_mod(psi_2n, p)
+    omega_inv = mul_mod(psi_inv, psi_inv, p)
+    n_inv = inv_mod(n, p)
+    swept = four_step_cyclic_ntt([v % p for v in values], omega_inv, p, n1)
+    result = [0] * n
+    phase = 1
+    for index in range(n):
+        result[index] = mul_mod(mul_mod(swept[index], phase, p), n_inv, p)
+        phase = mul_mod(phase, psi_inv, p)
+    return result

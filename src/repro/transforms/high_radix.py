@@ -1,0 +1,164 @@
+"""Pass-structured (high-radix) execution of the Cooley-Tukey NTT.
+
+The register-based high-radix implementation of Section V executes a
+radix-``2^k`` NTT by letting each GPU thread pull ``2^k`` elements into
+registers, run ``k`` consecutive radix-2 stages on them locally, and write
+the results back — so one *pass* over main memory covers ``k`` stages instead
+of one.  The shared-memory implementation generalises this to two kernels,
+each covering a block of stages.
+
+Functionally, grouping stages changes nothing: the butterflies performed are
+exactly those of the radix-2 algorithm.  What changes is the memory-access
+structure, which is what this module captures.  Each pass is executed through
+:func:`run_pass`, which both updates the data and reports a
+:class:`PassStats` describing element loads/stores, distinct twiddle factors
+touched, and butterfly count — the raw quantities the GPU cost model converts
+into time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..modarith.modops import add_mod, mul_mod, sub_mod
+from .bitrev import is_power_of_two, log2_exact
+
+__all__ = [
+    "PassStats",
+    "plan_stage_groups",
+    "run_pass",
+    "ntt_forward_by_passes",
+    "radix_of_group",
+]
+
+
+@dataclass(frozen=True)
+class PassStats:
+    """Memory and compute footprint of one pass over the coefficient vector.
+
+    Attributes:
+        stages: Number of radix-2 stages folded into the pass.
+        radix: ``2**stages`` — the per-pass radix.
+        element_loads: Coefficients read from main memory during the pass.
+        element_stores: Coefficients written back to main memory.
+        twiddle_loads: Distinct twiddle factors the pass needs (one table read
+            each; doubled by the Shoup companion at the kernel layer).
+        butterflies: Radix-2 butterflies executed.
+    """
+
+    stages: int
+    radix: int
+    element_loads: int
+    element_stores: int
+    twiddle_loads: int
+    butterflies: int
+
+
+def radix_of_group(stage_count: int) -> int:
+    """Radix corresponding to ``stage_count`` fused radix-2 stages."""
+    return 1 << stage_count
+
+
+def plan_stage_groups(n: int, radix: int) -> list[int]:
+    """Split the ``log2(n)`` stages into passes of ``log2(radix)`` stages each.
+
+    The final pass absorbs the remainder when ``log2(n)`` is not a multiple of
+    ``log2(radix)`` — matching the paper's Kernel-1/Kernel-2 handling where
+    the last per-thread NTT may be smaller.
+
+    Args:
+        n: Transform length (power of two).
+        radix: Per-pass radix (power of two, ``2 <= radix <= n``).
+
+    Returns:
+        A list of per-pass stage counts summing to ``log2(n)``.
+    """
+    if not is_power_of_two(n):
+        raise ValueError("n must be a power of two")
+    if not is_power_of_two(radix) or radix < 2:
+        raise ValueError("radix must be a power of two >= 2")
+    total_stages = log2_exact(n)
+    per_pass = log2_exact(radix)
+    if per_pass > total_stages:
+        raise ValueError("radix %d exceeds transform size %d" % (radix, n))
+    groups = [per_pass] * (total_stages // per_pass)
+    remainder = total_stages % per_pass
+    if remainder:
+        groups.append(remainder)
+    return groups
+
+
+def run_pass(
+    a: list[int],
+    twiddles: Sequence[int],
+    p: int,
+    first_stage_m: int,
+    stage_count: int,
+) -> PassStats:
+    """Execute ``stage_count`` consecutive radix-2 stages in place.
+
+    Args:
+        a: Coefficient vector (length ``n``), modified in place.
+        twiddles: Bit-reversed twiddle table of length ``n``.
+        p: Prime modulus.
+        first_stage_m: The ``m`` value (number of butterfly groups) of the
+            first stage in this pass; ``m = 1`` for the first stage overall.
+        stage_count: Number of stages to execute.
+
+    Returns:
+        The :class:`PassStats` for the pass.
+    """
+    n = len(a)
+    m = first_stage_m
+    t = n // (2 * m)
+    twiddle_loads = 0
+    butterflies = 0
+    for _ in range(stage_count):
+        for j in range(m):
+            psi = twiddles[m + j]
+            start = 2 * j * t
+            for k in range(start, start + t):
+                b_hat = mul_mod(a[k + t], psi, p)
+                a[k + t] = sub_mod(a[k], b_hat, p)
+                a[k] = add_mod(a[k], b_hat, p)
+        twiddle_loads += m
+        butterflies += (n // 2)
+        m *= 2
+        t //= 2
+    return PassStats(
+        stages=stage_count,
+        radix=radix_of_group(stage_count),
+        element_loads=n,
+        element_stores=n,
+        twiddle_loads=twiddle_loads,
+        butterflies=butterflies,
+    )
+
+
+def ntt_forward_by_passes(
+    a: list[int],
+    twiddles: Sequence[int],
+    p: int,
+    stage_groups: Sequence[int],
+) -> list[PassStats]:
+    """Run the full forward NTT as a sequence of passes, in place.
+
+    Args:
+        a: Coefficient vector, modified in place; its length must be ``2**sum(stage_groups)``.
+        twiddles: Bit-reversed forward twiddle table.
+        p: Prime modulus.
+        stage_groups: Per-pass stage counts (e.g. from :func:`plan_stage_groups`).
+
+    Returns:
+        One :class:`PassStats` per pass, in execution order.
+    """
+    n = len(a)
+    if sum(stage_groups) != log2_exact(n):
+        raise ValueError("stage_groups must sum to log2(len(a))")
+    stats: list[PassStats] = []
+    m = 1
+    for count in stage_groups:
+        stats.append(run_pass(a, twiddles, p, m, count))
+        m <<= count
+    return stats

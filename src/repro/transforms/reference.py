@@ -1,0 +1,114 @@
+"""Reference (quadratic) transforms used as ground truth in tests.
+
+These implementations follow the defining sums directly:
+
+* :func:`naive_ntt` computes ``X_k = sum_n x_n * psi_N^(n*k) mod p``.
+* :func:`naive_negacyclic_ntt` computes the *merged* transform used for
+  negacyclic convolution, ``A_k = sum_n a_n * psi_2N^(n*(2k+1)) mod p``
+  (the formula derived in Section III-A of the paper).
+* :func:`naive_negacyclic_convolution` computes the coefficient-domain
+  negacyclic product ``C = A * B mod (X^N + 1)`` directly from the
+  convolution sum with the sign flip on wrapped terms.
+
+Everything here is O(N^2) or worse; they exist purely as oracles for the
+fast algorithms.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..modarith.modops import mul_mod, pow_mod
+
+__all__ = [
+    "naive_ntt",
+    "naive_intt",
+    "naive_negacyclic_ntt",
+    "naive_negacyclic_intt",
+    "naive_negacyclic_convolution",
+    "naive_cyclic_convolution",
+]
+
+
+def naive_ntt(values: Sequence[int], psi_n: int, p: int) -> list[int]:
+    """Quadratic forward NTT with the ``N``-th root of unity ``psi_n``."""
+    n = len(values)
+    return [
+        sum(values[j] * pow_mod(psi_n, j * k, p) for j in range(n)) % p
+        for k in range(n)
+    ]
+
+
+def naive_intt(values: Sequence[int], psi_n: int, p: int) -> list[int]:
+    """Quadratic inverse NTT (inverse of :func:`naive_ntt`)."""
+    n = len(values)
+    n_inv = pow_mod(n, -1, p)
+    psi_inv = pow_mod(psi_n, -1, p)
+    return [
+        mul_mod(
+            sum(values[j] * pow_mod(psi_inv, j * k, p) for j in range(n)) % p,
+            n_inv,
+            p,
+        )
+        for k in range(n)
+    ]
+
+
+def naive_negacyclic_ntt(values: Sequence[int], psi_2n: int, p: int) -> list[int]:
+    """Quadratic merged negacyclic NTT: ``A_k = sum_n a_n * psi_2N^(n*(2k+1))``."""
+    n = len(values)
+    return [
+        sum(values[j] * pow_mod(psi_2n, j * (2 * k + 1), p) for j in range(n)) % p
+        for k in range(n)
+    ]
+
+
+def naive_negacyclic_intt(values: Sequence[int], psi_2n: int, p: int) -> list[int]:
+    """Quadratic inverse of :func:`naive_negacyclic_ntt`."""
+    n = len(values)
+    n_inv = pow_mod(n, -1, p)
+    psi_inv = pow_mod(psi_2n, -1, p)
+    return [
+        mul_mod(
+            sum(values[k] * pow_mod(psi_inv, j * (2 * k + 1), p) for k in range(n)) % p,
+            n_inv,
+            p,
+        )
+        for j in range(n)
+    ]
+
+
+def naive_negacyclic_convolution(
+    a: Sequence[int], b: Sequence[int], p: int
+) -> list[int]:
+    """Schoolbook negacyclic convolution ``c = a * b mod (X^N + 1, p)``.
+
+    Implements the sum from Section III-A::
+
+        c_k = sum_{i=0}^{k} a_i b_{k-i}  -  sum_{i=k+1}^{N-1} a_i b_{N+k-i}
+    """
+    if len(a) != len(b):
+        raise ValueError("operands must have equal length")
+    n = len(a)
+    result = [0] * n
+    for i in range(n):
+        for j in range(n):
+            term = a[i] * b[j]
+            index = i + j
+            if index < n:
+                result[index] = (result[index] + term) % p
+            else:
+                result[index - n] = (result[index - n] - term) % p
+    return result
+
+
+def naive_cyclic_convolution(a: Sequence[int], b: Sequence[int], p: int) -> list[int]:
+    """Schoolbook cyclic convolution ``c = a * b mod (X^N - 1, p)``."""
+    if len(a) != len(b):
+        raise ValueError("operands must have equal length")
+    n = len(a)
+    result = [0] * n
+    for i in range(n):
+        for j in range(n):
+            result[(i + j) % n] = (result[(i + j) % n] + a[i] * b[j]) % p
+    return result

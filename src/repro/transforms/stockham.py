@@ -1,0 +1,107 @@
+"""Stockham auto-sort NTT (Algorithm 3 of the paper).
+
+The Stockham formulation avoids the explicit bit-reversal permutation of
+Cooley-Tukey by writing each stage's outputs to *permuted* positions in a
+second buffer, so the final result emerges in natural order.  The price is
+out-of-place execution (two buffers alternate as source and destination),
+which is why Section IV argues Cooley-Tukey is preferable for NTT in HE:
+the bit-reversed order that Cooley-Tukey produces is harmless there, and the
+Stockham working set is twice as large.
+
+The implementation here is the classic double-buffered, stride-doubling
+Stockham sweep.  The negacyclic ("merged") transform is obtained by folding
+the ``psi^n`` pre-twist into the input before the sweep — algebraically
+identical to the merged Cooley-Tukey table, and the natural-order output
+equals the Cooley-Tukey output with its bit-reversal undone (the test suite
+checks this equivalence).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..modarith.modops import add_mod, inv_mod, mul_mod, pow_mod, sub_mod
+from .bitrev import is_power_of_two
+
+__all__ = ["stockham_ntt_forward", "stockham_ntt_inverse", "stockham_cyclic_ntt"]
+
+
+def stockham_cyclic_ntt(values: Sequence[int], omega: int, p: int) -> list[int]:
+    """Cyclic NTT ``X_k = sum_j x_j * omega^(j*k)`` via the Stockham sweep.
+
+    Double-buffered, natural order in and out.  ``omega`` must be a primitive
+    ``N``-th root of unity modulo ``p``.
+    """
+    n_total = len(values)
+    if not is_power_of_two(n_total):
+        raise ValueError("length must be a power of two")
+    source = [v % p for v in values]
+    destination = [0] * n_total
+
+    span = n_total  # length of the sub-transforms still to be combined
+    stride = 1      # number of already-combined interleaved sequences
+    while span > 1:
+        half = span // 2
+        # omega restricted to the current sub-transform length: a span-th root.
+        w_step = pow_mod(omega, n_total // span, p)
+        w = 1
+        for j in range(half):
+            for q in range(stride):
+                a = source[q + stride * j]
+                b = source[q + stride * (j + half)]
+                destination[q + stride * (2 * j)] = add_mod(a, b, p)
+                destination[q + stride * (2 * j + 1)] = mul_mod(sub_mod(a, b, p), w, p)
+            w = mul_mod(w, w_step, p)
+        source, destination = destination, source
+        span //= 2
+        stride *= 2
+    return source
+
+
+def stockham_ntt_forward(values: Sequence[int], psi_2n: int, p: int) -> list[int]:
+    """Forward negacyclic NTT via the Stockham algorithm (natural-order output).
+
+    Args:
+        values: Coefficient vector of power-of-two length.
+        psi_2n: Primitive ``2N``-th root of unity modulo ``p``.
+        p: Prime modulus with ``p ≡ 1 (mod 2N)``.
+
+    Returns:
+        The merged negacyclic transform ``A_k = sum_n a_n psi^(n(2k+1))`` in
+        natural (not bit-reversed) order.
+    """
+    n = len(values)
+    if not is_power_of_two(n):
+        raise ValueError("length must be a power of two")
+    omega = mul_mod(psi_2n, psi_2n, p)
+    # Fold the psi^n pre-twist into the input (the "merged" transform).
+    twisted = [0] * n
+    phase = 1
+    for i, v in enumerate(values):
+        twisted[i] = mul_mod(v % p, phase, p)
+        phase = mul_mod(phase, psi_2n, p)
+    return stockham_cyclic_ntt(twisted, omega, p)
+
+
+def stockham_ntt_inverse(values: Sequence[int], psi_2n: int, p: int) -> list[int]:
+    """Inverse of :func:`stockham_ntt_forward` (natural order in and out).
+
+    Uses the identity ``a_j = N^{-1} * psi^{-j} * sum_k X_k * omega^{-jk}``
+    where ``omega = psi^2``: the inner sum is a cyclic Stockham NTT with root
+    ``omega^{-1}``, followed by the ``psi^{-j}`` post-twist and the ``N^{-1}``
+    scaling.
+    """
+    n = len(values)
+    if not is_power_of_two(n):
+        raise ValueError("length must be a power of two")
+    psi_inv = inv_mod(psi_2n, p)
+    omega_inv = mul_mod(psi_inv, psi_inv, p)
+    n_inv = inv_mod(n, p)
+
+    swept = stockham_cyclic_ntt(values, omega_inv, p)
+    result = [0] * n
+    phase = 1
+    for j in range(n):
+        result[j] = mul_mod(mul_mod(swept[j], phase, p), n_inv, p)
+        phase = mul_mod(phase, psi_inv, p)
+    return result

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite.
+
+Correctness tests run at moderate transform sizes (N = 2^4 .. 2^12) so the
+whole suite stays fast while still exercising every code path; the paper's
+full-scale parameters (N = 2^14 .. 2^17, np up to 45) are exercised through
+the analytic performance model in the experiment tests and benchmarks, where
+no per-coefficient arithmetic is required.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.modarith.primes import generate_ntt_primes
+from repro.modarith.roots import primitive_root_of_unity
+
+
+@pytest.fixture(scope="session")
+def small_prime() -> int:
+    """A 17-bit NTT prime compatible with N up to 2^10."""
+    return generate_ntt_primes(17, 1, 1 << 10)[0]
+
+
+@pytest.fixture(scope="session")
+def prime_60bit() -> int:
+    """A 60-bit NTT prime compatible with N up to 2^12 (paper's word size)."""
+    return generate_ntt_primes(60, 1, 1 << 12)[0]
+
+
+@pytest.fixture(scope="session")
+def prime_30bit() -> int:
+    """A 30-bit NTT prime compatible with N up to 2^12 (single-word case)."""
+    return generate_ntt_primes(30, 1, 1 << 12)[0]
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic RNG for reproducible random vectors."""
+    return random.Random(0xC0FFEE)
+
+
+def make_root(n: int, p: int) -> int:
+    """Convenience helper returning a primitive 2N-th root of unity mod p."""
+    return primitive_root_of_unity(2 * n, p)

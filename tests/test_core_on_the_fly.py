@@ -1,0 +1,122 @@
+"""Tests for on-the-fly twiddling (OT) — table factorisation and equivalence."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.on_the_fly import OnTheFlyConfig, OnTheFlyTwiddleGenerator
+from repro.core.twiddle import TwiddleTable
+from repro.modarith.primes import generate_ntt_primes
+from repro.modarith.roots import primitive_root_of_unity
+
+N = 1 << 8
+P = generate_ntt_primes(60, 1, N)[0]
+PSI = primitive_root_of_unity(2 * N, P)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        OnTheFlyConfig(base=3)
+    with pytest.raises(ValueError):
+        OnTheFlyConfig(base=0)
+    with pytest.raises(ValueError):
+        OnTheFlyConfig(ot_stages=-1)
+    assert OnTheFlyConfig().base == 1024
+
+
+def test_table_entries_formula():
+    config = OnTheFlyConfig(base=16, ot_stages=1)
+    assert config.table_entries(1 << 8) == 16 + 16
+    assert config.table_entries(1 << 10) == 16 + 64
+    # the paper's example: base-1024 at N = 2^17 stores 1024 + 128 factors
+    assert OnTheFlyConfig(base=1024).table_entries(1 << 17) == 1024 + (1 << 17) // 1024
+    # base >= n degenerates to the full table
+    assert OnTheFlyConfig(base=1024).table_entries(256) == 256
+
+
+def test_covered_table_indices():
+    config = OnTheFlyConfig(base=16, ot_stages=1)
+    assert config.covered_table_indices(N) == range(N // 2, N)
+    config2 = OnTheFlyConfig(base=16, ot_stages=2)
+    assert config2.covered_table_indices(N) == range(N // 4, N)
+    config0 = OnTheFlyConfig(base=16, ot_stages=0)
+    assert len(config0.covered_table_indices(N)) == 0
+
+
+def test_regenerated_twiddles_match_full_table():
+    """Every regenerated twiddle must equal the corresponding full-table entry."""
+    table = TwiddleTable.build(N, P, PSI)
+    generator = OnTheFlyTwiddleGenerator(N, P, PSI, OnTheFlyConfig(base=16, ot_stages=1))
+    for index in range(N):
+        value, companion = generator.twiddle(index)
+        assert value == table.forward[index]
+        assert companion == table.reducer.precompute(value)[0]
+
+
+def test_inverse_generator_matches_inverse_table():
+    table = TwiddleTable.build(N, P, PSI)
+    generator = OnTheFlyTwiddleGenerator(
+        N, P, PSI, OnTheFlyConfig(base=16, ot_stages=1), inverse=True
+    )
+    for index in range(0, N, 7):
+        assert generator.twiddle(index)[0] == table.inverse[index]
+
+
+def test_apply_to_matches_direct_multiplication():
+    table = TwiddleTable.build(N, P, PSI)
+    generator = OnTheFlyTwiddleGenerator(N, P, PSI, OnTheFlyConfig(base=16, ot_stages=1))
+    operand = 0x123456789ABCDEF % P
+    for index in (0, 1, 15, 16, 17, 100, N - 1):
+        assert generator.apply_to(operand, index) == (operand * table.forward[index]) % P
+
+
+def test_regeneration_counter():
+    generator = OnTheFlyTwiddleGenerator(N, P, PSI, OnTheFlyConfig(base=16, ot_stages=1))
+    assert generator.regeneration_muls == 0
+    # exponent 0 and exponents < base or multiples of base need no extra mul
+    generator.twiddle(0)
+    assert generator.regeneration_muls == 0
+    # find an index whose exponent splits across both tables
+    split_index = next(
+        i for i in range(N) if generator.exponent_for_index(i) % 16 and generator.exponent_for_index(i) >= 16
+    )
+    generator.twiddle(split_index)
+    assert generator.regeneration_muls == 1
+    generator.reset_counters()
+    assert generator.regeneration_muls == 0
+
+
+def test_stored_entries_much_smaller_than_full_table():
+    config = OnTheFlyConfig(base=16, ot_stages=1)
+    generator = OnTheFlyTwiddleGenerator(N, P, PSI, config)
+    assert generator.stored_entries == 16 + N // 16
+    assert generator.stored_entries < N
+    assert generator.stored_bytes(with_shoup=True) == generator.stored_entries * 16
+    assert generator.stored_bytes(with_shoup=False) == generator.stored_entries * 8
+
+
+def test_exponent_for_index_bounds():
+    generator = OnTheFlyTwiddleGenerator(N, P, PSI, OnTheFlyConfig(base=16))
+    with pytest.raises(ValueError):
+        generator.exponent_for_index(-1)
+    with pytest.raises(ValueError):
+        generator.exponent_for_index(N)
+
+
+def test_rejects_non_power_of_two_n():
+    with pytest.raises(ValueError):
+        OnTheFlyTwiddleGenerator(100, P, PSI, OnTheFlyConfig(base=16))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.sampled_from([2, 4, 8, 16, 32, 64]),
+    st.integers(min_value=0, max_value=N - 1),
+)
+def test_factorisation_equivalence_property(base, index):
+    """For every base and every index the regenerated twiddle equals psi^bitrev(index)."""
+    table = TwiddleTable.build(N, P, PSI)
+    generator = OnTheFlyTwiddleGenerator(N, P, PSI, OnTheFlyConfig(base=base, ot_stages=2))
+    assert generator.twiddle(index)[0] == table.forward[index]

@@ -1,0 +1,83 @@
+"""Tests for NTT execution plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.on_the_fly import OnTheFlyConfig
+from repro.core.plan import NTTAlgorithm, NTTPlan, best_smem_plan, default_smem_split
+
+
+def test_radix2_plan_structure():
+    plan = NTTPlan(n=1 << 10, algorithm=NTTAlgorithm.RADIX2)
+    assert plan.stage_groups == [1] * 10
+    assert plan.passes == 10
+    assert plan.label == "radix-2"
+
+
+def test_high_radix_plan_structure():
+    plan = NTTPlan(n=1 << 16, algorithm=NTTAlgorithm.HIGH_RADIX, radix=16)
+    assert plan.stage_groups == [4, 4, 4, 4]
+    assert plan.passes == 4
+    assert plan.label == "radix-16"
+    uneven = NTTPlan(n=1 << 17, algorithm=NTTAlgorithm.HIGH_RADIX, radix=16)
+    assert uneven.stage_groups == [4, 4, 4, 4, 1]
+    assert uneven.passes == 5
+
+
+def test_smem_plan_structure_and_default_split():
+    plan = NTTPlan(n=1 << 17, algorithm=NTTAlgorithm.SMEM)
+    k1, k2 = plan.smem_split
+    assert k1 * k2 == 1 << 17
+    assert plan.passes == 2
+    assert default_smem_split(1 << 17) == (256, 512)
+    assert default_smem_split(1 << 16) == (256, 256)
+    assert default_smem_split(1 << 14) == (128, 128)
+
+
+def test_smem_plan_explicit_split():
+    plan = NTTPlan(n=1 << 17, algorithm=NTTAlgorithm.SMEM, kernel1_size=128, kernel2_size=1024)
+    assert plan.smem_split == (128, 1024)
+    assert plan.stage_groups == [7, 10]
+    assert "128x1024" in plan.label
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        NTTPlan(n=100)
+    with pytest.raises(ValueError):
+        NTTPlan(n=64, word_size_bits=48)
+    with pytest.raises(ValueError):
+        NTTPlan(n=1 << 10, algorithm=NTTAlgorithm.HIGH_RADIX, radix=3)
+    with pytest.raises(ValueError):
+        NTTPlan(n=1 << 10, algorithm=NTTAlgorithm.HIGH_RADIX, radix=1 << 11)
+    with pytest.raises(ValueError):
+        NTTPlan(n=1 << 10, algorithm=NTTAlgorithm.SMEM, kernel1_size=64, kernel2_size=64)
+    with pytest.raises(ValueError):
+        NTTPlan(n=1 << 10, algorithm=NTTAlgorithm.SMEM, per_thread_points=3)
+
+
+def test_ot_label_and_best_plan():
+    plan = best_smem_plan(1 << 17, ot_stages=1)
+    assert plan.ot is not None
+    assert plan.ot.base == 1024
+    assert "+OT(last 1)" in plan.label
+    no_ot = best_smem_plan(1 << 17, ot_stages=0)
+    assert no_ot.ot is None
+    assert "+OT" not in no_ot.label
+    two = best_smem_plan(1 << 16, ot_stages=2)
+    assert two.ot.ot_stages == 2
+
+
+def test_plans_are_hashable_and_frozen():
+    plan = NTTPlan(n=1 << 12)
+    with pytest.raises(AttributeError):
+        plan.n = 1 << 13
+    assert hash(plan) == hash(NTTPlan(n=1 << 12))
+
+
+def test_ot_config_embedded_in_plan():
+    ot = OnTheFlyConfig(base=256, ot_stages=2)
+    plan = NTTPlan(n=1 << 14, ot=ot)
+    assert plan.ot.base == 256
+    assert plan.ot.covered_table_indices(1 << 14) == range(1 << 12, 1 << 14)

@@ -1,0 +1,87 @@
+"""Tests for JSON serialisation of plans and twiddle tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.on_the_fly import OnTheFlyConfig
+from repro.core.plan import NTTAlgorithm, NTTPlan
+from repro.core.serialization import (
+    load_json,
+    plan_from_dict,
+    plan_to_dict,
+    save_json,
+    twiddle_table_from_dict,
+    twiddle_table_to_dict,
+)
+from repro.core.twiddle import TwiddleTable
+from repro.modarith.primes import generate_ntt_primes
+from repro.modarith.roots import primitive_root_of_unity
+
+N = 1 << 5
+P = generate_ntt_primes(40, 1, N)[0]
+PSI = primitive_root_of_unity(2 * N, P)
+
+
+def test_plan_roundtrip_all_fields():
+    plan = NTTPlan(
+        n=1 << 14,
+        algorithm=NTTAlgorithm.SMEM,
+        kernel1_size=128,
+        kernel2_size=128,
+        per_thread_points=4,
+        coalesced=False,
+        preload_twiddles=False,
+        ot=OnTheFlyConfig(base=256, ot_stages=2),
+        word_size_bits=32,
+    )
+    assert plan_from_dict(plan_to_dict(plan)) == plan
+
+
+def test_plan_roundtrip_without_ot():
+    plan = NTTPlan(n=1 << 12, algorithm=NTTAlgorithm.HIGH_RADIX, radix=16)
+    restored = plan_from_dict(plan_to_dict(plan))
+    assert restored == plan
+    assert restored.ot is None
+
+
+def test_plan_from_dict_rejects_wrong_kind():
+    with pytest.raises(ValueError):
+        plan_from_dict({"kind": "something-else"})
+
+
+def test_twiddle_table_roundtrip():
+    table = TwiddleTable(n=N, p=P, psi=PSI)
+    payload = twiddle_table_to_dict(table)
+    restored = twiddle_table_from_dict(payload)
+    assert restored.forward == table.forward
+    assert restored.inverse == table.inverse
+    assert restored.forward_shoup == table.forward_shoup
+    assert restored.p == P and restored.psi == PSI
+
+
+def test_twiddle_table_validation_on_load():
+    table = TwiddleTable(n=N, p=P, psi=PSI)
+    payload = twiddle_table_to_dict(table)
+    with pytest.raises(ValueError):
+        twiddle_table_from_dict({**payload, "kind": "nope"})
+    tampered = dict(payload)
+    tampered["forward"] = list(payload["forward"])
+    tampered["forward"][3] = hex(int(payload["forward"][3], 16) ^ 1)
+    with pytest.raises(ValueError):
+        twiddle_table_from_dict(tampered)
+    bad_modulus = dict(payload)
+    bad_modulus["p"] = hex(P + 2)
+    with pytest.raises(ValueError):
+        twiddle_table_from_dict(bad_modulus)
+
+
+def test_save_and_load_json(tmp_path):
+    plan = NTTPlan(n=1 << 10, ot=OnTheFlyConfig(base=64, ot_stages=1))
+    path = save_json(plan_to_dict(plan), tmp_path / "plan.json")
+    assert path.exists()
+    assert plan_from_dict(load_json(path)) == plan
+
+    table = TwiddleTable(n=N, p=P, psi=PSI)
+    table_path = save_json(twiddle_table_to_dict(table), tmp_path / "table.json")
+    assert twiddle_table_from_dict(load_json(table_path)).forward == table.forward

@@ -1,0 +1,100 @@
+"""Tests for the plan auto-tuner and the extension experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.on_the_fly import OnTheFlyConfig
+from repro.core.plan import NTTAlgorithm, NTTPlan
+from repro.core.tuner import PlanTuner, TunedPlan
+from repro.experiments import device_sensitivity, ntt_share, run_experiment
+from repro.gpu.costmodel import GpuCostModel
+from repro.gpu.device import A100_LIKE, TITAN_V
+
+MODEL = GpuCostModel()
+
+
+# ---------------------------------------------------------------- tuner
+
+
+def test_candidate_plans_cover_all_families():
+    tuner = PlanTuner(MODEL)
+    plans = tuner.candidate_plans(1 << 17)
+    algorithms = {plan.algorithm for plan in plans}
+    assert algorithms == {NTTAlgorithm.RADIX2, NTTAlgorithm.HIGH_RADIX, NTTAlgorithm.SMEM}
+    assert any(plan.ot is not None for plan in plans)
+    assert any(plan.ot is None for plan in plans)
+    with pytest.raises(ValueError):
+        tuner.candidate_plans(1000)
+
+
+def test_small_transform_falls_back_to_default_split():
+    tuner = PlanTuner(MODEL)
+    plans = tuner.candidate_plans(1 << 10)
+    smem_plans = [plan for plan in plans if plan.algorithm is NTTAlgorithm.SMEM]
+    assert smem_plans  # fallback produced at least one SMEM candidate
+
+
+def test_best_plan_matches_paper_conclusion():
+    """The tuned best configuration for (2^17, 21) is an SMEM plan with OT."""
+    tuner = PlanTuner(MODEL)
+    best = tuner.best(1 << 17, 21)
+    assert isinstance(best, TunedPlan)
+    assert best.plan.algorithm is NTTAlgorithm.SMEM
+    assert best.plan.ot is not None and best.plan.ot.ot_stages >= 1
+    assert best.plan.per_thread_points in (4, 8)
+
+
+def test_ranking_is_sorted_and_radix2_is_worst_family():
+    tuner = PlanTuner(MODEL)
+    ranking = tuner.rank(1 << 16, 21)
+    times = [tuned.time_us for tuned in ranking]
+    assert times == sorted(times)
+    radix2_time = next(
+        tuned.time_us for tuned in ranking if tuned.plan.algorithm is NTTAlgorithm.RADIX2
+    )
+    assert radix2_time == pytest.approx(max(times), rel=0.2)
+
+
+def test_evaluate_single_plan():
+    tuner = PlanTuner(MODEL)
+    plan = NTTPlan(n=1 << 16, ot=OnTheFlyConfig(base=1024, ot_stages=1))
+    tuned = tuner.evaluate(plan, 21)
+    assert tuned.time_us > 0
+    assert tuned.dram_mb > 0
+    assert 0 < tuned.bandwidth_utilization < 1
+
+
+def test_tuner_default_model():
+    tuner = PlanTuner()
+    assert tuner.model.device.name == TITAN_V.name
+
+
+# ---------------------------------------------------------------- extension experiments
+
+
+def test_ntt_share_experiment_matches_motivation():
+    result = ntt_share.run(MODEL)
+    assert len(result.rows) == 1
+    row = result.rows[0]
+    assert 0.35 < row["model NTT share"] < 0.65  # paper: 50.04%
+    assert row["NTT traffic (MB)"] > 0
+    assert row["other traffic (MB)"] > 0
+    assert ntt_share.non_ntt_passes(48) == 18
+
+
+def test_device_sensitivity_experiment():
+    result = device_sensitivity.run(MODEL)
+    titan = result.row_by("device", TITAN_V.name)
+    a100 = result.row_by("device", A100_LIKE.name)
+    # conclusions survive the device change…
+    assert titan["speedup vs radix-2"] > 3.0
+    assert a100["speedup vs radix-2"] > 3.0
+    assert a100["OT speedup"] > 1.0
+    # …while absolute times scale with the extra bandwidth.
+    assert a100["SMEM+OT (us)"] < titan["SMEM+OT (us)"]
+
+
+def test_new_experiments_registered():
+    assert run_experiment("ntt_share", MODEL).rows
+    assert run_experiment("devices", MODEL).rows

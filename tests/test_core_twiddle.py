@@ -1,0 +1,82 @@
+"""Tests for the twiddle-table construction and size accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.modarith.modops import mul_mod
+from repro.modarith.primes import generate_ntt_primes
+from repro.modarith.roots import primitive_root_of_unity
+from repro.core.twiddle import TwiddleTable, stage_input_entries, stage_table_entries
+from repro.transforms.cooley_tukey import forward_twiddle_table, inverse_twiddle_table
+
+N = 1 << 6
+P = generate_ntt_primes(60, 1, N)[0]
+PSI = primitive_root_of_unity(2 * N, P)
+
+
+def test_build_matches_free_functions():
+    table = TwiddleTable.build(N, P, PSI)
+    assert table.forward == forward_twiddle_table(N, PSI, P)
+    assert table.inverse == inverse_twiddle_table(N, PSI, P)
+
+
+def test_build_derives_root_when_missing():
+    table = TwiddleTable.build(N, P)
+    assert pow(table.psi, 2 * N, P) == 1
+    assert pow(table.psi, N, P) == P - 1
+
+
+def test_shoup_companions_are_consistent():
+    table = TwiddleTable.build(N, P, PSI)
+    reducer = table.reducer
+    for w, w_bar in zip(table.forward, table.forward_shoup):
+        assert w_bar == reducer.precompute(w)[0]
+    # companions actually produce correct products
+    w, w_bar = table.forward_entry(5)
+    assert reducer.mul_by_constant(123456789, w, (w_bar,)) == (123456789 * w) % P
+    w, w_bar = table.inverse_entry(7)
+    assert reducer.mul_by_constant(987654321, w, (w_bar,)) == (987654321 * w) % P
+
+
+def test_size_accounting():
+    table = TwiddleTable.build(N, P, PSI)
+    assert table.entries == N
+    assert table.words_per_entry == 2
+    assert table.bytes_per_direction(with_shoup=True) == N * 2 * 8
+    assert table.bytes_per_direction(with_shoup=False) == N * 8
+    assert table.total_bytes() == 2 * N * 2 * 8
+    assert table.stages == 6
+
+
+def test_stage_accounting_matches_figure8_shape():
+    """Twiddle entries double per stage while input stays constant (Figure 8)."""
+    assert [stage_table_entries(s) for s in range(1, 7)] == [1, 2, 4, 8, 16, 32]
+    assert stage_input_entries(N) == N
+    table = TwiddleTable.build(N, P, PSI)
+    assert sum(stage_table_entries(s) for s in range(1, table.stages + 1)) == N - 1
+    assert table.stage_bytes(1) == 16
+    assert table.stage_bytes(6, with_shoup=False) == 32 * 8
+    with pytest.raises(ValueError):
+        stage_table_entries(0)
+    with pytest.raises(ValueError):
+        stage_input_entries(100)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TwiddleTable(n=48, p=P, psi=PSI)
+    with pytest.raises(ValueError):
+        TwiddleTable(n=N, p=998244353 - 2, psi=3)
+
+
+def test_paper_table_size_example():
+    """Section IV: for N = 2^17 and np = 45 with Shoup companions the forward
+    tables alone occupy 2 * N * np * 8 bytes ≈ 90 MB — far beyond on-chip SRAM."""
+    n = 1 << 17
+    np_count = 45
+    per_prime_bytes = n * 2 * 8  # one direction, with companions
+    total = per_prime_bytes * np_count
+    assert total > 64 * 1024  # bigger than CMEM
+    assert total > 128 * 1024 * 80  # bigger than all SMEM on an 80-SM GPU
+    assert total == 94371840  # exactly 90 MiB

@@ -1,0 +1,99 @@
+"""Tests for the GPU device description and occupancy calculator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.device import A100_LIKE, DeviceSpec, TITAN_V
+from repro.gpu.occupancy import occupancy, registers_with_spill
+
+
+def test_titan_v_datasheet_numbers():
+    assert TITAN_V.sm_count == 80
+    assert TITAN_V.cores_per_sm == 64
+    assert TITAN_V.max_warps_per_sm == 64
+    assert TITAN_V.register_file_bytes_per_sm == 256 * 1024
+    assert TITAN_V.cmem_bytes == 64 * 1024
+    assert TITAN_V.peak_bandwidth_gbps == pytest.approx(651.0)
+    assert TITAN_V.memory_transaction_bytes == 32
+    TITAN_V.validate()
+    A100_LIKE.validate()
+
+
+def test_lane_throughput_and_bandwidth_units():
+    assert TITAN_V.lane_throughput_per_second == pytest.approx(80 * 64 * 1.2e9)
+    assert TITAN_V.peak_bandwidth_bytes_per_us == pytest.approx(651e3)
+
+
+def test_device_validation_catches_nonsense():
+    bad = DeviceSpec(
+        name="bad", sm_count=0, cores_per_sm=64, clock_ghz=1.0, registers_per_sm=1,
+        max_registers_per_thread=255, smem_bytes_per_sm=1, smem_bytes_per_block_max=1,
+        cmem_bytes=1, max_threads_per_sm=2048, max_threads_per_block=1024,
+        max_blocks_per_sm=32, warp_size=32, peak_bandwidth_gbps=100, l2_bytes=1,
+        memory_transaction_bytes=32, dram_capacity_bytes=1,
+    )
+    with pytest.raises(ValueError):
+        bad.validate()
+
+
+def test_registers_with_spill():
+    assert registers_with_spill(100, TITAN_V) == (100, 0)
+    assert registers_with_spill(255, TITAN_V) == (255, 0)
+    assert registers_with_spill(290, TITAN_V) == (255, 140)
+
+
+def test_occupancy_thread_limited():
+    result = occupancy(TITAN_V, threads_per_block=256, registers_per_thread=16)
+    assert result.limiter == "threads"
+    assert result.blocks_per_sm == 8
+    assert result.warps_per_sm == 64
+    assert result.occupancy == 1.0
+    assert result.spilled_bytes_per_thread == 0
+
+
+def test_occupancy_register_limited():
+    result = occupancy(TITAN_V, threads_per_block=256, registers_per_thread=70)
+    assert result.limiter == "registers"
+    assert result.blocks_per_sm == 65536 // (70 * 256)
+    assert result.occupancy < 1.0
+
+
+def test_occupancy_smem_limited():
+    result = occupancy(
+        TITAN_V, threads_per_block=256, registers_per_thread=32, smem_bytes_per_block=40 * 1024
+    )
+    assert result.limiter == "shared_memory"
+    assert result.blocks_per_sm == 2
+
+
+def test_occupancy_spill_reported():
+    result = occupancy(TITAN_V, threads_per_block=256, registers_per_thread=300)
+    assert result.spilled_bytes_per_thread == (300 - 255) * 4
+    assert result.blocks_per_sm >= 1
+
+
+def test_occupancy_zero_when_block_does_not_fit():
+    result = occupancy(
+        TITAN_V, threads_per_block=256, registers_per_thread=32,
+        smem_bytes_per_block=200 * 1024,
+    )
+    assert result.blocks_per_sm == 0
+    assert result.occupancy == 0.0
+
+
+def test_occupancy_validation():
+    with pytest.raises(ValueError):
+        occupancy(TITAN_V, threads_per_block=0, registers_per_thread=32)
+    with pytest.raises(ValueError):
+        occupancy(TITAN_V, threads_per_block=2048, registers_per_thread=32)
+    with pytest.raises(ValueError):
+        occupancy(TITAN_V, threads_per_block=256, registers_per_thread=-1)
+
+
+def test_occupancy_monotone_in_register_pressure():
+    previous = 65.0
+    for registers in (16, 32, 48, 64, 96, 128, 255):
+        result = occupancy(TITAN_V, threads_per_block=256, registers_per_thread=registers)
+        assert result.warps_per_sm <= previous
+        previous = result.warps_per_sm

@@ -1,0 +1,187 @@
+"""Tests for the coalescing model, traffic accounting, and the cost model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.costmodel import CalibrationConstants, GpuCostModel, KernelLaunch
+from repro.gpu.device import TITAN_V
+from repro.gpu.memory import TrafficCounter, coalescing_efficiency, transactions_per_warp
+
+
+# ---------------------------------------------------------------- coalescing
+
+
+def test_contiguous_access_is_fully_coalesced():
+    assert coalescing_efficiency(8, 1, TITAN_V) == 1.0
+    assert transactions_per_warp(8, 1, TITAN_V) == 8  # 32 threads * 8 B / 32 B
+
+
+def test_strided_access_wastes_bandwidth():
+    # One 8-byte element per 32-byte transaction: the Figure 6(a) case.
+    assert coalescing_efficiency(8, 4, TITAN_V) == pytest.approx(0.25, rel=0.05)
+    assert transactions_per_warp(8, 1024, TITAN_V) == 32
+
+
+def test_large_elements_fill_transactions():
+    assert coalescing_efficiency(32, 1, TITAN_V) == 1.0
+    assert transactions_per_warp(16, 1, TITAN_V) == 16
+
+
+def test_transactions_validation():
+    with pytest.raises(ValueError):
+        transactions_per_warp(0, 1, TITAN_V)
+    with pytest.raises(ValueError):
+        transactions_per_warp(8, 0, TITAN_V)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from([4, 8, 16, 32]), st.integers(min_value=1, max_value=4096))
+def test_efficiency_bounds(element_bytes, stride):
+    eff = coalescing_efficiency(element_bytes, stride, TITAN_V)
+    assert 0 < eff <= 1.0
+
+
+# ---------------------------------------------------------------- traffic
+
+
+def test_traffic_counter_accumulates_by_purpose():
+    counter = TrafficCounter()
+    counter.add_data_read(1000)
+    counter.add_data_write(500)
+    counter.add_twiddle_read(250)
+    counter.add_spill(50)
+    assert counter.data_read == 1000
+    assert counter.total == 1800
+    assert counter.total_mb == pytest.approx(0.0018)
+
+
+def test_traffic_counter_efficiency_inflates_traffic():
+    counter = TrafficCounter()
+    counter.add_data_read(1000, efficiency=0.25)
+    assert counter.data_read == 4000
+
+
+def test_traffic_counter_validation():
+    counter = TrafficCounter()
+    with pytest.raises(ValueError):
+        counter.add_data_read(-1)
+    with pytest.raises(ValueError):
+        counter.add_data_read(100, efficiency=0.0)
+    with pytest.raises(ValueError):
+        counter.add_data_read(100, efficiency=1.5)
+
+
+def test_traffic_counter_merge():
+    a = TrafficCounter(data_read=10, data_written=20, twiddle_read=30, spill=40)
+    b = TrafficCounter(data_read=1, data_written=2, twiddle_read=3, spill=4)
+    merged = a.merged_with(b)
+    assert merged.data_read == 11
+    assert merged.total == 110
+    # merging does not mutate the originals
+    assert a.total == 100 and b.total == 10
+
+
+# ---------------------------------------------------------------- cost model
+
+
+def make_launch(bytes_moved=100e6, compute=0.0, threads=1 << 20, regs=32, smem=0, syncs=0):
+    traffic = TrafficCounter()
+    traffic.add_data_read(bytes_moved / 2)
+    traffic.add_data_write(bytes_moved / 2)
+    return KernelLaunch(
+        name="test",
+        traffic=traffic,
+        compute_slots=compute,
+        threads_total=threads,
+        threads_per_block=256,
+        registers_per_thread=regs,
+        smem_bytes_per_block=smem,
+        block_syncs=syncs,
+    )
+
+
+def test_memory_bound_kernel_time_matches_bandwidth():
+    model = GpuCostModel(TITAN_V)
+    estimate = model.estimate(make_launch(bytes_moved=100e6))
+    expected = 100e6 / (651e3 * model.calibration.max_bandwidth_fraction)
+    assert estimate.memory_time_us == pytest.approx(expected, rel=1e-6)
+    assert estimate.time_us >= estimate.memory_time_us
+    assert estimate.bandwidth_utilization <= model.calibration.max_bandwidth_fraction + 1e-9
+
+
+def test_low_parallelism_reduces_bandwidth():
+    model = GpuCostModel(TITAN_V)
+    full = model.estimate(make_launch(threads=1 << 20))
+    starved = model.estimate(make_launch(threads=1 << 14))
+    assert starved.memory_time_us > full.memory_time_us
+
+
+def test_mlp_reaches_saturation_with_fewer_warps():
+    model = GpuCostModel(TITAN_V)
+    low_mlp = make_launch(threads=1 << 16)
+    high_mlp = make_launch(threads=1 << 16)
+    high_mlp.loads_in_flight_per_thread = 8
+    assert model.estimate(high_mlp).memory_time_us < model.estimate(low_mlp).memory_time_us
+
+
+def test_compute_bound_kernel():
+    model = GpuCostModel(TITAN_V)
+    estimate = model.estimate(make_launch(bytes_moved=1e6, compute=1e12))
+    expected_compute = 1e12 / TITAN_V.lane_throughput_per_second * 1e6
+    assert estimate.compute_time_us == pytest.approx(expected_compute, rel=1e-6)
+    assert estimate.time_us > estimate.memory_time_us
+
+
+def test_sync_penalty_and_launch_overhead():
+    model = GpuCostModel(TITAN_V)
+    no_sync = model.estimate(make_launch(syncs=0))
+    synced = model.estimate(make_launch(syncs=4))
+    assert synced.time_us > no_sync.time_us
+    expected_ratio = 1 + 4 * model.calibration.sync_penalty
+    blended = no_sync.time_us - model.calibration.kernel_launch_us
+    assert synced.time_us - model.calibration.kernel_launch_us == pytest.approx(
+        blended * expected_ratio, rel=1e-6
+    )
+
+
+def test_register_spill_adds_traffic():
+    model = GpuCostModel(TITAN_V)
+    spilled = model.estimate(make_launch(regs=300))
+    clean = model.estimate(make_launch(regs=100))
+    assert spilled.dram_bytes > clean.dram_bytes
+
+
+def test_kernel_that_does_not_fit_raises():
+    model = GpuCostModel(TITAN_V)
+    with pytest.raises(ValueError):
+        model.estimate(make_launch(smem=200 * 1024))
+
+
+def test_estimate_sequence_and_total():
+    model = GpuCostModel(TITAN_V)
+    launches = [make_launch(), make_launch()]
+    estimates = model.estimate_sequence(launches)
+    assert len(estimates) == 2
+    assert model.total_time_us(launches) == pytest.approx(sum(e.time_us for e in estimates))
+
+
+def test_with_calibration_override():
+    model = GpuCostModel(TITAN_V)
+    slower = model.with_calibration(max_bandwidth_fraction=0.5)
+    assert slower.calibration.max_bandwidth_fraction == 0.5
+    assert model.calibration.max_bandwidth_fraction == pytest.approx(0.867)
+    assert slower.estimate(make_launch()).memory_time_us > model.estimate(make_launch()).memory_time_us
+
+
+def test_bandwidth_fraction_ramp_properties():
+    model = GpuCostModel(TITAN_V)
+    cal = model.calibration
+    assert model.bandwidth_fraction(0) == 0
+    assert model.bandwidth_fraction(cal.warps_per_sm_for_peak) == pytest.approx(
+        cal.max_bandwidth_fraction
+    )
+    assert model.bandwidth_fraction(1000) == pytest.approx(cal.max_bandwidth_fraction)
+    assert model.bandwidth_fraction(10) < model.bandwidth_fraction(20)

@@ -1,0 +1,128 @@
+"""Deeper HE workload tests: multi-operation circuits on encrypted data.
+
+These integration tests run small but realistic evaluation chains — the kind
+of workloads whose NTT cost the paper sets out to reduce — and check exact
+end-to-end correctness against plaintext computation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.he import (
+    BatchEncoder,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    HEParams,
+    KeyGenerator,
+    NoiseRefresher,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    """A toy HE context with enough primes for a few multiplications."""
+    params = HEParams(n=64, plaintext_modulus=257, prime_bits=45, prime_count=4, name="workload")
+    keygen = KeyGenerator(params, seed=21)
+    secret = keygen.secret_key()
+    public = keygen.public_key()
+    relin = keygen.relinearization_key()
+    return {
+        "params": params,
+        "encoder": BatchEncoder(params, keygen.basis),
+        "encryptor": Encryptor(params, public, seed=22),
+        "decryptor": Decryptor(params, secret),
+        "evaluator": Evaluator(params),
+        "relin": relin,
+    }
+
+
+def decrypt_slots(context, ciphertext, count):
+    return context["encoder"].decode(context["decryptor"].decrypt(ciphertext))[:count]
+
+
+def test_encrypted_dot_product(context):
+    """Slot-wise dot-product accumulation: sum_i x_i * y_i via multiply + rotations-free add."""
+    t = context["params"].plaintext_modulus
+    rng = random.Random(1)
+    xs = [[rng.randrange(t) for _ in range(4)] for _ in range(3)]
+    ys = [[rng.randrange(t) for _ in range(4)] for _ in range(3)]
+
+    evaluator = context["evaluator"]
+    accumulator = None
+    for x, y in zip(xs, ys):
+        cx = context["encryptor"].encrypt(context["encoder"].encode(x))
+        cy = context["encryptor"].encrypt(context["encoder"].encode(y))
+        term = evaluator.relinearize(evaluator.multiply(cx, cy), context["relin"])
+        accumulator = term if accumulator is None else evaluator.add(accumulator, term)
+
+    expected = [
+        sum(x[i] * y[i] for x, y in zip(xs, ys)) % t
+        for i in range(4)
+    ]
+    assert decrypt_slots(context, accumulator, 4) == expected
+
+
+def test_encrypted_polynomial_evaluation(context):
+    """Evaluate 3*x^2 + 2*x + 1 slot-wise on encrypted data."""
+    t = context["params"].plaintext_modulus
+    rng = random.Random(2)
+    x = [rng.randrange(t) for _ in range(5)]
+    evaluator = context["evaluator"]
+    encoder = context["encoder"]
+
+    cx = context["encryptor"].encrypt(encoder.encode(x))
+    x_squared = evaluator.relinearize(evaluator.square(cx), context["relin"])
+    term2 = evaluator.multiply_plain(x_squared, encoder.encode([3] * context["params"].n))
+    term1 = evaluator.multiply_plain(cx, encoder.encode([2] * context["params"].n))
+    result = evaluator.add_plain(evaluator.add(term2, term1), encoder.encode([1] * context["params"].n))
+
+    expected = [(3 * v * v + 2 * v + 1) % t for v in x]
+    assert decrypt_slots(context, result, 5) == expected
+
+
+def test_two_sequential_multiplications_with_mod_switching(context):
+    """x * y * z with relinearisation and a modulus switch between the products."""
+    t = context["params"].plaintext_modulus
+    rng = random.Random(3)
+    x = [rng.randrange(t) for _ in range(4)]
+    y = [rng.randrange(t) for _ in range(4)]
+    z = [rng.randrange(t) for _ in range(4)]
+    evaluator = context["evaluator"]
+    encoder = context["encoder"]
+    encryptor = context["encryptor"]
+
+    cx, cy, cz = (encryptor.encrypt(encoder.encode(v)) for v in (x, y, z))
+    # Relinearise at the top level (where the key lives), then switch down.
+    xy = evaluator.relinearize(evaluator.multiply(cx, cy), context["relin"])
+    xy = evaluator.mod_switch_to_next(xy)
+    cz = evaluator.mod_switch_to_next(cz)
+    # The second product is decrypted as a size-3 ciphertext: the decryptor
+    # handles higher-degree ciphertexts and level-reduced keys directly.
+    xyz = evaluator.multiply(xy, cz)
+    assert xyz.size == 3
+
+    expected = [(a * b * c) % t for a, b, c in zip(x, y, z)]
+    assert decrypt_slots(context, xyz, 4) == expected
+    assert context["decryptor"].noise_budget_bits(xyz) > 0
+
+
+def test_refresh_enables_longer_chains(context):
+    """A chain of squarings with a noise refresh in the middle stays correct."""
+    t = context["params"].plaintext_modulus
+    evaluator = context["evaluator"]
+    encoder = context["encoder"]
+    x = [3, 5, 7]
+    ciphertext = context["encryptor"].encrypt(encoder.encode(x))
+    refresher = NoiseRefresher(context["encryptor"], context["decryptor"])
+
+    value = [v % t for v in x]
+    for round_index in range(3):
+        ciphertext = evaluator.relinearize(evaluator.square(ciphertext), context["relin"])
+        value = [(v * v) % t for v in value]
+        if round_index == 1:
+            ciphertext = refresher.refresh(ciphertext)
+    assert decrypt_slots(context, ciphertext, 3) == value

@@ -1,0 +1,238 @@
+"""Tests for the GPU kernel models (radix-2, high-radix, SMEM, DFT, OT)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.on_the_fly import OnTheFlyConfig
+from repro.core.plan import NTTAlgorithm, NTTPlan
+from repro.gpu.costmodel import GpuCostModel
+from repro.kernels.base import (
+    KernelModelResult,
+    dft_registers_for_radix,
+    ntt_registers_for_radix,
+    smem_thread_registers,
+)
+from repro.kernels.high_radix import high_radix_dft_model, high_radix_ntt_model
+from repro.kernels.radix2 import butterfly_slots_for_modmul, radix2_ntt_model
+from repro.kernels.smem import per_thread_rounds, smem_dft_model, smem_model_from_plan, smem_ntt_model
+
+MODEL = GpuCostModel()
+N = 1 << 17
+NP = 21
+
+
+# ---------------------------------------------------------------- registers
+
+
+def test_register_tables_monotone_and_spill():
+    previous = 0
+    for radix in (2, 4, 8, 16, 32, 64, 128):
+        ntt = ntt_registers_for_radix(radix)
+        dft = dft_registers_for_radix(radix)
+        assert ntt > previous
+        assert ntt > dft  # the prime + Shoup companion overhead
+        previous = ntt
+    assert ntt_registers_for_radix(128) > 255  # spills to LMEM
+    assert ntt_registers_for_radix(256) == 2 * 256 + 26  # extrapolation path
+    assert dft_registers_for_radix(256) == 256 + 26
+    assert smem_thread_registers(8) == ntt_registers_for_radix(8)
+    assert smem_thread_registers(8, ntt=False) == dft_registers_for_radix(8)
+
+
+# ---------------------------------------------------------------- radix-2
+
+
+def test_radix2_model_structure():
+    result = radix2_ntt_model(N, NP, MODEL)
+    assert isinstance(result, KernelModelResult)
+    assert result.kernel_count == 17  # one kernel per stage
+    assert result.label == "radix-2"
+    assert result.time_us > 0
+    # Data traffic: 17 stages x read+write of N x np 8-byte words, plus twiddles.
+    assert result.dram_bytes > 17 * 2 * N * NP * 8
+    assert result.dram_bytes < 17 * 2 * N * NP * 8 * 1.2
+
+
+def test_radix2_batch_validation():
+    with pytest.raises(ValueError):
+        radix2_ntt_model(N, 0, MODEL)
+
+
+def test_butterfly_slots_lookup():
+    assert butterfly_slots_for_modmul("shoup", MODEL) == MODEL.calibration.shoup_butterfly_slots
+    assert butterfly_slots_for_modmul("native", MODEL) > butterfly_slots_for_modmul("shoup", MODEL)
+    assert butterfly_slots_for_modmul("barrett", MODEL) > butterfly_slots_for_modmul("shoup", MODEL)
+    with pytest.raises(ValueError):
+        butterfly_slots_for_modmul("montgomery-ish", MODEL)
+
+
+def test_shoup_beats_native_modulo():
+    """Figure 1's shape: the Shoup variant is at least 2x faster at (2^17, 45)."""
+    shoup = radix2_ntt_model(N, 45, MODEL, modmul="shoup")
+    native = radix2_ntt_model(N, 45, MODEL, modmul="native")
+    assert native.time_us / shoup.time_us > 2.0
+
+
+def test_batching_improves_per_transform_time():
+    """Figure 3's shape: batching 21 NTTs gives a 1.5-2.5x per-NTT speedup."""
+    single = radix2_ntt_model(N, 1, MODEL).time_us
+    batched = radix2_ntt_model(N, 21, MODEL).time_us / 21
+    assert 1.5 < single / batched < 2.5
+    # and the batched run approaches the saturated bandwidth
+    assert radix2_ntt_model(N, 21, MODEL).bandwidth_utilization > 0.8
+
+
+# ---------------------------------------------------------------- high radix
+
+
+def test_high_radix_traffic_decreases_with_radix():
+    traffic = [high_radix_ntt_model(N, NP, r, MODEL).dram_mb for r in (4, 8, 16, 32, 64)]
+    assert traffic == sorted(traffic, reverse=True)
+
+
+def test_best_ntt_radix_is_16():
+    """Figure 4's headline: radix-16 is the sweet spot for NTT."""
+    times = {r: high_radix_ntt_model(N, NP, r, MODEL).time_us for r in (4, 8, 16, 32, 64, 128)}
+    times[2] = radix2_ntt_model(N, NP, MODEL).time_us
+    assert min(times, key=times.get) == 16
+    # and the speedup over radix-2 is in the right ballpark (paper: 2.41x)
+    assert 2.0 < times[2] / times[16] < 3.5
+
+
+def test_best_dft_radix_is_32():
+    """Figure 5's headline: the DFT tolerates one more radix doubling."""
+    times = {r: high_radix_dft_model(N, NP, r, MODEL).time_us for r in (4, 8, 16, 32, 64, 128)}
+    assert min(times, key=times.get) == 32
+
+
+def test_ntt_occupancy_lower_than_dft_at_radix32():
+    """Section VI-B: NTT occupancy is ~31% lower than DFT at radix-32."""
+    ntt = high_radix_ntt_model(N, NP, 32, MODEL).occupancy
+    dft = high_radix_dft_model(N, NP, 32, MODEL).occupancy
+    assert ntt < dft
+    assert 0.15 < 1 - ntt / dft < 0.45
+
+
+def test_radix32_bandwidth_collapse():
+    """Figure 4(c): the achieved bandwidth drops to ~60% at radix-32."""
+    util = high_radix_ntt_model(N, NP, 32, MODEL).bandwidth_utilization
+    assert 0.45 < util < 0.7
+    assert high_radix_ntt_model(N, NP, 16, MODEL).bandwidth_utilization > util
+
+
+def test_dft_twiddle_table_shared_across_batch():
+    """Section IV: the DFT twiddle table does not grow with the batch size,
+    while the NTT's table traffic scales linearly with np."""
+    dft_single = high_radix_dft_model(N, 1, 16, MODEL)
+    dft_batched = high_radix_dft_model(N, NP, 16, MODEL)
+    ntt_single = high_radix_ntt_model(N, 1, 16, MODEL)
+    ntt_batched = high_radix_ntt_model(N, NP, 16, MODEL)
+    assert dft_batched.dram_bytes < NP * dft_single.dram_bytes  # shared table saves bytes
+    assert ntt_batched.dram_bytes == pytest.approx(NP * ntt_single.dram_bytes, rel=1e-6)
+
+
+# ---------------------------------------------------------------- SMEM
+
+
+def test_per_thread_rounds():
+    assert per_thread_rounds(512, 8) == 3
+    assert per_thread_rounds(512, 2) == 9
+    assert per_thread_rounds(256, 8) == 3
+    assert per_thread_rounds(64, 8) == 2
+    assert per_thread_rounds(8, 8) == 1
+
+
+def test_smem_model_two_kernels():
+    result = smem_ntt_model(N, NP, MODEL, 256, 512)
+    assert result.kernel_count == 2
+    assert result.estimates[0].name.startswith("Kernel-1")
+    assert result.estimates[1].name.startswith("Kernel-2")
+    assert "smem 256x512" in result.label
+
+
+def test_smem_split_validation():
+    with pytest.raises(ValueError):
+        smem_ntt_model(N, NP, MODEL, 256, 256)
+
+
+def test_smem_beats_register_high_radix():
+    """Figure 11(a): every SMEM configuration beats the best register implementation."""
+    register_best = high_radix_ntt_model(N, NP, 16, MODEL).time_us
+    for per_thread in (4, 8):
+        for split in ((512, 256), (256, 512), (128, 1024)):
+            smem = smem_ntt_model(N, NP, MODEL, *split, per_thread_points=per_thread)
+            assert smem.time_us < register_best
+
+
+def test_smem_radix2_speedup_in_paper_range():
+    """Table II: SMEM is 3.4-4.3x faster than radix-2 (model tolerance 3-5x)."""
+    for log_n in (14, 17):
+        n = 1 << log_n
+        split = (128, 128) if log_n == 14 else (256, 512)
+        radix2 = radix2_ntt_model(n, NP, MODEL).time_us
+        smem = smem_ntt_model(n, NP, MODEL, *split).time_us
+        assert 3.0 < radix2 / smem < 5.0
+
+
+def test_small_per_thread_ntt_is_slower():
+    """Figure 11(a): 2-point per-thread NTTs lose to 8-point (more synchronisations)."""
+    two = smem_ntt_model(N, NP, MODEL, 512, 256, per_thread_points=2).time_us
+    eight = smem_ntt_model(N, NP, MODEL, 512, 256, per_thread_points=8).time_us
+    assert two > eight * 1.1
+
+
+def test_coalescing_speeds_up_kernel1():
+    """Figure 7: coalesced Kernel-1 is 15-40% faster than the uncoalesced one."""
+    coalesced = smem_ntt_model(N, NP, MODEL, 256, 512, coalesced=True).estimates[0]
+    uncoalesced = smem_ntt_model(N, NP, MODEL, 256, 512, coalesced=False).estimates[0]
+    assert 1.15 < uncoalesced.time_us / coalesced.time_us < 1.45
+
+
+def test_twiddle_preload_speeds_up_kernel1():
+    """Figure 9: preloading the twiddles into SMEM helps Kernel-1 by a few percent."""
+    preload = smem_ntt_model(N, NP, MODEL, 256, 512, preload_twiddles=True).estimates[0]
+    plain = smem_ntt_model(N, NP, MODEL, 256, 512, preload_twiddles=False).estimates[0]
+    assert 1.02 < plain.time_us / preload.time_us < 1.3
+
+
+def test_ot_reduces_traffic_and_time():
+    """Figure 12: OT removes ~20-25% of the DRAM traffic and ~8-13% of the time."""
+    base = smem_ntt_model(N, NP, MODEL, 256, 512)
+    with_ot = smem_ntt_model(N, NP, MODEL, 256, 512, ot=OnTheFlyConfig(base=1024, ot_stages=2))
+    traffic_reduction = 1 - with_ot.dram_mb / base.dram_mb
+    speedup = base.time_us / with_ot.time_us
+    assert 0.15 < traffic_reduction < 0.30
+    assert 1.05 < speedup < 1.20
+    # OT shifts the bottleneck: bandwidth utilisation drops (paper: by ~16.7%)
+    assert with_ot.bandwidth_utilization < base.bandwidth_utilization
+
+
+def test_ot_single_stage_saves_less_than_two():
+    one = smem_ntt_model(N, NP, MODEL, 256, 512, ot=OnTheFlyConfig(1024, 1))
+    two = smem_ntt_model(N, NP, MODEL, 256, 512, ot=OnTheFlyConfig(1024, 2))
+    assert two.dram_mb < one.dram_mb
+
+
+def test_dft_smem_model_runs_and_is_faster_than_ntt():
+    ntt = smem_ntt_model(N, NP, MODEL, 256, 512)
+    dft = smem_dft_model(N, NP, MODEL, 256, 512)
+    assert dft.time_us < ntt.time_us  # shared twiddle table, cheaper arithmetic
+    assert dft.kernel_count == 2
+
+
+def test_smem_model_from_plan_dispatch():
+    radix2 = smem_model_from_plan(NTTPlan(n=N, algorithm=NTTAlgorithm.RADIX2), NP, MODEL)
+    assert radix2.kernel_count == 17
+    high = smem_model_from_plan(NTTPlan(n=N, algorithm=NTTAlgorithm.HIGH_RADIX, radix=16), NP, MODEL)
+    assert high.kernel_count == 5
+    smem = smem_model_from_plan(NTTPlan(n=N, ot=OnTheFlyConfig(1024, 1)), NP, MODEL)
+    assert smem.kernel_count == 2
+    assert "+OT" in smem.label
+
+
+def test_figure13_linearity_in_batch_size():
+    """Figure 13: execution time grows linearly in np once the GPU is saturated."""
+    t21 = smem_ntt_model(N, 21, MODEL, 256, 512).time_us
+    t42 = smem_ntt_model(N, 42, MODEL, 256, 512).time_us
+    assert t42 / t21 == pytest.approx(2.0, rel=0.05)

@@ -1,0 +1,74 @@
+"""Tests for the end-to-end polynomial-multiplication model and the profile report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.on_the_fly import OnTheFlyConfig
+from repro.gpu.costmodel import GpuCostModel
+from repro.gpu.trace import profile_report, summarize
+from repro.kernels.polymul import (
+    PolynomialMultiplyEstimate,
+    dyadic_multiply_launch,
+    polynomial_multiply_model,
+)
+from repro.kernels.smem import smem_ntt_model
+
+MODEL = GpuCostModel()
+N = 1 << 17
+NP = 21
+
+
+def test_dyadic_launch_traffic():
+    launch = dyadic_multiply_launch(N, NP)
+    assert launch.traffic.data_read == 2 * N * NP * 8
+    assert launch.traffic.data_written == N * NP * 8
+    assert launch.compute_slots > 0
+
+
+def test_polynomial_multiply_breakdown():
+    estimate = polynomial_multiply_model(N, NP, MODEL, 256, 512)
+    assert isinstance(estimate, PolynomialMultiplyEstimate)
+    assert estimate.total_time_us == pytest.approx(
+        estimate.forward_a.time_us
+        + estimate.forward_b.time_us
+        + estimate.inverse.time_us
+        + estimate.dyadic_time_us
+    )
+    assert estimate.ntt_time_us < estimate.total_time_us
+    # The introduction's point: NTTs dominate the polynomial product.
+    assert estimate.ntt_share > 0.5
+
+
+def test_polynomial_multiply_benefits_from_ot():
+    base = polynomial_multiply_model(N, NP, MODEL, 256, 512)
+    with_ot = polynomial_multiply_model(
+        N, NP, MODEL, 256, 512, ot=OnTheFlyConfig(base=1024, ot_stages=2)
+    )
+    assert with_ot.total_time_us < base.total_time_us
+    assert with_ot.dyadic_time_us == pytest.approx(base.dyadic_time_us)
+
+
+def test_summarize_and_profile_report():
+    result = smem_ntt_model(N, NP, MODEL, 256, 512)
+    totals = summarize(result.estimates)
+    assert totals["time_us"] == pytest.approx(result.time_us)
+    assert totals["dram_mb"] == pytest.approx(result.dram_mb)
+    assert 0 < totals["bandwidth_utilization"] < 1
+    assert 0 < totals["occupancy"] <= 1
+
+    report = profile_report(result.estimates, title="smem profile")
+    assert "smem profile" in report
+    assert "Kernel-1" in report and "Kernel-2" in report
+    assert "total" in report
+    assert len(report.splitlines()) >= 7
+
+
+def test_summarize_empty_sequence():
+    totals = summarize([])
+    assert totals == {
+        "time_us": 0.0,
+        "dram_mb": 0.0,
+        "bandwidth_utilization": 0.0,
+        "occupancy": 0.0,
+    }

@@ -1,0 +1,96 @@
+"""Unit and property tests for scalar modular operations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.modarith.modops import (
+    add_mod,
+    inv_mod,
+    lazy_reduce,
+    mul_mod,
+    neg_mod,
+    pow_mod,
+    sub_mod,
+)
+
+P = 998244353  # classic NTT prime (119 * 2^23 + 1)
+
+
+def test_add_mod_basic():
+    assert add_mod(1, 2, 7) == 3
+    assert add_mod(5, 6, 7) == 4
+    assert add_mod(6, 1, 7) == 0
+
+
+def test_sub_mod_basic():
+    assert sub_mod(5, 3, 7) == 2
+    assert sub_mod(3, 5, 7) == 5
+    assert sub_mod(0, 0, 7) == 0
+
+
+def test_neg_mod_basic():
+    assert neg_mod(0, 7) == 0
+    assert neg_mod(3, 7) == 4
+
+
+def test_mul_mod_basic():
+    assert mul_mod(3, 5, 7) == 1
+    assert mul_mod(0, 5, 7) == 0
+
+
+def test_pow_mod_positive_and_negative_exponents():
+    assert pow_mod(2, 10, P) == 1024
+    assert pow_mod(2, 0, P) == 1
+    inv2 = pow_mod(2, -1, P)
+    assert mul_mod(2, inv2, P) == 1
+    assert pow_mod(2, -3, P) == pow_mod(inv2, 3, P)
+
+
+def test_inv_mod_roundtrip():
+    for a in (1, 2, 3, 12345, P - 1):
+        assert mul_mod(a, inv_mod(a, P), P) == 1
+
+
+def test_inv_mod_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        inv_mod(0, P)
+    with pytest.raises(ZeroDivisionError):
+        inv_mod(P, P)
+
+
+def test_lazy_reduce_in_bound():
+    assert lazy_reduce(0, 7) == 0
+    assert lazy_reduce(3 * 7 + 2, 7) == 2
+    assert lazy_reduce(4 * 7 - 1, 7) == 6
+
+
+def test_lazy_reduce_out_of_bound_raises():
+    with pytest.raises(ValueError):
+        lazy_reduce(4 * 7, 7)
+    with pytest.raises(ValueError):
+        lazy_reduce(-1, 7)
+
+
+@given(st.integers(min_value=0, max_value=P - 1), st.integers(min_value=0, max_value=P - 1))
+def test_add_sub_inverse_property(a, b):
+    assert sub_mod(add_mod(a, b, P), b, P) == a
+    assert add_mod(sub_mod(a, b, P), b, P) == a
+
+
+@given(st.integers(min_value=1, max_value=P - 1))
+def test_inverse_property(a):
+    assert mul_mod(a, inv_mod(a, P), P) == 1
+
+
+@given(
+    st.integers(min_value=0, max_value=P - 1),
+    st.integers(min_value=0, max_value=P - 1),
+    st.integers(min_value=0, max_value=P - 1),
+)
+def test_mul_distributes_over_add(a, b, c):
+    left = mul_mod(a, add_mod(b, c, P), P)
+    right = add_mod(mul_mod(a, b, P), mul_mod(a, c, P), P)
+    assert left == right

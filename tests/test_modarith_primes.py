@@ -1,0 +1,96 @@
+"""Tests for NTT-friendly prime generation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.modarith.primes import (
+    PrimeChain,
+    generate_ntt_primes,
+    generate_prime_chain,
+    is_ntt_prime,
+    is_probable_prime,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 998244353, 0xFFFFFFFF00000001, (1 << 61) - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 9, 100, 561, 341550071728321, (1 << 61) - 2]
+
+
+@pytest.mark.parametrize("p", KNOWN_PRIMES)
+def test_known_primes(p):
+    assert is_probable_prime(p)
+
+
+@pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+def test_known_composites(n):
+    assert not is_probable_prime(n)
+
+
+def test_is_ntt_prime_congruence():
+    # 998244353 = 119 * 2^23 + 1, so it supports NTTs up to N = 2^22.
+    assert is_ntt_prime(998244353, 1 << 10)
+    assert is_ntt_prime(998244353, 1 << 22)
+    assert not is_ntt_prime(998244353, 1 << 23)
+    assert not is_ntt_prime(998244354, 1 << 10)
+
+
+def test_is_ntt_prime_rejects_non_power_of_two_n():
+    with pytest.raises(ValueError):
+        is_ntt_prime(998244353, 3)
+
+
+def test_generate_ntt_primes_properties():
+    n = 1 << 10
+    primes = generate_ntt_primes(30, 5, n)
+    assert len(primes) == 5
+    assert len(set(primes)) == 5
+    for p in primes:
+        assert p.bit_length() == 30
+        assert p % (2 * n) == 1
+        assert is_probable_prime(p)
+    assert primes == sorted(primes, reverse=True)
+
+
+def test_generate_ntt_primes_60bit():
+    n = 1 << 12
+    primes = generate_ntt_primes(60, 3, n)
+    for p in primes:
+        assert p.bit_length() == 60
+        assert p % (2 * n) == 1
+
+
+def test_generate_ntt_primes_errors():
+    with pytest.raises(ValueError):
+        generate_ntt_primes(1, 1, 16)
+    with pytest.raises(ValueError):
+        generate_ntt_primes(30, 0, 16)
+    with pytest.raises(ValueError):
+        generate_ntt_primes(30, 1, 17)
+    with pytest.raises(ValueError):
+        generate_ntt_primes(10, 1, 1 << 10)  # 2^10 <= 2n
+    with pytest.raises(ValueError):
+        generate_ntt_primes(14, 1000, 1 << 10)  # not enough primes of that size
+
+
+def test_prime_chain_modulus_and_logq():
+    chain = generate_prime_chain(30, 4, 1 << 10)
+    assert isinstance(chain, PrimeChain)
+    assert chain.count == 4
+    product = 1
+    for p in chain.primes:
+        product *= p
+    assert chain.modulus == product
+    assert chain.log_q == product.bit_length()
+    assert chain.n == 1 << 10
+    assert chain.bit_size == 30
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=4, max_value=10))
+def test_generated_primes_support_requested_ntt_size(log_n):
+    n = 1 << log_n
+    primes = generate_ntt_primes(25, 2, n)
+    for p in primes:
+        assert is_ntt_prime(p, n)

@@ -1,0 +1,133 @@
+"""Tests for the modular-multiplication strategies (native/Barrett/Shoup/Montgomery)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.modarith.primes import generate_ntt_primes
+from repro.modarith.reducers import (
+    REDUCER_NAMES,
+    BarrettModMul,
+    MontgomeryModMul,
+    NativeModMul,
+    OpCost,
+    ShoupModMul,
+    make_reducer,
+)
+from repro.modarith.word import WORD32, WORD64
+
+P60 = generate_ntt_primes(60, 1, 1 << 12)[0]
+P30 = generate_ntt_primes(30, 1, 1 << 10)[0]
+
+
+@pytest.mark.parametrize("name", REDUCER_NAMES)
+def test_make_reducer_returns_named_strategy(name):
+    reducer = make_reducer(name, P60)
+    assert reducer.name == name
+    assert reducer.p == P60
+
+
+def test_make_reducer_unknown_name():
+    with pytest.raises(ValueError):
+        make_reducer("fancy", P60)
+
+
+def test_modulus_bound_enforced():
+    # p must be < 2^62 for 64-bit lazy arithmetic.
+    with pytest.raises(ValueError):
+        NativeModMul((1 << 63) - 25, WORD64)
+    with pytest.raises(ValueError):
+        ShoupModMul(P60, WORD32)  # 60-bit prime cannot use 32-bit words
+    with pytest.raises(ValueError):
+        NativeModMul(2)
+
+
+@pytest.mark.parametrize("name", REDUCER_NAMES)
+@pytest.mark.parametrize("p", [P30, P60])
+def test_mul_matches_native_semantics(name, p):
+    reducer = make_reducer(name, p)
+    cases = [(0, 0), (1, 1), (p - 1, p - 1), (12345, 67890), (p - 2, 3)]
+    for a, b in cases:
+        assert reducer.mul(a, b) == (a * b) % p
+
+
+def test_shoup_mul_by_constant_matches_reference():
+    reducer = ShoupModMul(P60)
+    constant = 987654321987654321 % P60
+    companions = reducer.precompute(constant)
+    for a in (0, 1, P60 - 1, 2**61 % P60, 424242):
+        assert reducer.mul_by_constant(a, constant, companions) == (a * constant) % P60
+
+
+def test_shoup_accepts_lazy_operands_up_to_4p():
+    """Algorithm 4 admits 0 <= b < 4p; the result must still be correct mod p."""
+    reducer = ShoupModMul(P60)
+    constant = 0x123456789ABCDEF % P60
+    companions = reducer.precompute(constant)
+    for b in (P60, 2 * P60 - 1, 3 * P60 + 7, 4 * P60 - 1):
+        result = reducer.mul_by_constant(b, constant, companions)
+        assert result % P60 == (b * constant) % P60
+        assert 0 <= result < 2 * P60
+
+
+def test_shoup_precompute_validates_range():
+    reducer = ShoupModMul(P60)
+    with pytest.raises(ValueError):
+        reducer.precompute(P60)
+    with pytest.raises(ValueError):
+        reducer.precompute(-1)
+
+
+def test_barrett_reduce_double_word():
+    reducer = BarrettModMul(P60)
+    assert reducer.mu == (1 << 128) // P60
+    for value in (0, P60 - 1, P60, 2 * P60 + 3, (P60 - 1) ** 2):
+        assert reducer.reduce(value) == value % P60
+    with pytest.raises(ValueError):
+        reducer.reduce(-1)
+
+
+def test_montgomery_domain_roundtrip():
+    reducer = MontgomeryModMul(P60)
+    for a in (0, 1, 2, P60 - 1, 123456789):
+        assert reducer.from_montgomery(reducer.to_montgomery(a)) == a
+
+
+def test_montgomery_mul_in_domain():
+    reducer = MontgomeryModMul(P60)
+    a, b = 111111111111111, 222222222222222
+    am, bm = reducer.to_montgomery(a), reducer.to_montgomery(b)
+    assert reducer.from_montgomery(reducer.mul_montgomery(am, bm)) == (a * b) % P60
+
+
+def test_cost_metadata_shapes():
+    """The relative instruction counts must reflect the paper's ordering:
+    Shoup < Barrett < native, and Shoup needs one extra precomputed word."""
+    shoup = ShoupModMul(P60).cost
+    barrett = BarrettModMul(P60).cost
+    native = NativeModMul(P60).cost
+    assert isinstance(shoup, OpCost)
+    assert shoup.instructions < barrett.instructions < native.instructions
+    assert native.latency_cycles >= 500
+    assert shoup.precomputed_words == 1
+    assert native.precomputed_words == 0
+    assert barrett.precomputed_words == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=P60 - 1), st.integers(min_value=0, max_value=P60 - 1))
+def test_all_reducers_agree(a, b):
+    expected = (a * b) % P60
+    for name in REDUCER_NAMES:
+        assert make_reducer(name, P60).mul(a, b) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=4 * P60 - 1), st.integers(min_value=0, max_value=P60 - 1))
+def test_shoup_lazy_property(b, w):
+    reducer = ShoupModMul(P60)
+    result = reducer.mul_by_constant(b, w, reducer.precompute(w))
+    assert result % P60 == (b * w) % P60
+    assert 0 <= result < 2 * P60

@@ -1,0 +1,94 @@
+"""Unit tests for fixed-width word helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.modarith.word import (
+    WORD32,
+    WORD64,
+    WordSpec,
+    bit_length_fits,
+    mask,
+    mul_hi,
+    mul_lo,
+    mul_wide,
+    wrap_add,
+    wrap_mul,
+    wrap_sub,
+)
+
+
+def test_word_spec_properties():
+    assert WORD32.modulus == 2**32
+    assert WORD64.modulus == 2**64
+    assert WORD32.max_value == 2**32 - 1
+    assert WORD64.contains(2**64 - 1)
+    assert not WORD64.contains(2**64)
+    assert not WORD64.contains(-1)
+
+
+def test_mask_truncates_to_word():
+    assert mask(2**64 + 5) == 5
+    assert mask(2**32 + 7, WORD32) == 7
+    assert mask(3) == 3
+
+
+def test_wrap_add_wraps():
+    assert wrap_add(WORD64.max_value, 1) == 0
+    assert wrap_add(10, 20) == 30
+    assert wrap_add(WORD32.max_value, 2, WORD32) == 1
+
+
+def test_wrap_sub_wraps():
+    assert wrap_sub(0, 1) == WORD64.max_value
+    assert wrap_sub(5, 3) == 2
+
+
+def test_wrap_mul_keeps_low_word():
+    assert wrap_mul(2**63, 2) == 0
+    assert wrap_mul(3, 4) == 12
+
+
+def test_mul_wide_splits_product():
+    hi, lo = mul_wide(2**63, 4)
+    assert hi == 2
+    assert lo == 0
+    hi, lo = mul_wide(123, 456)
+    assert hi == 0
+    assert lo == 123 * 456
+
+
+def test_mul_hi_lo_consistency():
+    a, b = 0xDEADBEEFCAFEBABE, 0x123456789ABCDEF
+    assert mul_hi(a, b) * 2**64 + mul_lo(a, b) == a * b
+
+
+def test_bit_length_fits():
+    assert bit_length_fits(0, WORD32)
+    assert bit_length_fits(2**32 - 1, WORD32)
+    assert not bit_length_fits(2**32, WORD32)
+    assert not bit_length_fits(-1, WORD32)
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1), st.integers(min_value=0, max_value=2**64 - 1))
+def test_mul_wide_reconstructs_product(a, b):
+    hi, lo = mul_wide(a, b)
+    assert hi * 2**64 + lo == a * b
+    assert 0 <= lo < 2**64
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1), st.integers(min_value=0, max_value=2**64 - 1))
+def test_wrap_ops_match_modular_semantics(a, b):
+    assert wrap_add(a, b) == (a + b) % 2**64
+    assert wrap_sub(a, b) == (a - b) % 2**64
+    assert wrap_mul(a, b) == (a * b) % 2**64
+
+
+def test_custom_word_spec():
+    w8 = WordSpec(bits=8)
+    assert w8.modulus == 256
+    assert wrap_add(200, 100, w8) == 44
+    assert mul_hi(16, 16, w8) == 1

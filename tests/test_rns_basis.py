@@ -1,0 +1,104 @@
+"""Tests for the RNS basis and CRT reconstruction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.modarith.primes import generate_ntt_primes
+from repro.rns.basis import RnsBasis
+
+N = 1 << 6
+
+
+def make_basis(count=3, bits=30):
+    return RnsBasis.generate(N, count, bit_size=bits)
+
+
+def test_generate_basis_properties():
+    basis = make_basis(4)
+    assert basis.count == 4
+    assert len(basis) == 4
+    assert basis.n == N
+    expected = 1
+    for p in basis:
+        expected *= p
+        assert p % (2 * N) == 1
+    assert basis.modulus == expected
+    assert basis.log_q == expected.bit_length()
+    assert basis[0] == basis.primes[0]
+
+
+def test_basis_validation_errors():
+    primes = generate_ntt_primes(30, 2, N)
+    with pytest.raises(ValueError):
+        RnsBasis(primes=(), n=N)
+    with pytest.raises(ValueError):
+        RnsBasis(primes=(primes[0], primes[0]), n=N)
+    with pytest.raises(ValueError):
+        RnsBasis(primes=(15,), n=N)  # not prime
+    with pytest.raises(ValueError):
+        RnsBasis(primes=(998244353 + 2,), n=N)  # not congruent / not prime
+
+
+def test_from_primes_roundtrip():
+    primes = generate_ntt_primes(30, 3, N)
+    basis = RnsBasis.from_primes(primes, N)
+    assert basis.primes == tuple(primes)
+
+
+def test_crt_roundtrip_small_values():
+    basis = make_basis(3)
+    for value in (0, 1, 42, basis.modulus - 1, basis.modulus // 2):
+        assert basis.from_residues(basis.to_residues(value)) == value
+
+
+def test_crt_residues_are_reduced():
+    basis = make_basis(3)
+    residues = basis.to_residues(basis.modulus + 5)
+    assert basis.from_residues(residues) == 5
+    for r, p in zip(residues, basis.primes):
+        assert 0 <= r < p
+
+
+def test_centered_reconstruction():
+    basis = make_basis(2)
+    assert basis.from_residues_centered(basis.to_residues(-3)) == -3
+    assert basis.from_residues_centered(basis.to_residues(7)) == 7
+    half = basis.modulus // 2
+    assert basis.from_residues_centered(basis.to_residues(half)) == half
+    assert basis.from_residues_centered(basis.to_residues(half + 1)) == half + 1 - basis.modulus
+
+
+def test_from_residues_length_check():
+    basis = make_basis(3)
+    with pytest.raises(ValueError):
+        basis.from_residues([1, 2])
+
+
+def test_drop_last():
+    basis = make_basis(4)
+    smaller = basis.drop_last(1)
+    assert smaller.count == 3
+    assert smaller.primes == basis.primes[:3]
+    with pytest.raises(ValueError):
+        basis.drop_last(4)
+    with pytest.raises(ValueError):
+        basis.drop_last(0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0))
+def test_crt_roundtrip_property(value):
+    basis = RnsBasis.from_primes(generate_ntt_primes(30, 3, N), N)
+    reduced = value % basis.modulus
+    assert basis.from_residues(basis.to_residues(value)) == reduced
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=-(10**18), max_value=10**18))
+def test_centered_roundtrip_property(value):
+    basis = RnsBasis.from_primes(generate_ntt_primes(30, 3, N), N)
+    assert abs(value) < basis.modulus // 2
+    assert basis.from_residues_centered(basis.to_residues(value)) == value

@@ -1,0 +1,151 @@
+"""Tests for RNS polynomials (double-CRT representation)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.rns.basis import RnsBasis
+from repro.rns.poly import Domain, RnsPolynomial, TransformerCache
+from repro.transforms.reference import naive_negacyclic_convolution
+
+N = 1 << 5
+BASIS = RnsBasis.generate(N, 3, bit_size=30)
+
+
+def random_coeffs(seed=0, bound=1000):
+    rng = random.Random(seed)
+    return [rng.randrange(-bound, bound) for _ in range(N)]
+
+
+def test_from_coefficients_and_reconstruct():
+    coeffs = random_coeffs(1)
+    poly = RnsPolynomial.from_coefficients(coeffs, BASIS)
+    assert poly.domain is Domain.COEFFICIENT
+    assert poly.to_big_coefficients(centered=True) == coeffs
+
+
+def test_zero_polynomial():
+    poly = RnsPolynomial.zero(BASIS, N)
+    assert all(all(x == 0 for x in row) for row in poly.residues)
+    assert poly.to_big_coefficients() == [0] * N
+
+
+def test_validation_of_row_shapes():
+    with pytest.raises(ValueError):
+        RnsPolynomial(basis=BASIS, n=N, residues=[[0] * N] * 2)
+    with pytest.raises(ValueError):
+        RnsPolynomial(basis=BASIS, n=N, residues=[[0] * (N - 1)] * BASIS.count)
+
+
+def test_domain_roundtrip():
+    poly = RnsPolynomial.from_coefficients(random_coeffs(2), BASIS)
+    ntt = poly.to_ntt()
+    assert ntt.domain is Domain.NTT
+    back = ntt.to_coefficient()
+    assert back == poly
+    # idempotent conversions
+    assert ntt.to_ntt() is ntt
+    assert poly.to_coefficient() is poly
+
+
+def test_addition_and_subtraction():
+    a_coeffs = random_coeffs(3)
+    b_coeffs = random_coeffs(4)
+    a = RnsPolynomial.from_coefficients(a_coeffs, BASIS)
+    b = RnsPolynomial.from_coefficients(b_coeffs, BASIS)
+    summed = (a + b).to_big_coefficients(centered=True)
+    assert summed == [(x + y) for x, y in zip(a_coeffs, b_coeffs)]
+    diff = (a - b).to_big_coefficients(centered=True)
+    assert diff == [(x - y) for x, y in zip(a_coeffs, b_coeffs)]
+    negated = (-a).to_big_coefficients(centered=True)
+    assert negated == [-x for x in a_coeffs]
+
+
+def test_multiplication_matches_schoolbook():
+    a_coeffs = [abs(c) % 50 for c in random_coeffs(5)]
+    b_coeffs = [abs(c) % 50 for c in random_coeffs(6)]
+    a = RnsPolynomial.from_coefficients(a_coeffs, BASIS)
+    b = RnsPolynomial.from_coefficients(b_coeffs, BASIS)
+    product = (a * b).to_big_coefficients()
+    expected = naive_negacyclic_convolution(a_coeffs, b_coeffs, BASIS.modulus)
+    assert product == expected
+
+
+def test_multiplication_in_ntt_domain_is_elementwise():
+    a = RnsPolynomial.from_coefficients(random_coeffs(7), BASIS).to_ntt()
+    b = RnsPolynomial.from_coefficients(random_coeffs(8), BASIS).to_ntt()
+    product = a * b
+    assert product.domain is Domain.NTT
+    coeff_product = (a.to_coefficient() * b.to_coefficient()).to_ntt()
+    assert product.residues == coeff_product.residues
+
+
+def test_domain_mismatch_raises():
+    a = RnsPolynomial.from_coefficients(random_coeffs(9), BASIS)
+    b = RnsPolynomial.from_coefficients(random_coeffs(10), BASIS).to_ntt()
+    with pytest.raises(ValueError):
+        _ = a + b
+    with pytest.raises(ValueError):
+        _ = a * b
+
+
+def test_ring_mismatch_raises():
+    other_basis = RnsBasis.generate(N, 2, bit_size=30)
+    a = RnsPolynomial.from_coefficients(random_coeffs(11), BASIS)
+    b = RnsPolynomial.from_coefficients(random_coeffs(12), other_basis)
+    with pytest.raises(ValueError):
+        _ = a + b
+
+
+def test_scalar_mul():
+    coeffs = random_coeffs(13, bound=100)
+    a = RnsPolynomial.from_coefficients(coeffs, BASIS)
+    scaled = a.scalar_mul(7).to_big_coefficients(centered=True)
+    assert scaled == [7 * c for c in coeffs]
+
+
+def test_random_ternary_and_gaussian_are_small():
+    rng = random.Random(0)
+    ternary = RnsPolynomial.random_ternary(BASIS, N, rng).to_big_coefficients(centered=True)
+    assert all(c in (-1, 0, 1) for c in ternary)
+    gaussian = RnsPolynomial.random_gaussian(BASIS, N, rng).to_big_coefficients(centered=True)
+    assert all(abs(c) < 40 for c in gaussian)
+
+
+def test_random_uniform_rows_reduced():
+    rng = random.Random(1)
+    poly = RnsPolynomial.random_uniform(BASIS, N, rng)
+    for row, p in zip(poly.residues, BASIS.primes):
+        assert all(0 <= x < p for x in row)
+
+
+def test_drop_last_prime():
+    poly = RnsPolynomial.from_coefficients(random_coeffs(14, bound=10), BASIS)
+    smaller = poly.drop_last_prime()
+    assert smaller.basis.count == BASIS.count - 1
+    assert smaller.residues == poly.residues[:-1]
+
+
+def test_copy_is_deep():
+    poly = RnsPolynomial.from_coefficients(random_coeffs(15), BASIS)
+    duplicate = poly.copy()
+    duplicate.residues[0][0] = (duplicate.residues[0][0] + 1) % BASIS.primes[0]
+    assert duplicate != poly
+
+
+def test_transformer_cache_shared_and_sized():
+    cache = TransformerCache()
+    poly = RnsPolynomial.from_coefficients(random_coeffs(16), BASIS, cache=cache)
+    poly.to_ntt()
+    assert len(cache) == BASIS.count
+    # converting again must not grow the cache
+    poly.to_ntt()
+    assert len(cache) == BASIS.count
+
+
+def test_multiplicative_identity():
+    one = RnsPolynomial.from_coefficients([1] + [0] * (N - 1), BASIS)
+    a = RnsPolynomial.from_coefficients(random_coeffs(17), BASIS)
+    assert (a * one).to_big_coefficients() == a.to_big_coefficients()

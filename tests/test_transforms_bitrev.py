@@ -1,0 +1,74 @@
+"""Tests for bit-reversal utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.transforms.bitrev import (
+    bit_reverse,
+    bit_reverse_indices,
+    bit_reverse_permute,
+    is_power_of_two,
+    log2_exact,
+)
+
+
+def test_is_power_of_two():
+    assert is_power_of_two(1)
+    assert is_power_of_two(2)
+    assert is_power_of_two(1 << 17)
+    assert not is_power_of_two(0)
+    assert not is_power_of_two(3)
+    assert not is_power_of_two(-4)
+
+
+def test_log2_exact():
+    assert log2_exact(1) == 0
+    assert log2_exact(2) == 1
+    assert log2_exact(1 << 17) == 17
+    with pytest.raises(ValueError):
+        log2_exact(6)
+    with pytest.raises(ValueError):
+        log2_exact(0)
+
+
+def test_bit_reverse_known_values():
+    assert bit_reverse(0b0011, 4) == 0b1100
+    assert bit_reverse(0b0001, 3) == 0b100
+    assert bit_reverse(0, 8) == 0
+    assert bit_reverse(1, 1) == 1
+
+
+def test_bit_reverse_range_check():
+    with pytest.raises(ValueError):
+        bit_reverse(8, 3)
+    with pytest.raises(ValueError):
+        bit_reverse(-1, 3)
+
+
+def test_bit_reverse_indices_small():
+    assert bit_reverse_indices(1) == [0]
+    assert bit_reverse_indices(2) == [0, 1]
+    assert bit_reverse_indices(4) == [0, 2, 1, 3]
+    assert bit_reverse_indices(8) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+
+def test_bit_reverse_permute_is_involution():
+    values = list(range(64))
+    permuted = bit_reverse_permute(values)
+    assert permuted != values
+    assert bit_reverse_permute(permuted) == values
+
+
+def test_bit_reverse_permutation_is_a_permutation():
+    indices = bit_reverse_indices(256)
+    assert sorted(indices) == list(range(256))
+
+
+@given(st.integers(min_value=1, max_value=12))
+def test_bit_reverse_is_involution_property(bits):
+    n = 1 << bits
+    for value in range(0, n, max(1, n // 16)):
+        assert bit_reverse(bit_reverse(value, bits), bits) == value

@@ -1,0 +1,91 @@
+"""Tests for butterfly operations (Algorithm 2 and the Gentleman-Sande dual)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.modarith.primes import generate_ntt_primes
+from repro.modarith.reducers import NativeModMul, ShoupModMul
+from repro.transforms.butterfly import (
+    butterfly_instruction_count,
+    ct_butterfly,
+    ct_butterfly_lazy,
+    gs_butterfly,
+)
+
+P = generate_ntt_primes(60, 1, 1 << 10)[0]
+
+
+def test_ct_butterfly_definition():
+    a, b, psi = 5, 7, 11
+    hi, lo = ct_butterfly(a, b, psi, P)
+    assert hi == (a + b * psi) % P
+    assert lo == (a - b * psi) % P
+
+
+def test_gs_butterfly_definition():
+    a, b, psi = 5, 7, 11
+    hi, lo = gs_butterfly(a, b, psi, P)
+    assert hi == (a + b) % P
+    assert lo == ((a - b) * psi) % P
+
+
+def test_ct_then_gs_recovers_inputs_up_to_factor_two():
+    """A CT butterfly followed by a GS butterfly with the inverse twiddle
+    returns (2a, 2b) — the factor the final N^{-1} scaling removes."""
+    a, b, psi = 123456789, 987654321, 555555555
+    psi_inv = pow(psi, P - 2, P)
+    u, v = ct_butterfly(a, b, psi, P)
+    a2, b2 = gs_butterfly(u, v, psi_inv, P)
+    assert a2 == (2 * a) % P
+    assert b2 == (2 * b) % P
+
+
+def test_ct_butterfly_lazy_matches_strict():
+    reducer = ShoupModMul(P)
+    psi = 0xABCDEF % P
+    companions = reducer.precompute(psi)
+    a, b = 3 * P - 5, 2 * P + 9
+    lazy_hi, lazy_lo = ct_butterfly_lazy(a, b, psi, companions, reducer)
+    strict_hi, strict_lo = ct_butterfly(a % P, b % P, psi, P)
+    assert lazy_hi % P == strict_hi
+    assert lazy_lo % P == strict_lo
+    assert 0 <= lazy_hi < 4 * P
+    assert 0 <= lazy_lo < 4 * P
+
+
+def test_ct_butterfly_lazy_rejects_out_of_bound_operands():
+    reducer = ShoupModMul(P)
+    psi = 12345
+    companions = reducer.precompute(psi)
+    with pytest.raises(ValueError):
+        ct_butterfly_lazy(4 * P, 0, psi, companions, reducer)
+    with pytest.raises(ValueError):
+        ct_butterfly_lazy(0, 4 * P, psi, companions, reducer)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=4 * P - 1),
+    st.integers(min_value=0, max_value=4 * P - 1),
+    st.integers(min_value=0, max_value=P - 1),
+)
+def test_lazy_butterfly_bound_invariant(a, b, psi):
+    """Outputs of the lazy butterfly always stay within the [0, 4p) bound
+    claimed by Algorithm 2, so stages can be chained without overflow."""
+    reducer = ShoupModMul(P)
+    companions = reducer.precompute(psi)
+    hi, lo = ct_butterfly_lazy(a, b, psi, companions, reducer)
+    assert 0 <= hi < 4 * P
+    assert 0 <= lo < 4 * P
+    assert hi % P == (a + b * psi) % P
+    assert lo % P == (a - b * psi) % P
+
+
+def test_butterfly_instruction_count_ordering():
+    shoup = butterfly_instruction_count(ShoupModMul(P))
+    native = butterfly_instruction_count(NativeModMul(P))
+    assert shoup < native
+    assert butterfly_instruction_count(ShoupModMul(P), lazy=False) > shoup

@@ -1,0 +1,147 @@
+"""Tests for the four-step NTT decomposition and the vectorised NumPy backend."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.modarith.modops import inv_mod
+from repro.modarith.primes import generate_ntt_primes
+from repro.modarith.roots import primitive_root_of_unity
+from repro.transforms.bitrev import bit_reverse_permute
+from repro.transforms.cooley_tukey import NegacyclicTransformer, ntt_forward
+from repro.transforms.four_step import (
+    default_split,
+    four_step_cyclic_ntt,
+    four_step_negacyclic_intt,
+    four_step_negacyclic_ntt,
+)
+from repro.transforms.reference import naive_negacyclic_convolution, naive_negacyclic_ntt
+from repro.transforms.stockham import stockham_cyclic_ntt
+from repro.transforms.vectorized import MAX_VECTORIZED_MODULUS_BITS, VectorizedNTT
+
+N = 64
+P = generate_ntt_primes(30, 1, N)[0]
+PSI = primitive_root_of_unity(2 * N, P)
+
+
+def random_poly(n, p, seed=0):
+    rng = random.Random(seed)
+    return [rng.randrange(p) for _ in range(n)]
+
+
+# ---------------------------------------------------------------- four-step
+
+
+def test_default_split_balanced():
+    assert default_split(1 << 6) == (8, 8)
+    assert default_split(1 << 17) == (256, 512)
+    assert default_split(2) == (1, 2)
+
+
+def test_four_step_cyclic_matches_stockham():
+    omega = (PSI * PSI) % P
+    values = random_poly(N, P, seed=1)
+    assert four_step_cyclic_ntt(values, omega, P) == stockham_cyclic_ntt(values, omega, P)
+
+
+@pytest.mark.parametrize("n1", [1, 2, 4, 8, 16, 32, 64])
+def test_four_step_negacyclic_matches_reference_for_every_split(n1):
+    values = random_poly(N, P, seed=2)
+    expected = naive_negacyclic_ntt(values, PSI, P)
+    assert four_step_negacyclic_ntt(values, PSI, P, n1=n1) == expected
+
+
+def test_four_step_equals_bitreversed_cooley_tukey():
+    values = random_poly(N, P, seed=3)
+    ct = ntt_forward(values, PSI, P)
+    assert four_step_negacyclic_ntt(values, PSI, P) == bit_reverse_permute(ct)
+
+
+def test_four_step_roundtrip():
+    values = random_poly(N, P, seed=4)
+    transformed = four_step_negacyclic_ntt(values, PSI, P)
+    assert four_step_negacyclic_intt(transformed, PSI, P) == values
+    # mismatched split on the way back still works (the split is internal)
+    assert four_step_negacyclic_intt(transformed, PSI, P, n1=4) == values
+
+
+def test_four_step_validation():
+    with pytest.raises(ValueError):
+        four_step_cyclic_ntt([1, 2, 3], 1, P)
+    with pytest.raises(ValueError):
+        four_step_cyclic_ntt([0] * N, 1, P, n1=3)
+    with pytest.raises(ValueError):
+        four_step_negacyclic_ntt([1, 2, 3], PSI, P)
+    with pytest.raises(ValueError):
+        four_step_negacyclic_intt([1, 2, 3], PSI, P)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=3, max_value=6), st.integers(min_value=0, max_value=2**30))
+def test_four_step_property_various_sizes(log_n, seed):
+    n = 1 << log_n
+    p = generate_ntt_primes(28, 1, n)[0]
+    psi = primitive_root_of_unity(2 * n, p)
+    values = random_poly(n, p, seed=seed)
+    expected = naive_negacyclic_ntt(values, psi, p)
+    assert four_step_negacyclic_ntt(values, psi, p) == expected
+
+
+# ---------------------------------------------------------------- vectorised backend
+
+
+def test_vectorized_rejects_large_moduli_and_bad_sizes():
+    big_prime = generate_ntt_primes(60, 1, N)[0]
+    with pytest.raises(ValueError):
+        VectorizedNTT(N, big_prime)
+    with pytest.raises(ValueError):
+        VectorizedNTT(48, P)
+    with pytest.raises(ValueError):
+        VectorizedNTT(N, 998244353 - 2)
+    assert MAX_VECTORIZED_MODULUS_BITS == 30
+
+
+def test_vectorized_matches_scalar_forward_and_inverse():
+    scalar = NegacyclicTransformer(N, P, PSI)
+    vectorised = VectorizedNTT(N, P, PSI)
+    values = random_poly(N, P, seed=5)
+    assert vectorised.forward(values) == scalar.forward(values)
+    transformed = scalar.forward(values)
+    assert vectorised.inverse(transformed) == scalar.inverse(transformed)
+
+
+def test_vectorized_roundtrip_and_multiply():
+    vectorised = VectorizedNTT(N, P, PSI)
+    a = random_poly(N, P, seed=6)
+    b = random_poly(N, P, seed=7)
+    assert vectorised.inverse(vectorised.forward(a)) == a
+    assert vectorised.multiply(a, b) == naive_negacyclic_convolution(a, b, P)
+
+
+def test_vectorized_derives_root_and_validates_length():
+    vectorised = VectorizedNTT(N, P)
+    values = random_poly(N, P, seed=8)
+    assert vectorised.inverse(vectorised.forward(values)) == values
+    with pytest.raises(ValueError):
+        vectorised.forward([1] * (N - 1))
+
+
+def test_vectorized_larger_size_against_scalar():
+    n = 1 << 9
+    p = generate_ntt_primes(30, 1, n)[0]
+    scalar = NegacyclicTransformer(n, p)
+    vectorised = VectorizedNTT(n, p, scalar.psi)
+    values = random_poly(n, p, seed=9)
+    assert vectorised.forward(values) == scalar.forward(values)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=2**30))
+def test_vectorized_roundtrip_property(seed):
+    vectorised = VectorizedNTT(N, P, PSI)
+    values = random_poly(N, P, seed=seed)
+    assert vectorised.inverse(vectorised.forward(values)) == values

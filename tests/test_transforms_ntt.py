@@ -1,0 +1,178 @@
+"""Tests for the Cooley-Tukey / Gentleman-Sande NTT pair and reference transforms."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.modarith.modops import mul_mod
+from repro.modarith.primes import generate_ntt_primes
+from repro.modarith.roots import primitive_root_of_unity
+from repro.transforms.bitrev import bit_reverse_permute
+from repro.transforms.cooley_tukey import (
+    NegacyclicTransformer,
+    forward_twiddle_table,
+    inverse_twiddle_table,
+    negacyclic_multiply,
+    ntt_forward,
+    ntt_forward_inplace,
+    ntt_inverse,
+)
+from repro.transforms.reference import (
+    naive_negacyclic_convolution,
+    naive_negacyclic_intt,
+    naive_negacyclic_ntt,
+    naive_ntt,
+    naive_intt,
+)
+
+N = 64
+P = generate_ntt_primes(30, 1, N)[0]
+PSI = primitive_root_of_unity(2 * N, P)
+
+
+def random_poly(n: int, p: int, seed: int = 0) -> list[int]:
+    rng = random.Random(seed)
+    return [rng.randrange(p) for _ in range(n)]
+
+
+def test_forward_twiddle_table_shape_and_values():
+    table = forward_twiddle_table(N, PSI, P)
+    assert len(table) == N
+    assert table[0] == 1
+    # Entry 1 is psi^bit_reverse(1) = psi^(N/2), which must be a 4th root of -1... more
+    # directly: every entry is a power of psi and the set of entries equals {psi^k : k < N}.
+    powers = set()
+    current = 1
+    for _ in range(N):
+        powers.add(current)
+        current = mul_mod(current, PSI, P)
+    assert set(table) == powers
+
+
+def test_ntt_forward_matches_naive_in_bit_reversed_order():
+    values = random_poly(N, P, seed=1)
+    fast = ntt_forward(values, PSI, P)
+    naive = naive_negacyclic_ntt(values, PSI, P)
+    assert bit_reverse_permute(fast) == naive
+
+
+def test_ntt_roundtrip_identity():
+    values = random_poly(N, P, seed=2)
+    assert ntt_inverse(ntt_forward(values, PSI, P), PSI, P) == values
+
+
+def test_naive_roundtrip_identity():
+    values = random_poly(16, P, seed=3)
+    psi16 = primitive_root_of_unity(32, P)
+    assert naive_negacyclic_intt(naive_negacyclic_ntt(values, psi16, P), psi16, P) == values
+
+
+def test_plain_naive_ntt_roundtrip():
+    values = random_poly(16, P, seed=4)
+    omega = primitive_root_of_unity(16, P)
+    assert naive_intt(naive_ntt(values, omega, P), omega, P) == values
+
+
+def test_negacyclic_multiply_matches_schoolbook():
+    a = random_poly(N, P, seed=5)
+    b = random_poly(N, P, seed=6)
+    assert negacyclic_multiply(a, b, PSI, P) == naive_negacyclic_convolution(a, b, P)
+
+
+def test_negacyclic_wraparound_sign():
+    """X^(N-1) * X = X^N = -1 in the quotient ring."""
+    a = [0] * N
+    b = [0] * N
+    a[N - 1] = 1
+    b[1] = 1
+    product = negacyclic_multiply(a, b, PSI, P)
+    expected = [0] * N
+    expected[0] = P - 1
+    assert product == expected
+
+
+def test_multiplication_by_one_is_identity():
+    a = random_poly(N, P, seed=7)
+    one = [1] + [0] * (N - 1)
+    assert negacyclic_multiply(a, one, PSI, P) == a
+
+
+def test_ntt_forward_inplace_validates_arguments():
+    with pytest.raises(ValueError):
+        ntt_forward_inplace([1, 2, 3], [1, 1, 1], P)  # length not power of two
+    with pytest.raises(ValueError):
+        ntt_forward_inplace([1, 2, 3, 4], [1, 1], P)  # table size mismatch
+
+
+def test_transformer_caches_and_matches_free_functions():
+    transformer = NegacyclicTransformer(N, P, PSI)
+    values = random_poly(N, P, seed=8)
+    assert transformer.forward(values) == ntt_forward(values, PSI, P)
+    assert transformer.inverse(transformer.forward(values)) == values
+    assert transformer.forward_table == forward_twiddle_table(N, PSI, P)
+    assert transformer.inverse_table == inverse_twiddle_table(N, PSI, P)
+    a = random_poly(N, P, seed=9)
+    b = random_poly(N, P, seed=10)
+    assert transformer.multiply(a, b) == negacyclic_multiply(a, b, PSI, P)
+
+
+def test_transformer_finds_root_automatically():
+    transformer = NegacyclicTransformer(N, P)
+    values = random_poly(N, P, seed=11)
+    assert transformer.inverse(transformer.forward(values)) == values
+
+
+def test_transformer_validates_parameters():
+    with pytest.raises(ValueError):
+        NegacyclicTransformer(48, P)
+    with pytest.raises(ValueError):
+        NegacyclicTransformer(N, 7)  # 7 is not 1 mod 2N
+    transformer = NegacyclicTransformer(N, P, PSI)
+    with pytest.raises(ValueError):
+        transformer.forward([1] * (N - 1))
+    with pytest.raises(ValueError):
+        transformer.inverse([1] * (N + 1))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=2**32))
+def test_roundtrip_property_various_sizes(log_n, seed):
+    n = 1 << log_n
+    p = generate_ntt_primes(30, 1, n)[0]
+    psi = primitive_root_of_unity(2 * n, p)
+    values = random_poly(n, p, seed=seed)
+    assert ntt_inverse(ntt_forward(values, psi, p), psi, p) == values
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=5), st.integers(min_value=0, max_value=2**32))
+def test_convolution_property_various_sizes(log_n, seed):
+    n = 1 << log_n
+    p = generate_ntt_primes(30, 1, n)[0]
+    psi = primitive_root_of_unity(2 * n, p)
+    rng = random.Random(seed)
+    a = [rng.randrange(p) for _ in range(n)]
+    b = [rng.randrange(p) for _ in range(n)]
+    assert negacyclic_multiply(a, b, psi, p) == naive_negacyclic_convolution(a, b, p)
+
+
+def test_linearity_of_ntt():
+    a = random_poly(N, P, seed=12)
+    b = random_poly(N, P, seed=13)
+    summed = [(x + y) % P for x, y in zip(a, b)]
+    fa = ntt_forward(a, PSI, P)
+    fb = ntt_forward(b, PSI, P)
+    fsum = ntt_forward(summed, PSI, P)
+    assert fsum == [(x + y) % P for x, y in zip(fa, fb)]
+
+
+def test_60bit_prime_roundtrip():
+    n = 128
+    p = generate_ntt_primes(60, 1, n)[0]
+    psi = primitive_root_of_unity(2 * n, p)
+    values = random_poly(n, p, seed=14)
+    assert ntt_inverse(ntt_forward(values, psi, p), psi, p) == values

@@ -6,6 +6,7 @@ sub-packages for the full API:
 
 * :mod:`repro.modarith` — fixed-width modular arithmetic, primes, reducers.
 * :mod:`repro.transforms` — NTT/DFT algorithm implementations.
+* :mod:`repro.backends` — pluggable batched compute backends (scalar, numpy).
 * :mod:`repro.rns` — CRT / residue-number-system substrate.
 * :mod:`repro.core` — the planned, batched NTT engine with on-the-fly twiddling.
 * :mod:`repro.gpu` — the analytic GPU performance model (Titan V).

@@ -1,0 +1,36 @@
+"""Pluggable compute backends for the RNS/HE stack.
+
+Every residue-matrix operation of the library — the batched forward/inverse
+NTTs of :class:`repro.rns.poly.RnsPolynomial`, the pointwise arithmetic of
+the evaluator's ``iNTT(NTT(a) ⊙ NTT(b))`` pipeline — dispatches through the
+:class:`ComputeBackend` interface defined here.  Ships with:
+
+* ``"scalar"`` — exact big-int reference path (any word size).
+* ``"numpy"`` — batched uint64 vectorisation for ≤ 30-bit primes with
+  automatic per-prime scalar fallback.
+
+Select explicitly (``get_backend("numpy")``), process-wide
+(:func:`set_default_backend`), or via the ``REPRO_BACKEND`` environment
+variable.
+"""
+
+from .base import ComputeBackend, ResidueRows
+from .registry import (
+    BACKEND_ENV_VAR,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_default_backend,
+)
+from .scalar import ScalarBackend
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "ComputeBackend",
+    "ResidueRows",
+    "ScalarBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
+]

@@ -1,0 +1,132 @@
+"""The :class:`ComputeBackend` interface — the seam every residue-matrix
+operation of the RNS/HE stack goes through.
+
+The paper's headline observation (Section III, Fig. 3) is that an HE workload
+is ``np x (number of polynomials)`` *independent* NTTs and that throughput
+comes from executing them as one wide batch.  The backend interface mirrors
+that shape directly: every method takes a *batch* of residue rows plus the
+parallel list of moduli (primes may repeat — that is exactly what lets the
+evaluator fuse the transforms of several polynomials of a ciphertext into a
+single call), and returns the transformed batch.
+
+Implementations:
+
+* :class:`repro.backends.scalar.ScalarBackend` — the exact big-int reference
+  path (clarity-first, works for any word size).
+* :class:`repro.backends.numpy_backend.NumpyBackend` — vectorises both the
+  butterfly stages and the batch dimension with ``uint64`` arrays for
+  ≤ 30-bit primes, falling back to the scalar path per prime otherwise.
+
+Backends are interchangeable bit-for-bit: the cross-check suite in
+``tests/test_backends.py`` pins every implementation against
+:class:`repro.transforms.cooley_tukey.NegacyclicTransformer`.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+__all__ = ["ComputeBackend", "ResidueRows"]
+
+#: A batch of residue rows: ``rows[i]`` holds integers reduced mod ``primes[i]``.
+ResidueRows = Sequence[Sequence[int]]
+
+
+class ComputeBackend(abc.ABC):
+    """Abstract batched compute backend over residue matrices.
+
+    Every method operates on a batch of residue rows with a parallel sequence
+    of moduli.  Rows belonging to the same modulus may be batched into one
+    wide operation by the implementation; callers are encouraged to pass the
+    largest batch they can assemble (e.g. all polynomials of a ciphertext at
+    once) — that is where the paper's speedup lives.
+    """
+
+    #: Registry name of the backend (``"scalar"``, ``"numpy"``, ...).
+    name: str = "abstract"
+
+    # -- transforms ------------------------------------------------------------
+    @abc.abstractmethod
+    def forward_ntt_batch(
+        self, rows: ResidueRows, primes: Sequence[int]
+    ) -> list[list[int]]:
+        """Forward negacyclic NTT of every row (bit-reversed output).
+
+        Args:
+            rows: Batch of coefficient rows, all of the same power-of-two
+                length ``n``.
+            primes: One NTT prime per row (``p ≡ 1 (mod 2n)``); repeats allowed.
+        """
+
+    @abc.abstractmethod
+    def inverse_ntt_batch(
+        self, rows: ResidueRows, primes: Sequence[int]
+    ) -> list[list[int]]:
+        """Inverse negacyclic NTT of every row (bit-reversed input)."""
+
+    # -- pointwise arithmetic --------------------------------------------------
+    @abc.abstractmethod
+    def add_batch(
+        self, rows_a: ResidueRows, rows_b: ResidueRows, primes: Sequence[int]
+    ) -> list[list[int]]:
+        """Element-wise ``(a + b) mod p`` for every row pair."""
+
+    @abc.abstractmethod
+    def sub_batch(
+        self, rows_a: ResidueRows, rows_b: ResidueRows, primes: Sequence[int]
+    ) -> list[list[int]]:
+        """Element-wise ``(a - b) mod p`` for every row pair."""
+
+    @abc.abstractmethod
+    def neg_batch(self, rows: ResidueRows, primes: Sequence[int]) -> list[list[int]]:
+        """Element-wise ``(-a) mod p`` for every row."""
+
+    @abc.abstractmethod
+    def mul_batch(
+        self, rows_a: ResidueRows, rows_b: ResidueRows, primes: Sequence[int]
+    ) -> list[list[int]]:
+        """Element-wise ``(a * b) mod p`` — the ⊙ of the NTT-domain pipeline."""
+
+    @abc.abstractmethod
+    def scalar_mul_batch(
+        self, rows: ResidueRows, scalar: int, primes: Sequence[int]
+    ) -> list[list[int]]:
+        """Multiply every row by one integer scalar (reduced per modulus)."""
+
+    # -- validation helpers ----------------------------------------------------
+    @staticmethod
+    def _check_batch(rows: ResidueRows, primes: Sequence[int]) -> None:
+        if len(rows) != len(primes):
+            raise ValueError(
+                "batch shape mismatch: %d rows vs %d primes" % (len(rows), len(primes))
+            )
+        # A batch is a rectangular residue matrix; a ragged batch would be
+        # rejected by the vectorised backends and silently mis-handled by
+        # row-wise ones, so every backend rejects it up front.
+        if rows:
+            n = len(rows[0])
+            for index, row in enumerate(rows):
+                if len(row) != n:
+                    raise ValueError(
+                        "ragged batch: row 0 has %d entries but row %d has %d"
+                        % (n, index, len(row))
+                    )
+
+    @classmethod
+    def _check_pair(
+        cls, rows_a: ResidueRows, rows_b: ResidueRows, primes: Sequence[int]
+    ) -> None:
+        if len(rows_a) != len(rows_b):
+            raise ValueError(
+                "batch shape mismatch: %d vs %d rows" % (len(rows_a), len(rows_b))
+            )
+        cls._check_batch(rows_a, primes)
+        cls._check_batch(rows_b, primes)
+        if rows_a and len(rows_a[0]) != len(rows_b[0]):
+            raise ValueError(
+                "row length mismatch: %d vs %d" % (len(rows_a[0]), len(rows_b[0]))
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "%s(name=%r)" % (type(self).__name__, self.name)

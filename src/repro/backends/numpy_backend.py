@@ -1,0 +1,268 @@
+"""NumPy backend: batched, vectorised NTT and pointwise residue arithmetic.
+
+Where :mod:`repro.transforms.vectorized` vectorises the butterfly stages of a
+*single* transform, this backend additionally vectorises the *batch*
+dimension: every residue row sharing a modulus is stacked into one 2-D
+``uint64`` array and the whole stack moves through each butterfly stage as a
+single array operation — the software analogue of the paper's batched GPU
+kernel launch (Section III / Fig. 3).
+
+Exactness: with both operands below ``2^31`` a ``uint64`` product cannot
+overflow, so every ``(a * b) % p`` is exact — the same trick
+:class:`repro.transforms.vectorized.VectorizedNTT` validates.  Primes above
+the 30-bit window (the paper's 60-bit word configuration) are routed,
+per prime, to the exact big-int :class:`~repro.backends.scalar.ScalarBackend`;
+the caller sees one interface and bit-identical results either way.
+Additive operations only need sums below ``2^64`` and stay vectorised up to
+62-bit moduli.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..modarith.modops import inv_mod
+from ..modarith.roots import primitive_root_of_unity
+from ..transforms.bitrev import is_power_of_two
+from ..transforms.cooley_tukey import forward_twiddle_table
+from .base import ComputeBackend, ResidueRows
+from .scalar import ScalarBackend
+
+__all__ = ["NumpyBackend", "MUL_VECTORIZED_LIMIT", "ADD_VECTORIZED_LIMIT"]
+
+#: Largest modulus (exclusive) for which uint64 products ``a * b`` are exact.
+MUL_VECTORIZED_LIMIT = 1 << 31
+#: Largest modulus (exclusive) for which uint64 sums ``a + p - b`` are exact.
+ADD_VECTORIZED_LIMIT = 1 << 62
+
+
+class _NttContext:
+    """Per-``(n, p)`` twiddle tables as uint64 arrays (30-bit primes only)."""
+
+    __slots__ = ("n", "p", "p64", "forward", "inverse", "n_inv")
+
+    def __init__(self, n: int, p: int) -> None:
+        if not is_power_of_two(n):
+            raise ValueError("n must be a power of two")
+        if (p - 1) % (2 * n) != 0:
+            raise ValueError("p must satisfy p ≡ 1 (mod 2n)")
+        psi = primitive_root_of_unity(2 * n, p)
+        self.n = n
+        self.p = p
+        self.p64 = np.uint64(p)
+        self.forward = np.asarray(forward_twiddle_table(n, psi, p), dtype=np.uint64)
+        self.inverse = np.asarray(
+            forward_twiddle_table(n, inv_mod(psi, p), p), dtype=np.uint64
+        )
+        self.n_inv = np.uint64(inv_mod(n, p))
+
+
+def _group_by_prime(primes: Sequence[int]) -> dict[int, list[int]]:
+    """Map each distinct modulus to the row indices it governs."""
+    groups: dict[int, list[int]] = {}
+    for index, p in enumerate(primes):
+        groups.setdefault(p, []).append(index)
+    return groups
+
+
+class NumpyBackend(ComputeBackend):
+    """Batched uint64 backend with automatic per-prime scalar fallback.
+
+    The same twiddle derivation as
+    :class:`repro.transforms.cooley_tukey.NegacyclicTransformer` is used, so
+    outputs are bit-identical to the scalar path (bit-reversed forward
+    output, Gentleman-Sande inverse).
+    """
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        self._contexts: dict[tuple[int, int], _NttContext] = {}
+        self._fallback = ScalarBackend()
+
+    @property
+    def resident_contexts(self) -> int:
+        """Cached twiddle contexts (vectorised plus scalar-fallback)."""
+        return len(self._contexts) + self._fallback.resident_contexts
+
+    def _context(self, n: int, p: int) -> _NttContext:
+        key = (n, p)
+        context = self._contexts.get(key)
+        if context is None:
+            context = _NttContext(n, p)
+            self._contexts[key] = context
+        return context
+
+    @staticmethod
+    def supports_vectorized_mul(p: int) -> bool:
+        """Whether products mod ``p`` are exact in uint64 (p below 2^31)."""
+        return p < MUL_VECTORIZED_LIMIT
+
+    # -- batching helpers ------------------------------------------------------
+    @staticmethod
+    def _stack(rows: ResidueRows, indices: Sequence[int], p: int) -> np.ndarray:
+        matrix = np.asarray([rows[i] for i in indices], dtype=np.uint64)
+        return matrix % np.uint64(p)
+
+    def _dispatch(self, primes, vectorized, fallback, limit):
+        """Run ``vectorized`` per same-modulus group, ``fallback`` otherwise."""
+        out: list[list[int] | None] = [None] * len(primes)
+        for p, indices in _group_by_prime(primes).items():
+            if p < limit:
+                for index, row in zip(indices, vectorized(p, indices)):
+                    out[index] = row
+            else:
+                group_primes = [p] * len(indices)
+                for index, row in zip(indices, fallback(p, indices, group_primes)):
+                    out[index] = row
+        return out
+
+    # -- transforms ------------------------------------------------------------
+    def forward_ntt_batch(
+        self, rows: ResidueRows, primes: Sequence[int]
+    ) -> list[list[int]]:
+        self._check_batch(rows, primes)
+        return self._dispatch(
+            primes,
+            lambda p, idx: self._forward_group(rows, idx, p),
+            lambda p, idx, ps: self._fallback.forward_ntt_batch(
+                [rows[i] for i in idx], ps
+            ),
+            MUL_VECTORIZED_LIMIT,
+        )
+
+    def inverse_ntt_batch(
+        self, rows: ResidueRows, primes: Sequence[int]
+    ) -> list[list[int]]:
+        self._check_batch(rows, primes)
+        return self._dispatch(
+            primes,
+            lambda p, idx: self._inverse_group(rows, idx, p),
+            lambda p, idx, ps: self._fallback.inverse_ntt_batch(
+                [rows[i] for i in idx], ps
+            ),
+            MUL_VECTORIZED_LIMIT,
+        )
+
+    def _forward_group(
+        self, rows: ResidueRows, indices: Sequence[int], p: int
+    ) -> list[list[int]]:
+        a = self._stack(rows, indices, p)
+        context = self._context(a.shape[1], p)
+        p64 = context.p64
+        batch, n = a.shape
+        t = n // 2
+        m = 1
+        while m < n:
+            # (batch, m groups, 2t elements): butterfly whole half-groups of
+            # the whole batch at once.
+            view = a.reshape(batch, m, 2 * t)
+            upper = view[:, :, :t]
+            lower = view[:, :, t:]
+            twiddles = context.forward[m : 2 * m].reshape(1, m, 1)
+            product = (lower * twiddles) % p64
+            new_upper = (upper + product) % p64
+            new_lower = (upper + p64 - product) % p64
+            view[:, :, :t] = new_upper
+            view[:, :, t:] = new_lower
+            m *= 2
+            t //= 2
+        return a.tolist()
+
+    def _inverse_group(
+        self, rows: ResidueRows, indices: Sequence[int], p: int
+    ) -> list[list[int]]:
+        a = self._stack(rows, indices, p)
+        context = self._context(a.shape[1], p)
+        p64 = context.p64
+        batch, n = a.shape
+        t = 1
+        m = n // 2
+        while m >= 1:
+            view = a.reshape(batch, m, 2 * t)
+            upper = view[:, :, :t].copy()
+            lower = view[:, :, t:].copy()
+            twiddles = context.inverse[m : 2 * m].reshape(1, m, 1)
+            view[:, :, :t] = (upper + lower) % p64
+            view[:, :, t:] = ((upper + p64 - lower) % p64 * twiddles) % p64
+            m //= 2
+            t *= 2
+        a = (a * context.n_inv) % p64
+        return a.tolist()
+
+    # -- pointwise arithmetic --------------------------------------------------
+    def add_batch(
+        self, rows_a: ResidueRows, rows_b: ResidueRows, primes: Sequence[int]
+    ) -> list[list[int]]:
+        self._check_pair(rows_a, rows_b, primes)
+        return self._dispatch(
+            primes,
+            lambda p, idx: (
+                (self._stack(rows_a, idx, p) + self._stack(rows_b, idx, p))
+                % np.uint64(p)
+            ).tolist(),
+            lambda p, idx, ps: self._fallback.add_batch(
+                [rows_a[i] for i in idx], [rows_b[i] for i in idx], ps
+            ),
+            ADD_VECTORIZED_LIMIT,
+        )
+
+    def sub_batch(
+        self, rows_a: ResidueRows, rows_b: ResidueRows, primes: Sequence[int]
+    ) -> list[list[int]]:
+        self._check_pair(rows_a, rows_b, primes)
+        return self._dispatch(
+            primes,
+            lambda p, idx: (
+                (self._stack(rows_a, idx, p) + np.uint64(p) - self._stack(rows_b, idx, p))
+                % np.uint64(p)
+            ).tolist(),
+            lambda p, idx, ps: self._fallback.sub_batch(
+                [rows_a[i] for i in idx], [rows_b[i] for i in idx], ps
+            ),
+            ADD_VECTORIZED_LIMIT,
+        )
+
+    def neg_batch(self, rows: ResidueRows, primes: Sequence[int]) -> list[list[int]]:
+        self._check_batch(rows, primes)
+        return self._dispatch(
+            primes,
+            lambda p, idx: (
+                (np.uint64(p) - self._stack(rows, idx, p)) % np.uint64(p)
+            ).tolist(),
+            lambda p, idx, ps: self._fallback.neg_batch([rows[i] for i in idx], ps),
+            ADD_VECTORIZED_LIMIT,
+        )
+
+    def mul_batch(
+        self, rows_a: ResidueRows, rows_b: ResidueRows, primes: Sequence[int]
+    ) -> list[list[int]]:
+        self._check_pair(rows_a, rows_b, primes)
+        return self._dispatch(
+            primes,
+            lambda p, idx: (
+                (self._stack(rows_a, idx, p) * self._stack(rows_b, idx, p))
+                % np.uint64(p)
+            ).tolist(),
+            lambda p, idx, ps: self._fallback.mul_batch(
+                [rows_a[i] for i in idx], [rows_b[i] for i in idx], ps
+            ),
+            MUL_VECTORIZED_LIMIT,
+        )
+
+    def scalar_mul_batch(
+        self, rows: ResidueRows, scalar: int, primes: Sequence[int]
+    ) -> list[list[int]]:
+        self._check_batch(rows, primes)
+        return self._dispatch(
+            primes,
+            lambda p, idx: (
+                (self._stack(rows, idx, p) * np.uint64(scalar % p)) % np.uint64(p)
+            ).tolist(),
+            lambda p, idx, ps: self._fallback.scalar_mul_batch(
+                [rows[i] for i in idx], scalar, ps
+            ),
+            MUL_VECTORIZED_LIMIT,
+        )

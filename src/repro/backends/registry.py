@@ -1,0 +1,120 @@
+"""Backend registry: explicit selection, env override, lazy instantiation.
+
+Selection precedence (first match wins):
+
+1. An explicit ``name`` passed to :func:`get_backend`.
+2. A process-wide default installed with :func:`set_default_backend`.
+3. The ``REPRO_BACKEND`` environment variable (read at call time, so test
+   harnesses and batch jobs can flip backends without touching code).
+4. ``"numpy"`` when NumPy is importable, else ``"scalar"``.
+
+Backend instances are cached per name so twiddle tables are shared by every
+layer that resolves the same backend — the resident-table policy Section IV
+of the paper analyses.  Third-party backends (a multiprocessing pool, a GPU
+runtime) plug in through :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+
+from .base import ComputeBackend
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
+]
+
+#: Environment variable consulted when no backend is named explicitly.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+_factories: dict[str, Callable[[], ComputeBackend]] = {}
+_instances: dict[str, ComputeBackend] = {}
+_default_name: str | None = None
+
+
+def register_backend(
+    name: str, factory: Callable[[], ComputeBackend], replace: bool = False
+) -> None:
+    """Register a backend factory under ``name``.
+
+    Args:
+        name: Registry key (lower-case by convention).
+        factory: Zero-argument callable building the backend instance.
+        replace: Allow overwriting an existing registration.
+    """
+    if name in _factories and not replace:
+        raise ValueError("backend %r is already registered" % name)
+    _factories[name] = factory
+    _instances.pop(name, None)
+
+
+def _build_scalar() -> ComputeBackend:
+    from .scalar import ScalarBackend
+
+    return ScalarBackend()
+
+
+def _build_numpy() -> ComputeBackend:
+    try:
+        from .numpy_backend import NumpyBackend
+    except ImportError as exc:  # pragma: no cover - depends on environment
+        raise RuntimeError(
+            "the 'numpy' backend requires NumPy; install it or select "
+            "REPRO_BACKEND=scalar"
+        ) from exc
+    return NumpyBackend()
+
+
+register_backend("scalar", _build_scalar)
+register_backend("numpy", _build_numpy)
+
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - depends on environment
+        return False
+    return True
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, in registration order."""
+    return list(_factories)
+
+
+def set_default_backend(name: str | None) -> None:
+    """Install (or with ``None`` clear) the process-wide default backend."""
+    if name is not None and name not in _factories:
+        raise KeyError(
+            "unknown backend %r (registered: %s)" % (name, ", ".join(_factories))
+        )
+    global _default_name
+    _default_name = name
+
+
+def get_backend(name: str | None = None) -> ComputeBackend:
+    """Resolve a backend by the documented precedence and return its instance.
+
+    Instances are cached per name: repeated calls return the same object so
+    precomputed twiddle tables are shared across the whole process.
+    """
+    if name is None:
+        name = _default_name
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or None
+    if name is None:
+        name = "numpy" if _numpy_available() else "scalar"
+    if name not in _factories:
+        raise KeyError(
+            "unknown backend %r (registered: %s)" % (name, ", ".join(_factories))
+        )
+    instance = _instances.get(name)
+    if instance is None:
+        instance = _factories[name]()
+        _instances[name] = instance
+    return instance

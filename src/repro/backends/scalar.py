@@ -1,0 +1,105 @@
+"""Exact big-int scalar backend.
+
+This wraps the clarity-first Python-integer path
+(:class:`repro.transforms.cooley_tukey.NegacyclicTransformer` plus the
+``modops`` primitives) behind the :class:`~repro.backends.base.ComputeBackend`
+interface.  It is the correctness oracle for every other backend and the only
+path with no word-size restriction (the paper's 60-bit configuration runs
+here unless a backend provides exact wide-word arithmetic).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..modarith.modops import add_mod, mul_mod, neg_mod, sub_mod
+from ..transforms.cooley_tukey import NegacyclicTransformer
+from .base import ComputeBackend, ResidueRows
+
+__all__ = ["ScalarBackend"]
+
+
+class ScalarBackend(ComputeBackend):
+    """Row-by-row exact backend over Python integers.
+
+    Transformer contexts (twiddle tables) are cached per ``(n, p)`` pair, the
+    same policy as :class:`repro.rns.poly.TransformerCache` — table
+    construction is O(n) modular multiplications and must be paid once per
+    prime, not once per transform.
+    """
+
+    name = "scalar"
+
+    def __init__(self) -> None:
+        self._transformers: dict[tuple[int, int], NegacyclicTransformer] = {}
+
+    @property
+    def resident_contexts(self) -> int:
+        """Number of cached per-``(n, p)`` twiddle contexts."""
+        return len(self._transformers)
+
+    def transformer(self, n: int, p: int) -> NegacyclicTransformer:
+        """Return (building if needed) the cached transformer for ``(n, p)``."""
+        key = (n, p)
+        transformer = self._transformers.get(key)
+        if transformer is None:
+            transformer = NegacyclicTransformer(n, p)
+            self._transformers[key] = transformer
+        return transformer
+
+    # -- transforms ------------------------------------------------------------
+    def forward_ntt_batch(
+        self, rows: ResidueRows, primes: Sequence[int]
+    ) -> list[list[int]]:
+        self._check_batch(rows, primes)
+        return [
+            self.transformer(len(row), p).forward(row) for row, p in zip(rows, primes)
+        ]
+
+    def inverse_ntt_batch(
+        self, rows: ResidueRows, primes: Sequence[int]
+    ) -> list[list[int]]:
+        self._check_batch(rows, primes)
+        return [
+            self.transformer(len(row), p).inverse(row) for row, p in zip(rows, primes)
+        ]
+
+    # -- pointwise arithmetic --------------------------------------------------
+    def add_batch(
+        self, rows_a: ResidueRows, rows_b: ResidueRows, primes: Sequence[int]
+    ) -> list[list[int]]:
+        self._check_pair(rows_a, rows_b, primes)
+        return [
+            [add_mod(a, b, p) for a, b in zip(row_a, row_b)]
+            for row_a, row_b, p in zip(rows_a, rows_b, primes)
+        ]
+
+    def sub_batch(
+        self, rows_a: ResidueRows, rows_b: ResidueRows, primes: Sequence[int]
+    ) -> list[list[int]]:
+        self._check_pair(rows_a, rows_b, primes)
+        return [
+            [sub_mod(a, b, p) for a, b in zip(row_a, row_b)]
+            for row_a, row_b, p in zip(rows_a, rows_b, primes)
+        ]
+
+    def neg_batch(self, rows: ResidueRows, primes: Sequence[int]) -> list[list[int]]:
+        self._check_batch(rows, primes)
+        return [[neg_mod(a, p) for a in row] for row, p in zip(rows, primes)]
+
+    def mul_batch(
+        self, rows_a: ResidueRows, rows_b: ResidueRows, primes: Sequence[int]
+    ) -> list[list[int]]:
+        self._check_pair(rows_a, rows_b, primes)
+        return [
+            [mul_mod(a, b, p) for a, b in zip(row_a, row_b)]
+            for row_a, row_b, p in zip(rows_a, rows_b, primes)
+        ]
+
+    def scalar_mul_batch(
+        self, rows: ResidueRows, scalar: int, primes: Sequence[int]
+    ) -> list[list[int]]:
+        self._check_batch(rows, primes)
+        return [
+            [mul_mod(a, scalar % p, p) for a in row] for row, p in zip(rows, primes)
+        ]

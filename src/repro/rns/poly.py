@@ -20,8 +20,8 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from enum import Enum
 
-from ..modarith.modops import add_mod, mul_mod, neg_mod, sub_mod
-from ..transforms.cooley_tukey import NegacyclicTransformer
+from ..backends.base import ComputeBackend
+from ..backends.registry import get_backend
 from .basis import RnsBasis
 
 __all__ = ["Domain", "RnsPolynomial", "TransformerCache"]
@@ -35,26 +35,33 @@ class Domain(str, Enum):
 
 
 class TransformerCache:
-    """Per-prime :class:`NegacyclicTransformer` cache shared across polynomials.
+    """Binds polynomials to the compute backend their operations dispatch to.
 
-    Twiddle-table construction is O(N) modular multiplications per prime, so
-    the cache keys transformers by ``(n, p)`` and reuses them; this mirrors
-    the precomputed twiddle tables an HE library keeps resident (the very
-    tables whose size Section IV analyses).
+    Twiddle-table construction is O(N) modular multiplications per prime;
+    each backend keeps its tables resident keyed by ``(n, p)`` (see
+    ``resident_contexts``), mirroring the precomputed tables an HE library
+    keeps warm — the very tables whose size Section IV analyses.  This class
+    is the per-polynomial handle to that machinery: polynomials sharing a
+    cache share a backend and therefore its resident tables.
+
+    When no backend is given, the registry default (``REPRO_BACKEND`` env
+    var, else NumPy when available) is re-resolved on every access, so
+    flipping the environment or calling
+    :func:`repro.backends.set_default_backend` takes effect immediately even
+    for polynomials bound to the module-wide default cache.
     """
 
-    def __init__(self) -> None:
-        self._transformers: dict[tuple[int, int], NegacyclicTransformer] = {}
+    def __init__(self, backend: ComputeBackend | str | None = None) -> None:
+        self._backend: ComputeBackend | None = (
+            get_backend(backend) if isinstance(backend, str) else backend
+        )
 
-    def get(self, n: int, p: int) -> NegacyclicTransformer:
-        """Return (building if needed) the transformer for ``(n, p)``."""
-        key = (n, p)
-        if key not in self._transformers:
-            self._transformers[key] = NegacyclicTransformer(n, p)
-        return self._transformers[key]
-
-    def __len__(self) -> int:
-        return len(self._transformers)
+    @property
+    def backend(self) -> ComputeBackend:
+        """The compute backend polynomials bound to this cache dispatch to."""
+        if self._backend is not None:
+            return self._backend
+        return get_backend()
 
 
 _DEFAULT_CACHE = TransformerCache()
@@ -133,25 +140,36 @@ class RnsPolynomial:
         coefficients = [round(rng.gauss(0.0, stddev)) for _ in range(n)]
         return cls.from_coefficients(coefficients, basis)
 
+    # -- backend ---------------------------------------------------------------
+    @property
+    def backend(self) -> ComputeBackend:
+        """The compute backend this polynomial's operations dispatch through."""
+        return self.cache.backend
+
+    def with_backend(self, backend: ComputeBackend | str) -> "RnsPolynomial":
+        """Rebind this polynomial (sharing residues) to a specific backend."""
+        return RnsPolynomial(
+            self.basis, self.n, self.residues, self.domain, TransformerCache(backend)
+        )
+
     # -- domain conversion ------------------------------------------------------
     def to_ntt(self) -> "RnsPolynomial":
-        """Return the NTT-domain version of this polynomial (``np`` forward NTTs)."""
+        """Return the NTT-domain version of this polynomial (``np`` forward NTTs).
+
+        The whole residue matrix is handed to the backend as one batch — on
+        the NumPy backend every row whose prime fits the 30-bit window moves
+        through the butterfly stages as a single 2-D array operation.
+        """
         if self.domain is Domain.NTT:
             return self
-        rows = [
-            self.cache.get(self.n, p).forward(row)
-            for p, row in zip(self.basis.primes, self.residues)
-        ]
+        rows = self.cache.backend.forward_ntt_batch(self.residues, self.basis.primes)
         return RnsPolynomial(self.basis, self.n, rows, Domain.NTT, self.cache)
 
     def to_coefficient(self) -> "RnsPolynomial":
         """Return the coefficient-domain version (``np`` inverse NTTs)."""
         if self.domain is Domain.COEFFICIENT:
             return self
-        rows = [
-            self.cache.get(self.n, p).inverse(row)
-            for p, row in zip(self.basis.primes, self.residues)
-        ]
+        rows = self.cache.backend.inverse_ntt_batch(self.residues, self.basis.primes)
         return RnsPolynomial(self.basis, self.n, rows, Domain.COEFFICIENT, self.cache)
 
     # -- arithmetic -------------------------------------------------------------
@@ -166,25 +184,20 @@ class RnsPolynomial:
 
     def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other)
-        rows = [
-            [add_mod(a, b, p) for a, b in zip(row_a, row_b)]
-            for p, row_a, row_b in zip(self.basis.primes, self.residues, other.residues)
-        ]
+        rows = self.cache.backend.add_batch(
+            self.residues, other.residues, self.basis.primes
+        )
         return RnsPolynomial(self.basis, self.n, rows, self.domain, self.cache)
 
     def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other)
-        rows = [
-            [sub_mod(a, b, p) for a, b in zip(row_a, row_b)]
-            for p, row_a, row_b in zip(self.basis.primes, self.residues, other.residues)
-        ]
+        rows = self.cache.backend.sub_batch(
+            self.residues, other.residues, self.basis.primes
+        )
         return RnsPolynomial(self.basis, self.n, rows, self.domain, self.cache)
 
     def __neg__(self) -> "RnsPolynomial":
-        rows = [
-            [neg_mod(a, p) for a in row]
-            for p, row in zip(self.basis.primes, self.residues)
-        ]
+        rows = self.cache.backend.neg_batch(self.residues, self.basis.primes)
         return RnsPolynomial(self.basis, self.n, rows, self.domain, self.cache)
 
     def __mul__(self, other: "RnsPolynomial") -> "RnsPolynomial":
@@ -196,19 +209,17 @@ class RnsPolynomial:
         """
         self._check_compatible(other)
         if self.domain is Domain.NTT:
-            rows = [
-                [mul_mod(a, b, p) for a, b in zip(row_a, row_b)]
-                for p, row_a, row_b in zip(self.basis.primes, self.residues, other.residues)
-            ]
+            rows = self.cache.backend.mul_batch(
+                self.residues, other.residues, self.basis.primes
+            )
             return RnsPolynomial(self.basis, self.n, rows, Domain.NTT, self.cache)
         return (self.to_ntt() * other.to_ntt()).to_coefficient()
 
     def scalar_mul(self, scalar: int) -> "RnsPolynomial":
         """Multiply every coefficient by an integer scalar (domain-independent)."""
-        rows = [
-            [mul_mod(a, scalar % p, p) for a in row]
-            for p, row in zip(self.basis.primes, self.residues)
-        ]
+        rows = self.cache.backend.scalar_mul_batch(
+            self.residues, scalar, self.basis.primes
+        )
         return RnsPolynomial(self.basis, self.n, rows, self.domain, self.cache)
 
     # -- reconstruction ----------------------------------------------------------

@@ -1,0 +1,262 @@
+"""Cross-check suite for the pluggable compute backends.
+
+Every backend must be bit-for-bit interchangeable: same forward/inverse NTT
+outputs as the reference :class:`NegacyclicTransformer`, same pointwise
+arithmetic, and identical HE ciphertexts end to end.  The NumPy backend is
+exercised in both of its regimes — vectorised (≤ 30-bit primes) and
+per-prime scalar fallback (60-bit primes).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.backends import (
+    BACKEND_ENV_VAR,
+    ComputeBackend,
+    ScalarBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_default_backend,
+)
+from repro.backends.numpy_backend import MUL_VECTORIZED_LIMIT, NumpyBackend
+from repro.he import (
+    BatchEncoder,
+    Decryptor,
+    Encryptor,
+    Evaluator,
+    HEParams,
+    KeyGenerator,
+)
+from repro.modarith.primes import generate_ntt_primes
+from repro.rns.basis import RnsBasis
+from repro.rns.poly import Domain, RnsPolynomial, TransformerCache
+from repro.transforms.cooley_tukey import NegacyclicTransformer
+from repro.transforms.reference import naive_negacyclic_convolution
+
+SIZES = [64, 256, 1024, 4096]
+PRIME_BITS = [30, 60]
+
+
+@pytest.fixture(scope="module")
+def scalar() -> ScalarBackend:
+    return ScalarBackend()
+
+
+@pytest.fixture(scope="module")
+def vectorized() -> NumpyBackend:
+    return NumpyBackend()
+
+
+def random_rows(primes, n, seed):
+    rng = random.Random(seed)
+    return [[rng.randrange(p) for _ in range(n)] for p in primes]
+
+
+# ------------------------------------------------------------------ transforms
+
+
+@pytest.mark.parametrize("bits", PRIME_BITS)
+@pytest.mark.parametrize("n", SIZES)
+def test_backends_match_reference_transformer(n, bits, scalar, vectorized):
+    """NumpyBackend == ScalarBackend == NegacyclicTransformer, both domains."""
+    p = generate_ntt_primes(bits, 1, n)[0]
+    (row,) = random_rows([p], n, seed=n * bits)
+    reference = NegacyclicTransformer(n, p)
+    expected_forward = reference.forward(row)
+    for backend in (scalar, vectorized):
+        forward = backend.forward_ntt_batch([row], [p])[0]
+        assert forward == expected_forward, backend.name
+        assert backend.inverse_ntt_batch([forward], [p])[0] == row, backend.name
+
+
+@pytest.mark.parametrize("bits", PRIME_BITS)
+def test_batch_with_repeated_primes(bits, scalar, vectorized):
+    """Rows sharing a modulus (cross-polynomial batching) transform correctly."""
+    n = 256
+    primes = generate_ntt_primes(bits, 2, n)
+    batch_primes = [p for p in primes for _ in range(3)]
+    rows = random_rows(batch_primes, n, seed=bits)
+    expected = scalar.forward_ntt_batch(rows, batch_primes)
+    assert vectorized.forward_ntt_batch(rows, batch_primes) == expected
+    assert vectorized.inverse_ntt_batch(expected, batch_primes) == rows
+
+
+def test_numpy_backend_mixed_word_sizes(scalar, vectorized):
+    """One batch mixing 30-bit (vectorised) and 60-bit (fallback) primes."""
+    n = 128
+    primes = generate_ntt_primes(30, 2, n) + generate_ntt_primes(60, 2, n)
+    assert primes[0] < MUL_VECTORIZED_LIMIT <= primes[-1]
+    rows = random_rows(primes, n, seed=3)
+    expected = scalar.forward_ntt_batch(rows, primes)
+    assert vectorized.forward_ntt_batch(rows, primes) == expected
+    assert vectorized.inverse_ntt_batch(expected, primes) == rows
+
+
+@pytest.mark.parametrize("bits", PRIME_BITS)
+def test_pointwise_ops_agree(bits, scalar, vectorized):
+    n = 64
+    primes = generate_ntt_primes(bits, 3, n)
+    rows_a = random_rows(primes, n, seed=10 + bits)
+    rows_b = random_rows(primes, n, seed=20 + bits)
+    for op in ("add_batch", "sub_batch", "mul_batch"):
+        expected = getattr(scalar, op)(rows_a, rows_b, primes)
+        assert getattr(vectorized, op)(rows_a, rows_b, primes) == expected, op
+    assert vectorized.neg_batch(rows_a, primes) == scalar.neg_batch(rows_a, primes)
+    assert vectorized.scalar_mul_batch(rows_a, 987654321, primes) == (
+        scalar.scalar_mul_batch(rows_a, 987654321, primes)
+    )
+
+
+def test_batch_shape_validation(scalar, vectorized):
+    n = 64
+    p = generate_ntt_primes(30, 1, n)[0]
+    (row,) = random_rows([p], n, seed=4)
+    for backend in (scalar, vectorized):
+        with pytest.raises(ValueError):
+            backend.forward_ntt_batch([row], [p, p])
+        with pytest.raises(ValueError):
+            backend.add_batch([row], [row, row], [p])
+        # ragged batches are rejected identically by every backend
+        with pytest.raises(ValueError):
+            backend.forward_ntt_batch([row, row[: n // 2]], [p, p])
+        with pytest.raises(ValueError):
+            backend.mul_batch([row], [row[: n // 2]], [p])
+
+
+# ------------------------------------------------------------------ RNS layer
+
+
+@pytest.mark.parametrize("bits", PRIME_BITS)
+def test_rns_polynomial_round_trip_identical_across_backends(bits):
+    n = 64
+    basis = RnsBasis.generate(n, 3, bit_size=bits)
+    rng = random.Random(bits)
+    coefficients = [rng.randrange(-1000, 1000) for _ in range(n)]
+    polys = {
+        name: RnsPolynomial.from_coefficients(
+            coefficients, basis, cache=TransformerCache(name)
+        )
+        for name in ("scalar", "numpy")
+    }
+    ntts = {name: poly.to_ntt() for name, poly in polys.items()}
+    assert ntts["scalar"].residues == ntts["numpy"].residues
+    for name, ntt in ntts.items():
+        assert ntt.to_coefficient().residues == polys[name].residues, name
+
+
+@pytest.mark.parametrize("bits", PRIME_BITS)
+def test_rns_polynomial_multiply_matches_naive_convolution(bits):
+    n = 32
+    basis = RnsBasis.generate(n, 2, bit_size=bits)
+    rng = random.Random(100 + bits)
+    a = [rng.randrange(50) for _ in range(n)]
+    b = [rng.randrange(50) for _ in range(n)]
+    expected = naive_negacyclic_convolution(a, b, basis.modulus)
+    for name in ("scalar", "numpy"):
+        cache = TransformerCache(name)
+        pa = RnsPolynomial.from_coefficients(a, basis, cache=cache)
+        pb = RnsPolynomial.from_coefficients(b, basis, cache=cache)
+        assert (pa * pb).to_big_coefficients() == expected, name
+
+
+# ------------------------------------------------------------------- HE layer
+
+
+def _he_context(params: HEParams, backend_name: str):
+    keygen = KeyGenerator(params, seed=7)
+    return {
+        "encoder": BatchEncoder(params, keygen.basis),
+        "encryptor": Encryptor(params, keygen.public_key(), seed=11),
+        "decryptor": Decryptor(params, keygen.secret_key()),
+        "evaluator": Evaluator(params, backend=backend_name),
+        "relin": keygen.relinearization_key(),
+    }
+
+
+def _he_params_30bit() -> HEParams:
+    # 30-bit primes keep the whole pipeline on the vectorised path.
+    return HEParams(n=64, plaintext_modulus=257, prime_bits=30, prime_count=3)
+
+
+@pytest.mark.parametrize("params", [None, "30bit"], ids=["60bit-fallback", "30bit-vectorized"])
+@pytest.mark.parametrize("backend_name", ["scalar", "numpy"])
+def test_he_multiply_round_trip_per_backend(backend_name, params):
+    """encrypt → multiply → relinearize → decrypt works under every backend."""
+    he_params = (
+        _he_params_30bit()
+        if params == "30bit"
+        else HEParams(n=64, plaintext_modulus=257, prime_bits=40, prime_count=3)
+    )
+    context = _he_context(he_params, backend_name)
+    t = he_params.plaintext_modulus
+    rng = random.Random(42)
+    a = [rng.randrange(t) for _ in range(6)]
+    b = [rng.randrange(t) for _ in range(6)]
+    ca = context["encryptor"].encrypt(context["encoder"].encode(a))
+    cb = context["encryptor"].encrypt(context["encoder"].encode(b))
+    product = context["evaluator"].relinearize(
+        context["evaluator"].multiply(ca, cb), context["relin"]
+    )
+    decoded = context["encoder"].decode(context["decryptor"].decrypt(product))
+    assert decoded[:6] == [(x * y) % t for x, y in zip(a, b)]
+
+
+def test_he_ciphertexts_identical_across_backends():
+    """The acceptance bar: scalar and numpy evaluators emit identical bits."""
+    he_params = _he_params_30bit()
+    results = {}
+    for backend_name in ("scalar", "numpy"):
+        context = _he_context(he_params, backend_name)
+        t = he_params.plaintext_modulus
+        a = context["encryptor"].encrypt(context["encoder"].encode([5, 6, 7]))
+        b = context["encryptor"].encrypt(context["encoder"].encode([9, 10, 11]))
+        product = context["evaluator"].relinearize(
+            context["evaluator"].multiply(a, b), context["relin"]
+        )
+        results[backend_name] = [poly.residues for poly in product.polys]
+    assert results["scalar"] == results["numpy"]
+
+
+# ------------------------------------------------------------------- registry
+
+
+def test_registry_explicit_selection_and_caching():
+    assert set(available_backends()) >= {"scalar", "numpy"}
+    assert get_backend("scalar").name == "scalar"
+    assert get_backend("scalar") is get_backend("scalar")
+    assert get_backend("numpy").name == "numpy"
+    with pytest.raises(KeyError):
+        get_backend("no-such-backend")
+
+
+def test_registry_env_override(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV_VAR, "scalar")
+    assert get_backend().name == "scalar"
+    monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+    assert get_backend().name == "numpy"
+    # the env override reaches polynomials bound to the default cache
+    basis = RnsBasis.generate(32, 1, bit_size=30)
+    poly = RnsPolynomial.from_coefficients([1] * 32, basis)
+    monkeypatch.setenv(BACKEND_ENV_VAR, "scalar")
+    assert poly.backend.name == "scalar"
+
+
+def test_registry_default_and_custom_backend():
+    class _Probe(ScalarBackend):
+        name = "probe"
+
+    try:
+        register_backend("probe", _Probe)
+        with pytest.raises(ValueError):
+            register_backend("probe", _Probe)
+        set_default_backend("probe")
+        assert get_backend().name == "probe"
+        assert isinstance(get_backend(), ComputeBackend)
+        with pytest.raises(KeyError):
+            set_default_backend("missing")
+    finally:
+        set_default_backend(None)

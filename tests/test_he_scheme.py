@@ -6,6 +6,7 @@ import random
 
 import pytest
 
+from repro.rns.poly import RnsPolynomial
 from repro.he import (
     BatchEncoder,
     BootstrapWorkloadModel,
@@ -234,7 +235,35 @@ def test_evaluator_counts_ntt_invocations(he):
     assert evaluator.ntt_invocations == 0
     a = he["encryptor"].encrypt(he["encoder"].encode([1, 2]))
     evaluator.multiply(a, a)
-    assert evaluator.ntt_invocations > 0
+    # multiply(a, a) on a size-2 ciphertext: 4 forward + 3 inverse NTTs per prime.
+    basis_size = a.basis.count
+    assert evaluator.ntt_invocations == (2 * a.size + (2 * a.size - 1)) * basis_size
+
+
+def test_plain_ops_reject_mismatched_ring(he):
+    """Plaintexts encoded for a different basis are rejected, not corrupted."""
+    a = he["encryptor"].encrypt(he["encoder"].encode([1, 2, 3]))
+    wrong_basis = a.basis.drop_last(1)
+    stray = RnsPolynomial.from_coefficients([1] * he["params"].n, wrong_basis)
+    with pytest.raises(ValueError):
+        he["evaluator"].multiply_plain(a, stray)
+    with pytest.raises(ValueError):
+        he["evaluator"].add_plain(a, stray)
+
+
+def test_square_transforms_operand_once(he):
+    """square() forward-transforms its operand once — half the NTTs of multiply(a, a)."""
+    a = he["encryptor"].encrypt(he["encoder"].encode([3, 4]))
+    basis_size = a.basis.count
+    multiplier, squarer = Evaluator(he["params"]), Evaluator(he["params"])
+    product = multiplier.multiply(a, a)
+    squared = squarer.square(a)
+    # Identical bits either way, but square() saves a.size forward transforms
+    # per prime.
+    assert [p.residues for p in squared.polys] == [p.residues for p in product.polys]
+    assert multiplier.ntt_invocations == (2 * a.size + (2 * a.size - 1)) * basis_size
+    assert squarer.ntt_invocations == (a.size + (2 * a.size - 1)) * basis_size
+    assert squarer.ntt_invocations < multiplier.ntt_invocations
 
 
 # ---------------------------------------------------------------- bootstrap

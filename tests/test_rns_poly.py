@@ -6,6 +6,7 @@ import random
 
 import pytest
 
+from repro.backends import ScalarBackend
 from repro.rns.basis import RnsBasis
 from repro.rns.poly import Domain, RnsPolynomial, TransformerCache
 from repro.transforms.reference import naive_negacyclic_convolution
@@ -136,13 +137,17 @@ def test_copy_is_deep():
 
 
 def test_transformer_cache_shared_and_sized():
-    cache = TransformerCache()
+    # Twiddle contexts are resident with the backend the cache carries: one
+    # per (n, p) pair, built on first use and reused afterwards.
+    backend = ScalarBackend()
+    cache = TransformerCache(backend)
     poly = RnsPolynomial.from_coefficients(random_coeffs(16), BASIS, cache=cache)
+    assert poly.backend is backend
     poly.to_ntt()
-    assert len(cache) == BASIS.count
+    assert backend.resident_contexts == BASIS.count
     # converting again must not grow the cache
     poly.to_ntt()
-    assert len(cache) == BASIS.count
+    assert backend.resident_contexts == BASIS.count
 
 
 def test_multiplicative_identity():

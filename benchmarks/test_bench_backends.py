@@ -41,15 +41,17 @@ def _workload():
 def test_bench_backend_batched_ntt_speedup(benchmark):
     primes, rows = _workload()
     scalar, vectorized = ScalarBackend(), NumpyBackend()
+    scalar_tensor = scalar.from_rows(rows, primes)
+    numpy_tensor = vectorized.from_rows(rows, primes)
     # Warm both twiddle caches so the timings compare transforms, not tables.
-    expected = scalar.forward_ntt_batch(rows, primes)
-    assert vectorized.forward_ntt_batch(rows, primes) == expected
+    expected = scalar.forward_ntt_batch(scalar_tensor).to_rows()
+    assert vectorized.forward_ntt_batch(numpy_tensor).to_rows() == expected
 
-    result = benchmark(vectorized.forward_ntt_batch, rows, primes)
-    assert result == expected
+    result = benchmark(vectorized.forward_ntt_batch, numpy_tensor)
+    assert result.to_rows() == expected
 
-    scalar_s = _best_of(lambda: scalar.forward_ntt_batch(rows, primes))
-    numpy_s = _best_of(lambda: vectorized.forward_ntt_batch(rows, primes))
+    scalar_s = _best_of(lambda: scalar.forward_ntt_batch(scalar_tensor))
+    numpy_s = _best_of(lambda: vectorized.forward_ntt_batch(numpy_tensor))
     speedup = scalar_s / numpy_s
     print()
     print("Batched forward NTT, N=%d, np=%d, 30-bit primes" % (N, NP))

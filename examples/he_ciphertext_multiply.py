@@ -4,10 +4,14 @@ This is the application workload that motivates the paper: RNS-based
 homomorphic encryption, where every ciphertext multiplication is a batch of
 ``np`` negacyclic polynomial products computed through NTTs.  The example
 
-1. generates keys for a small (insecure, demonstration-only) parameter set,
+1. creates an :class:`HeContext` — params, RNS basis, pinned compute backend
+   and warm twiddle tables behind one facade,
 2. packs two integer vectors into ciphertexts with the batch encoder,
 3. evaluates an encrypted polynomial ``x*y + x`` slot-wise, with
-   relinearisation and modulus switching,
+   relinearisation and modulus switching, through the resident handle API —
+   the backend's conversion counter reports every list ↔ array boundary
+   crossing (zero for ≤ 30-bit primes; these 45-bit demonstration primes
+   route through the per-prime exact fallback, and the counter shows it),
 4. tracks the noise budget and refreshes it ("bootstraps") when it runs low,
 5. reports how many NTT invocations the evaluation triggered and what the
    equivalent batch would cost on the modelled Titan V at the paper's
@@ -24,12 +28,8 @@ import random
 
 from repro.gpu import GpuCostModel
 from repro.he import (
-    BatchEncoder,
     BootstrapWorkloadModel,
-    Decryptor,
-    Encryptor,
-    Evaluator,
-    KeyGenerator,
+    HeContext,
     NoiseRefresher,
     bootstrappable_params,
     small_params,
@@ -42,15 +42,15 @@ def main() -> None:
           % (params.name, params.n, params.plaintext_modulus,
              params.prime_count, params.prime_bits, params.log_q))
 
-    # -- key material ------------------------------------------------------------------
-    keygen = KeyGenerator(params, seed=1)
-    secret = keygen.secret_key()
-    public = keygen.public_key()
-    relin = keygen.relinearization_key()
-    encoder = BatchEncoder(params, keygen.basis)
-    encryptor = Encryptor(params, public, seed=2)
-    decryptor = Decryptor(params, secret)
-    evaluator = Evaluator(params)
+    # -- one facade owns params, basis, backend and key material ------------------------
+    context = HeContext.create(params, seed=1)
+    print("pinned backend  : %s (twiddle tables warmed for %d primes)"
+          % (context.backend.name, context.basis.count))
+    relin = context.relinearization_key()
+    encoder = context.encoder()
+    encryptor = context.encryptor(seed=2)
+    decryptor = context.decryptor()
+    evaluator = context.evaluator()
 
     # -- encrypted SIMD computation: x*y + x --------------------------------------------
     rng = random.Random(3)
@@ -61,6 +61,7 @@ def main() -> None:
     ct_y = encryptor.encrypt(encoder.encode(y))
     print("fresh noise budget      : %.1f bits" % decryptor.noise_budget_bits(ct_x))
 
+    conversions_before = context.backend.conversion_count
     product = evaluator.relinearize(evaluator.multiply(ct_x, ct_y), relin)
     result = evaluator.add(product, ct_x)
     print("budget after x*y + x    : %.1f bits" % decryptor.noise_budget_bits(result))
@@ -68,6 +69,9 @@ def main() -> None:
     switched = evaluator.mod_switch_to_next(result)
     print("budget after mod-switch : %.1f bits (one prime dropped, level %d)"
           % (decryptor.noise_budget_bits(switched), switched.level))
+    print("boundary conversions    : %d residue rows (45-bit primes use the "
+          "per-prime exact fallback; 0 for <= 30-bit primes)"
+          % (context.backend.conversion_count - conversions_before))
 
     decoded = encoder.decode(decryptor.decrypt(switched))
     expected = [(a * b + a) % t for a, b in zip(x, y)]

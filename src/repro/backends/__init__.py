@@ -2,8 +2,11 @@
 
 Every residue-matrix operation of the library — the batched forward/inverse
 NTTs of :class:`repro.rns.poly.RnsPolynomial`, the pointwise arithmetic of
-the evaluator's ``iNTT(NTT(a) ⊙ NTT(b))`` pipeline — dispatches through the
-:class:`ComputeBackend` interface defined here.  Ships with:
+the evaluator's ``iNTT(NTT(a) ⊙ NTT(b))`` pipeline, RNS digit decomposition
+and modulus switching — dispatches through the :class:`ComputeBackend`
+interface defined here, moving opaque backend-resident
+:class:`ResidueTensor` handles instead of Python lists (see the ResidueTensor
+contract in :mod:`repro.backends.base`).  Ships with:
 
 * ``"scalar"`` — exact big-int reference path (any word size).
 * ``"numpy"`` — batched uint64 vectorisation for ≤ 30-bit primes with
@@ -14,23 +17,27 @@ Select explicitly (``get_backend("numpy")``), process-wide
 variable.
 """
 
-from .base import ComputeBackend, ResidueRows
+from .base import ComputeBackend, ResidueRows, ResidueTensor
 from .registry import (
     BACKEND_ENV_VAR,
     available_backends,
     get_backend,
     register_backend,
+    resolve_backend,
     set_default_backend,
 )
-from .scalar import ScalarBackend
+from .scalar import ScalarBackend, ScalarTensor
 
 __all__ = [
     "BACKEND_ENV_VAR",
     "ComputeBackend",
     "ResidueRows",
+    "ResidueTensor",
     "ScalarBackend",
+    "ScalarTensor",
     "available_backends",
     "get_backend",
     "register_backend",
+    "resolve_backend",
     "set_default_backend",
 ]

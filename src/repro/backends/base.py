@@ -1,21 +1,52 @@
 """The :class:`ComputeBackend` interface — the seam every residue-matrix
-operation of the RNS/HE stack goes through.
+operation of the RNS/HE stack goes through — and the :class:`ResidueTensor`
+handle that keeps residue data *resident* in backend-native storage.
 
 The paper's headline observation (Section III, Fig. 3) is that an HE workload
 is ``np x (number of polynomials)`` *independent* NTTs and that throughput
-comes from executing them as one wide batch.  The backend interface mirrors
-that shape directly: every method takes a *batch* of residue rows plus the
-parallel list of moduli (primes may repeat — that is exactly what lets the
-evaluator fuse the transforms of several polynomials of a ciphertext into a
-single call), and returns the transformed batch.
+comes from executing them as one wide batch over data that never leaves the
+device.  The interface mirrors both halves of that observation:
+
+* **Batching** — every operation takes whole residue matrices (rows may share
+  a modulus, which is exactly what lets the evaluator fuse the transforms of
+  several polynomials of a ciphertext into a single call).
+* **Residency** — operations consume and produce opaque
+  :class:`ResidueTensor` handles.  Data enters native storage once (at
+  :meth:`ComputeBackend.from_rows`) and leaves it once (at
+  :meth:`ComputeBackend.to_rows`); everything in between — transforms,
+  pointwise arithmetic, digit decomposition, modulus switching — stays in
+  whatever layout the backend prefers.
+
+The ResidueTensor contract
+--------------------------
+
+A :class:`ResidueTensor` is an **opaque, immutable-by-convention handle**
+owned by exactly one backend instance.  The contract every backend must obey:
+
+1. **Ownership** — a tensor may only be passed to methods of the backend that
+   created it; backends must reject foreign tensors (``ValueError``) instead
+   of guessing at their layout.
+2. **Shape** — a tensor logically holds ``count`` rows of ``n`` residues;
+   ``tensor.primes[i]`` is the modulus of row ``i`` (repeats allowed).  Rows
+   are canonically reduced: every stored residue lies in ``[0, p_i)``.
+3. **Value semantics** — operations return *new* tensors; a backend must not
+   mutate an input tensor in place.  :meth:`ComputeBackend.copy` yields an
+   independent tensor whose storage is not aliased.
+4. **Explicit boundaries** — the only conversions between Python
+   ``list[list[int]]`` and native storage happen in :meth:`from_rows` /
+   :meth:`to_rows` (and, for vectorised backends, in the per-prime scalar
+   fallback for word sizes the vector unit cannot handle exactly).  Every
+   such materialisation increments :attr:`ComputeBackend.conversion_count`,
+   by the number of rows converted, so callers — and the regression tests —
+   can assert that a chain of operations stayed resident.
 
 Implementations:
 
 * :class:`repro.backends.scalar.ScalarBackend` — the exact big-int reference
-  path (clarity-first, works for any word size).
-* :class:`repro.backends.numpy_backend.NumpyBackend` — vectorises both the
-  butterfly stages and the batch dimension with ``uint64`` arrays for
-  ≤ 30-bit primes, falling back to the scalar path per prime otherwise.
+  path; its native storage *is* the list-of-lists, so residency is free.
+* :class:`repro.backends.numpy_backend.NumpyBackend` — one resident
+  ``uint64`` ndarray per tensor, vectorising butterfly stages and the batch
+  dimension for ≤ 30-bit primes with a per-prime exact scalar fallback above.
 
 Backends are interchangeable bit-for-bit: the cross-check suite in
 ``tests/test_backends.py`` pins every implementation against
@@ -27,76 +58,232 @@ from __future__ import annotations
 import abc
 from collections.abc import Sequence
 
-__all__ = ["ComputeBackend", "ResidueRows"]
+__all__ = ["ComputeBackend", "ResidueTensor", "ResidueRows"]
 
-#: A batch of residue rows: ``rows[i]`` holds integers reduced mod ``primes[i]``.
+#: A batch of residue rows in boundary (Python list) form: ``rows[i]`` holds
+#: integers reduced mod ``primes[i]``.  Only :meth:`ComputeBackend.from_rows`
+#: / :meth:`ComputeBackend.to_rows` traffic in this type.
 ResidueRows = Sequence[Sequence[int]]
 
 
-class ComputeBackend(abc.ABC):
-    """Abstract batched compute backend over residue matrices.
+class ResidueTensor:
+    """Opaque handle to a backend-resident residue matrix.
 
-    Every method operates on a batch of residue rows with a parallel sequence
-    of moduli.  Rows belonging to the same modulus may be batched into one
-    wide operation by the implementation; callers are encouraged to pass the
-    largest batch they can assemble (e.g. all polynomials of a ciphertext at
-    once) — that is where the paper's speedup lives.
+    Subclasses add the actual storage (Python rows, a ``uint64`` ndarray, a
+    device buffer, ...).  User code never touches the storage — it moves
+    handles between backend operations and crosses the boundary explicitly
+    via :meth:`to_rows` when big-int values are genuinely needed
+    (CRT reconstruction, serialisation, decoding).
+
+    Attributes:
+        backend: The backend instance that owns this tensor.
+        primes: One modulus per row (repeats allowed).
+        n: Row length (residues per row).
+    """
+
+    __slots__ = ("backend", "primes", "n")
+
+    def __init__(
+        self, backend: "ComputeBackend", primes: Sequence[int], n: int
+    ) -> None:
+        self.backend = backend
+        self.primes = tuple(primes)
+        self.n = n
+
+    @property
+    def count(self) -> int:
+        """Number of residue rows."""
+        return len(self.primes)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical ``(count, n)`` shape of the residue matrix."""
+        return (len(self.primes), self.n)
+
+    def to_rows(self) -> list[list[int]]:
+        """Materialise to Python lists — an explicit, counted boundary."""
+        return self.backend.to_rows(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "%s(backend=%r, shape=%dx%d)" % (
+            type(self).__name__,
+            self.backend.name,
+            len(self.primes),
+            self.n,
+        )
+
+
+class ComputeBackend(abc.ABC):
+    """Abstract batched compute backend over resident residue tensors.
+
+    Every operation consumes and produces :class:`ResidueTensor` handles
+    owned by this backend.  Rows belonging to the same modulus may be batched
+    into one wide operation by the implementation; callers are encouraged to
+    :meth:`concat` the largest batch they can assemble (e.g. all polynomials
+    of a ciphertext at once) — that is where the paper's speedup lives.
     """
 
     #: Registry name of the backend (``"scalar"``, ``"numpy"``, ...).
     name: str = "abstract"
 
-    # -- transforms ------------------------------------------------------------
-    @abc.abstractmethod
-    def forward_ntt_batch(
-        self, rows: ResidueRows, primes: Sequence[int]
-    ) -> list[list[int]]:
-        """Forward negacyclic NTT of every row (bit-reversed output).
+    def __init__(self) -> None:
+        self._conversions = 0
 
-        Args:
-            rows: Batch of coefficient rows, all of the same power-of-two
-                length ``n``.
-            primes: One NTT prime per row (``p ≡ 1 (mod 2n)``); repeats allowed.
+    # -- boundary conversions (the only list <-> native crossings) -------------
+    @property
+    def conversion_count(self) -> int:
+        """Residue rows materialised across the list/native boundary so far.
+
+        Incremented by :meth:`from_rows`, :meth:`to_rows` and (for vectorised
+        backends) the per-prime scalar fallback.  A chain of operations that
+        stayed fully resident leaves this counter unchanged — the acceptance
+        test of the resident data plane.
+        """
+        return self._conversions
+
+    def reset_conversion_count(self) -> None:
+        """Zero the boundary-conversion counter (test/benchmark helper)."""
+        self._conversions = 0
+
+    def _count_conversion(self, rows: int) -> None:
+        self._conversions += rows
+
+    @abc.abstractmethod
+    def from_rows(self, rows: ResidueRows, primes: Sequence[int]) -> ResidueTensor:
+        """Enter native storage: build a tensor from Python residue rows.
+
+        Rows are reduced modulo their prime on entry, so unreduced (but
+        non-negative) inputs are accepted.  Counts ``len(rows)`` conversions.
         """
 
     @abc.abstractmethod
-    def inverse_ntt_batch(
-        self, rows: ResidueRows, primes: Sequence[int]
-    ) -> list[list[int]]:
+    def to_rows(self, tensor: ResidueTensor) -> list[list[int]]:
+        """Leave native storage: materialise a tensor to Python residue rows.
+
+        Counts ``tensor.count`` conversions.
+        """
+
+    # -- transforms ------------------------------------------------------------
+    @abc.abstractmethod
+    def forward_ntt_batch(self, tensor: ResidueTensor) -> ResidueTensor:
+        """Forward negacyclic NTT of every row (bit-reversed output).
+
+        Row ``i`` is transformed under ``tensor.primes[i]``
+        (``p ≡ 1 (mod 2n)``); repeats allowed and encouraged — rows sharing a
+        modulus move through the butterfly stages as one batch.
+        """
+
+    @abc.abstractmethod
+    def inverse_ntt_batch(self, tensor: ResidueTensor) -> ResidueTensor:
         """Inverse negacyclic NTT of every row (bit-reversed input)."""
 
     # -- pointwise arithmetic --------------------------------------------------
     @abc.abstractmethod
-    def add_batch(
-        self, rows_a: ResidueRows, rows_b: ResidueRows, primes: Sequence[int]
-    ) -> list[list[int]]:
+    def add(self, a: ResidueTensor, b: ResidueTensor) -> ResidueTensor:
         """Element-wise ``(a + b) mod p`` for every row pair."""
 
     @abc.abstractmethod
-    def sub_batch(
-        self, rows_a: ResidueRows, rows_b: ResidueRows, primes: Sequence[int]
-    ) -> list[list[int]]:
+    def sub(self, a: ResidueTensor, b: ResidueTensor) -> ResidueTensor:
         """Element-wise ``(a - b) mod p`` for every row pair."""
 
     @abc.abstractmethod
-    def neg_batch(self, rows: ResidueRows, primes: Sequence[int]) -> list[list[int]]:
+    def neg(self, a: ResidueTensor) -> ResidueTensor:
         """Element-wise ``(-a) mod p`` for every row."""
 
     @abc.abstractmethod
-    def mul_batch(
-        self, rows_a: ResidueRows, rows_b: ResidueRows, primes: Sequence[int]
-    ) -> list[list[int]]:
+    def mul(self, a: ResidueTensor, b: ResidueTensor) -> ResidueTensor:
         """Element-wise ``(a * b) mod p`` — the ⊙ of the NTT-domain pipeline."""
 
     @abc.abstractmethod
-    def scalar_mul_batch(
-        self, rows: ResidueRows, scalar: int, primes: Sequence[int]
-    ) -> list[list[int]]:
+    def scalar_mul(self, a: ResidueTensor, scalar: int) -> ResidueTensor:
         """Multiply every row by one integer scalar (reduced per modulus)."""
 
+    # -- structural operations -------------------------------------------------
+    @abc.abstractmethod
+    def concat(self, tensors: Sequence[ResidueTensor]) -> ResidueTensor:
+        """Stack tensors row-wise into one wide batch (primes concatenate).
+
+        This is how callers assemble the cross-polynomial batches the paper's
+        Fig. 3 argues for — all tensors must share ``n`` and this backend.
+        """
+
+    @abc.abstractmethod
+    def split(
+        self, tensor: ResidueTensor, counts: Sequence[int]
+    ) -> list[ResidueTensor]:
+        """Inverse of :meth:`concat`: split into tensors of ``counts`` rows."""
+
+    @abc.abstractmethod
+    def slice_rows(
+        self, tensor: ResidueTensor, start: int, stop: int
+    ) -> ResidueTensor:
+        """A new tensor holding rows ``start:stop`` (e.g. dropping RNS primes)."""
+
+    @abc.abstractmethod
+    def copy(self, tensor: ResidueTensor) -> ResidueTensor:
+        """Deep copy — fresh storage, no aliasing."""
+
+    @abc.abstractmethod
+    def tensor_equal(self, a: ResidueTensor, b: ResidueTensor) -> bool:
+        """Whether two tensors hold identical primes and residues."""
+
+    # -- RNS compound operations (keep the HE layer resident) -----------------
+    @abc.abstractmethod
+    def digit_broadcast(self, tensor: ResidueTensor, index: int) -> ResidueTensor:
+        """RNS digit decomposition step: broadcast row ``index`` across the basis.
+
+        Returns a tensor over the same primes whose every row ``j`` is
+        ``tensor[index] mod p_j`` — the per-prime digit the relinearisation
+        key-switch pairs with key component ``index``.  The input must be in
+        the coefficient domain for the digits to be meaningful.
+        """
+
+    @abc.abstractmethod
+    def mod_switch_drop_last(
+        self, tensor: ResidueTensor, plaintext_modulus: int
+    ) -> ResidueTensor:
+        """Exact BGV modulus switch dropping the last prime, fully in RNS.
+
+        For each coefficient ``c`` (with ``w = c mod q_last`` available as the
+        last residue row) the switched value is ``(c + t*u_c) / q_last`` where
+        ``u = (-w * t^{-1}) mod q_last`` and ``u_c`` is its centered
+        representative — computed per remaining prime ``p_j`` as
+        ``(c_j + t*u_c) * q_last^{-1} mod p_j`` without any CRT
+        reconstruction.  Requires ``q_last ≡ 1 (mod t)`` (checked by the
+        evaluator) for plaintext invariance.
+        """
+
+    # -- twiddle residency -----------------------------------------------------
+    def warm_twiddles(self, n: int, primes: Sequence[int]) -> None:
+        """Precompute the per-``(n, p)`` twiddle tables for the given primes.
+
+        Called by :class:`repro.he.context.HeContext` at construction so the
+        first homomorphic operation does not pay table building.  Default:
+        no-op.
+        """
+
     # -- validation helpers ----------------------------------------------------
+    def _check_owned(self, tensor: ResidueTensor) -> None:
+        if tensor.backend is not self:
+            raise ValueError(
+                "tensor is owned by backend %r, not %r — tensors are opaque "
+                "handles and cannot cross backends implicitly"
+                % (tensor.backend.name, self.name)
+            )
+
+    def _check_pair(self, a: ResidueTensor, b: ResidueTensor) -> None:
+        self._check_owned(a)
+        self._check_owned(b)
+        if a.primes != b.primes:
+            raise ValueError(
+                "tensor prime mismatch: %d vs %d rows over different moduli"
+                % (len(a.primes), len(b.primes))
+            )
+        if a.n != b.n:
+            raise ValueError("row length mismatch: %d vs %d" % (a.n, b.n))
+
     @staticmethod
-    def _check_batch(rows: ResidueRows, primes: Sequence[int]) -> None:
+    def _check_rows_shape(rows: ResidueRows, primes: Sequence[int]) -> None:
         if len(rows) != len(primes):
             raise ValueError(
                 "batch shape mismatch: %d rows vs %d primes" % (len(rows), len(primes))
@@ -112,21 +299,6 @@ class ComputeBackend(abc.ABC):
                         "ragged batch: row 0 has %d entries but row %d has %d"
                         % (n, index, len(row))
                     )
-
-    @classmethod
-    def _check_pair(
-        cls, rows_a: ResidueRows, rows_b: ResidueRows, primes: Sequence[int]
-    ) -> None:
-        if len(rows_a) != len(rows_b):
-            raise ValueError(
-                "batch shape mismatch: %d vs %d rows" % (len(rows_a), len(rows_b))
-            )
-        cls._check_batch(rows_a, primes)
-        cls._check_batch(rows_b, primes)
-        if rows_a and len(rows_a[0]) != len(rows_b[0]):
-            raise ValueError(
-                "row length mismatch: %d vs %d" % (len(rows_a[0]), len(rows_b[0]))
-            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "%s(name=%r)" % (type(self).__name__, self.name)

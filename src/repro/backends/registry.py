@@ -26,6 +26,7 @@ __all__ = [
     "available_backends",
     "get_backend",
     "register_backend",
+    "resolve_backend",
     "set_default_backend",
 ]
 
@@ -118,3 +119,17 @@ def get_backend(name: str | None = None) -> ComputeBackend:
         instance = _factories[name]()
         _instances[name] = instance
     return instance
+
+
+def resolve_backend(backend: ComputeBackend | str | None) -> ComputeBackend:
+    """Normalise a backend argument to a live :class:`ComputeBackend` instance.
+
+    Accepts an instance (returned as-is), a registry name, or ``None`` (the
+    documented default precedence).  This is the single resolution point the
+    pinning layers (:class:`repro.he.context.HeContext`, evaluators,
+    polynomials) go through — resolve once, hold the instance, and later
+    environment flips cannot silently mix backends inside one object graph.
+    """
+    if isinstance(backend, ComputeBackend):
+        return backend
+    return get_backend(backend)

@@ -19,9 +19,13 @@ from .engine import ExecutionReport, NTTEngine
 from .on_the_fly import OnTheFlyConfig, OnTheFlyTwiddleGenerator
 from .plan import NTTAlgorithm, NTTPlan, best_smem_plan, default_smem_split
 from .serialization import (
+    ciphertext_from_dict,
+    ciphertext_to_dict,
     load_json,
     plan_from_dict,
     plan_to_dict,
+    rns_polynomial_from_dict,
+    rns_polynomial_to_dict,
     save_json,
     twiddle_table_from_dict,
     twiddle_table_to_dict,
@@ -32,9 +36,13 @@ from .twiddle import TwiddleTable, stage_input_entries, stage_table_entries
 __all__ = [
     "PlanTuner",
     "TunedPlan",
+    "ciphertext_from_dict",
+    "ciphertext_to_dict",
     "load_json",
     "plan_from_dict",
     "plan_to_dict",
+    "rns_polynomial_from_dict",
+    "rns_polynomial_to_dict",
     "save_json",
     "twiddle_table_from_dict",
     "twiddle_table_to_dict",

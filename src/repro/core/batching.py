@@ -14,8 +14,8 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from ..backends.base import ComputeBackend
-from ..backends.registry import get_backend
+from ..backends.base import ComputeBackend, ResidueTensor
+from ..backends.registry import resolve_backend
 from ..rns.basis import RnsBasis
 from .engine import ExecutionReport, NTTEngine
 from .plan import NTTPlan
@@ -66,9 +66,13 @@ class BatchedNTT:
             identically configured kernels).
         backend: Compute backend executing the *data* path of
             :meth:`forward` / :meth:`inverse` / :meth:`multiply` (registry
-            default when omitted).  The ``*_with_report`` variants always run
-            the instrumented scalar engines — they exist to count butterflies
-            and twiddle traffic, which batching must not change.
+            default when omitted, resolved once at construction).  The
+            rows-based methods are boundary conveniences — they enter and
+            leave residency per call; the ``*_resident`` variants operate on
+            :class:`~repro.backends.base.ResidueTensor` handles and keep data
+            backend-native across calls.  The ``*_with_report`` variants
+            always run the instrumented scalar engines — they exist to count
+            butterflies and twiddle traffic, which batching must not change.
     """
 
     def __init__(
@@ -82,9 +86,7 @@ class BatchedNTT:
         self.n = n
         self.plan = plan if plan is not None else NTTPlan(n=n)
         self.engines = [NTTEngine(n, p, self.plan) for p in basis.primes]
-        self.backend = (
-            get_backend(backend) if (backend is None or isinstance(backend, str)) else backend
-        )
+        self.backend = resolve_backend(backend)
 
     @property
     def batch_size(self) -> int:
@@ -95,15 +97,39 @@ class BatchedNTT:
         """Twiddle bytes resident across the whole batch (one table per prime)."""
         return sum(engine.resident_table_bytes() for engine in self.engines)
 
+    # -- residency entry/exit ----------------------------------------------------
+    def tensor_from_rows(self, rows: Sequence[Sequence[int]]) -> ResidueTensor:
+        """Enter residency: one residue row per prime into a backend tensor."""
+        self._check_rows(rows)
+        return self.backend.from_rows(rows, self.basis.primes)
+
+    # -- resident data path ------------------------------------------------------
+    def forward_resident(self, tensor: ResidueTensor) -> ResidueTensor:
+        """Forward-transform a resident residue tensor (no boundary crossing)."""
+        return self.backend.forward_ntt_batch(tensor)
+
+    def inverse_resident(self, tensor: ResidueTensor) -> ResidueTensor:
+        """Inverse-transform a resident residue tensor (no boundary crossing)."""
+        return self.backend.inverse_ntt_batch(tensor)
+
+    def multiply_resident(
+        self, a: ResidueTensor, b: ResidueTensor
+    ) -> ResidueTensor:
+        """Resident ``iNTT(NTT(a) ⊙ NTT(b))`` with the forward pair fused."""
+        stacked = self.backend.forward_ntt_batch(self.backend.concat([a, b]))
+        a_ntt, b_ntt = self.backend.split(
+            stacked, [self.batch_size, self.batch_size]
+        )
+        return self.backend.inverse_ntt_batch(self.backend.mul(a_ntt, b_ntt))
+
+    # -- boundary conveniences (rows in, rows out) -------------------------------
     def forward(self, rows: Sequence[Sequence[int]]) -> list[list[int]]:
         """Forward-transform one residue row per prime (one backend batch)."""
-        self._check_rows(rows)
-        return self.backend.forward_ntt_batch(rows, self.basis.primes)
+        return self.forward_resident(self.tensor_from_rows(rows)).to_rows()
 
     def inverse(self, rows: Sequence[Sequence[int]]) -> list[list[int]]:
         """Inverse-transform one residue row per prime (one backend batch)."""
-        self._check_rows(rows)
-        return self.backend.inverse_ntt_batch(rows, self.basis.primes)
+        return self.inverse_resident(self.tensor_from_rows(rows)).to_rows()
 
     def forward_with_report(
         self, rows: Sequence[Sequence[int]]
@@ -127,16 +153,9 @@ class BatchedNTT:
         two forward transforms are fused into a single batch of ``2 np``
         rows, which is exactly the batching opportunity Fig. 3 quantifies.
         """
-        self._check_rows(rows_a)
-        self._check_rows(rows_b)
-        primes = list(self.basis.primes)
-        stacked = self.backend.forward_ntt_batch(
-            list(rows_a) + list(rows_b), primes + primes
-        )
-        pointwise = self.backend.mul_batch(
-            stacked[: self.batch_size], stacked[self.batch_size :], primes
-        )
-        return self.backend.inverse_ntt_batch(pointwise, primes)
+        return self.multiply_resident(
+            self.tensor_from_rows(rows_a), self.tensor_from_rows(rows_b)
+        ).to_rows()
 
     def _check_rows(self, rows: Sequence[Sequence[int]]) -> None:
         if len(rows) != self.batch_size:

@@ -1,13 +1,21 @@
-"""JSON (de)serialisation of plans, OT configurations and twiddle tables.
+"""JSON (de)serialisation of plans, twiddle tables, RNS polynomials and ciphertexts.
 
 An HE service typically generates its NTT parameters once (primes, roots,
-twiddle tables, tuned execution plans) and ships them to workers; this module
-provides a stable, dependency-free JSON representation for those artefacts.
+twiddle tables, tuned execution plans) and ships them to workers — and then
+ships ciphertexts and plaintext polynomials between services for the life of
+the deployment; this module provides a stable, dependency-free JSON
+representation for all of those artefacts.
 
-Twiddle tables are stored as hexadecimal strings because 60-bit integers are
-outside the exact range of JSON numbers in many consumers; everything is
-validated on load (the prime must still be an NTT prime for the stored size,
-and the stored root must still generate the stored table).
+Integers are stored as hexadecimal strings because 60-bit values are outside
+the exact range of JSON numbers in many consumers; everything is validated on
+load (primes must still be NTT primes for the stored size, stored roots must
+still generate the stored tables).
+
+Residue data crosses the resident-tensor boundary exactly once per
+direction: :func:`rns_polynomial_to_dict` materialises through the explicit
+:meth:`~repro.rns.poly.RnsPolynomial.to_coeff_lists` boundary, and
+:func:`rns_polynomial_from_dict` re-enters backend-native storage through
+:meth:`~repro.rns.poly.RnsPolynomial.from_residue_rows`.
 """
 
 from __future__ import annotations
@@ -17,6 +25,8 @@ from pathlib import Path
 from typing import Any
 
 from ..modarith.primes import is_ntt_prime
+from ..rns.basis import RnsBasis
+from ..rns.poly import Domain, RnsPolynomial
 from .on_the_fly import OnTheFlyConfig
 from .plan import NTTAlgorithm, NTTPlan
 from .twiddle import TwiddleTable
@@ -26,6 +36,10 @@ __all__ = [
     "plan_from_dict",
     "twiddle_table_to_dict",
     "twiddle_table_from_dict",
+    "rns_polynomial_to_dict",
+    "rns_polynomial_from_dict",
+    "ciphertext_to_dict",
+    "ciphertext_from_dict",
     "save_json",
     "load_json",
 ]
@@ -112,6 +126,95 @@ def twiddle_table_from_dict(payload: dict[str, Any]) -> TwiddleTable:
     if stored_forward != table.forward:
         raise ValueError("stored twiddle table does not match its stored root of unity")
     return table
+
+
+# -- RNS polynomials ------------------------------------------------------------------------
+
+
+def rns_polynomial_to_dict(poly: RnsPolynomial) -> dict[str, Any]:
+    """Convert an :class:`RnsPolynomial` into a JSON-serialisable dictionary.
+
+    The residue matrix leaves backend-native storage through the polynomial's
+    explicit ``to_coeff_lists()`` boundary; the domain tag travels with it so
+    NTT-form polynomials round-trip without a transform.
+    """
+    return {
+        "kind": "rns_polynomial",
+        "n": poly.n,
+        "domain": poly.domain.value,
+        "primes": [hex(p) for p in poly.basis.primes],
+        "rows": [[hex(value) for value in row] for row in poly.to_coeff_lists()],
+    }
+
+
+def rns_polynomial_from_dict(
+    payload: dict[str, Any], backend: Any = None
+) -> RnsPolynomial:
+    """Reconstruct (and validate) an :class:`RnsPolynomial` from its dictionary form.
+
+    Args:
+        payload: Output of :func:`rns_polynomial_to_dict`.
+        backend: Backend instance or registry name the rebuilt polynomial is
+            made resident on (registry default when omitted).
+    """
+    if payload.get("kind") != "rns_polynomial":
+        raise ValueError("payload is not a serialised RNS polynomial")
+    n = payload["n"]
+    primes = [int(value, 16) for value in payload["primes"]]
+    basis = RnsBasis.from_primes(primes, n)
+    rows = [[int(value, 16) for value in row] for row in payload["rows"]]
+    return RnsPolynomial.from_residue_rows(
+        rows, basis, domain=Domain(payload["domain"]), n=n, backend=backend
+    )
+
+
+# -- ciphertexts -----------------------------------------------------------------------------
+
+
+def ciphertext_to_dict(ciphertext: Any) -> dict[str, Any]:
+    """Convert a :class:`repro.he.ciphertext.Ciphertext` to a dictionary.
+
+    The scheme parameters are embedded so a worker can rebuild the ciphertext
+    with nothing but this payload (the polynomials carry their own — possibly
+    modulus-switched — prime chain).
+    """
+    params = ciphertext.params
+    return {
+        "kind": "ciphertext",
+        "level": ciphertext.level,
+        "params": {
+            "n": params.n,
+            "plaintext_modulus": params.plaintext_modulus,
+            "prime_bits": params.prime_bits,
+            "prime_count": params.prime_count,
+            "error_std": params.error_std,
+            "name": params.name,
+        },
+        "polys": [rns_polynomial_to_dict(poly) for poly in ciphertext.polys],
+    }
+
+
+def ciphertext_from_dict(payload: dict[str, Any], backend: Any = None):
+    """Reconstruct a :class:`repro.he.ciphertext.Ciphertext` from its dictionary form.
+
+    Args:
+        payload: Output of :func:`ciphertext_to_dict`.
+        backend: Backend for the rebuilt polynomials (registry default when
+            omitted).
+    """
+    # Imported lazily: repro.he pulls in repro.core for its bootstrap model,
+    # so a module-level import here would be circular.
+    from ..he.ciphertext import Ciphertext
+    from ..he.params import HEParams
+
+    if payload.get("kind") != "ciphertext":
+        raise ValueError("payload is not a serialised ciphertext")
+    params = HEParams(**payload["params"])
+    polys = [
+        rns_polynomial_from_dict(poly_payload, backend=backend)
+        for poly_payload in payload["polys"]
+    ]
+    return Ciphertext(polys=polys, params=params, level=payload["level"])
 
 
 # -- files -------------------------------------------------------------------------------------

@@ -4,26 +4,24 @@ This is the application substrate that generates the NTT workload the paper
 studies: every homomorphic multiplication is a batch of ``np`` negacyclic
 polynomial products computed through forward/inverse NTTs.
 
-Typical usage::
+Typical usage — an :class:`HeContext` pins params, basis, backend and key
+material behind one facade::
 
-    from repro.he import (BatchEncoder, Decryptor, Encryptor, Evaluator,
-                          KeyGenerator, toy_params)
+    from repro.he import HeContext, toy_params
 
-    params = toy_params()
-    keygen = KeyGenerator(params)
-    secret, public = keygen.secret_key(), keygen.public_key()
-    relin = keygen.relinearization_key()
-    encoder = BatchEncoder(params, keygen.basis)
-    encryptor, decryptor = Encryptor(params, public), Decryptor(params, secret)
-    evaluator = Evaluator(params)
+    ctx = HeContext.create(toy_params())
+    ct = ctx.encryptor().encrypt(ctx.encoder().encode([1, 2, 3]))
+    product = ctx.evaluator().relinearize(
+        ctx.evaluator().multiply(ct, ct), ctx.relinearization_key())
+    print(ctx.encoder().decode(ctx.decryptor().decrypt(product))[:3])  # [1, 4, 9]
 
-    ct = encryptor.encrypt(encoder.encode([1, 2, 3]))
-    product = evaluator.relinearize(evaluator.multiply(ct, ct), relin)
-    print(encoder.decode(decryptor.decrypt(product))[:3])   # [1, 4, 9]
+The individual components (KeyGenerator, Encryptor, Evaluator, ...) remain
+directly constructible for callers that need custom wiring.
 """
 
 from .bootstrap import BootstrapEstimate, BootstrapWorkloadModel, NoiseRefresher
 from .ciphertext import Ciphertext
+from .context import HeContext
 from .encoder import BatchEncoder, IntegerEncoder
 from .encryptor import Decryptor, Encryptor
 from .evaluator import Evaluator
@@ -41,6 +39,7 @@ __all__ = [
     "BootstrapWorkloadModel",
     "NoiseRefresher",
     "Ciphertext",
+    "HeContext",
     "BatchEncoder",
     "IntegerEncoder",
     "Decryptor",

@@ -51,7 +51,9 @@ class NoiseRefresher:
         """Return a fresh encryption of ``ciphertext``'s plaintext."""
         plaintext_coefficients = self.decryptor.decrypt(ciphertext)
         plaintext = RnsPolynomial.from_coefficients(
-            plaintext_coefficients, self.encryptor.basis
+            plaintext_coefficients,
+            self.encryptor.basis,
+            backend=self.encryptor.backend,
         )
         return self.encryptor.encrypt(plaintext)
 

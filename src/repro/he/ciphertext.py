@@ -49,6 +49,16 @@ class Ciphertext:
         return self.polys[0].basis
 
     @property
+    def backend(self):
+        """The compute backend whose resident storage holds ``c_0``.
+
+        All components normally share one backend (encryptors and evaluators
+        pin theirs); a mixed ciphertext can only arise from manual assembly
+        and is adopted wholesale by the next evaluator operation.
+        """
+        return self.polys[0].backend
+
+    @property
     def modulus(self) -> int:
         """The current ciphertext modulus ``Q_level``."""
         return self.basis.modulus

@@ -1,0 +1,147 @@
+"""The :class:`HeContext` facade: one object that owns params, basis, backend
+and warm twiddle caches.
+
+Every double-CRT HE library pins a single context object that owns the
+parameter set, the RNS basis and the precomputed tables (SEAL's
+``SEALContext``, HEAAN's ``Context``, PALISADE's ``CryptoContext``); this is
+the same API shape for this repository.  Building the pieces by hand —
+KeyGenerator here, BatchEncoder there, an Evaluator resolving the backend
+registry per call — invites two failure modes the facade removes:
+
+* **Backend drift** — the registry default is re-resolved from the
+  environment, so flipping ``REPRO_BACKEND`` mid-session could silently mix
+  backends between components.  ``HeContext`` resolves the backend **once**
+  at :meth:`HeContext.create` and hands the same pinned instance to every
+  factory product; later environment flips affect new contexts only.
+* **Cold twiddle tables** — the first homomorphic operation would otherwise
+  pay O(n) table construction per prime.  The context warms the backend's
+  per-``(n, p)`` caches up front (the resident-table policy Section IV of
+  the paper analyses).
+
+Typical usage (the whole quickstart)::
+
+    from repro.he import HeContext, toy_params
+
+    ctx = HeContext.create(toy_params())
+    ct = ctx.encryptor().encrypt(ctx.encoder().encode([1, 2, 3]))
+    print(ctx.encoder().decode(ctx.decryptor().decrypt(ct))[:3])
+"""
+
+from __future__ import annotations
+
+from ..backends.base import ComputeBackend
+from ..backends.registry import resolve_backend
+from ..rns.basis import RnsBasis
+from .encoder import BatchEncoder, IntegerEncoder
+from .encryptor import Decryptor, Encryptor
+from .evaluator import Evaluator
+from .keys import KeyGenerator, PublicKey, RelinearizationKey, SecretKey
+from .params import HEParams
+
+__all__ = ["HeContext"]
+
+
+class HeContext:
+    """A fully pinned HE session: params + basis + backend + key material.
+
+    Build one with :meth:`create`; every factory method returns a component
+    bound to the context's pinned backend and shared key material, so data
+    produced by one component stays resident for all the others.
+
+    Attributes:
+        params: The scheme parameters the context was created for.
+        basis: The level-0 RNS basis (one modulus chain for the session).
+        backend: The compute backend pinned at creation — resolved from the
+            registry exactly once, never re-read from the environment.
+    """
+
+    def __init__(
+        self, params: HEParams, basis: RnsBasis, backend: ComputeBackend,
+        keygen: KeyGenerator,
+    ) -> None:
+        self.params = params
+        self.basis = basis
+        self.backend = backend
+        self._keygen = keygen
+        self._relin_key: RelinearizationKey | None = None
+        self._batch_encoder: BatchEncoder | None = None
+
+    @classmethod
+    def create(
+        cls,
+        params: HEParams,
+        backend: ComputeBackend | str | None = None,
+        seed: int = 2020,
+        warm: bool = True,
+    ) -> "HeContext":
+        """Build a context: resolve the backend once, generate the basis, warm caches.
+
+        Args:
+            params: Scheme parameters.
+            backend: Backend instance or registry name; ``None`` resolves the
+                registry default **now** (subsequent ``REPRO_BACKEND`` flips
+                do not reach this context).
+            seed: Key-generation RNG seed (reproducible key material).
+            warm: Precompute the per-prime twiddle tables up front so the
+                first operation runs at steady-state speed.
+        """
+        pinned = resolve_backend(backend)
+        keygen = KeyGenerator(params, seed=seed, backend=pinned)
+        context = cls(params, keygen.basis, pinned, keygen)
+        if warm:
+            pinned.warm_twiddles(params.n, keygen.basis.primes)
+        return context
+
+    # -- key material ----------------------------------------------------------
+    @property
+    def keygen(self) -> KeyGenerator:
+        """The context's key generator (pinned backend, shared secret)."""
+        return self._keygen
+
+    def secret_key(self) -> SecretKey:
+        """The session secret key (generated once, cached)."""
+        return self._keygen.secret_key()
+
+    def public_key(self) -> PublicKey:
+        """A public key for the session secret."""
+        return self._keygen.public_key()
+
+    def relinearization_key(self) -> RelinearizationKey:
+        """The session relinearisation key (generated once, cached)."""
+        if self._relin_key is None:
+            self._relin_key = self._keygen.relinearization_key()
+        return self._relin_key
+
+    # -- component factories ---------------------------------------------------
+    def encryptor(self, seed: int = 95) -> Encryptor:
+        """A fresh encryptor under the session public key (pinned backend)."""
+        return Encryptor(
+            self.params, self.public_key(), seed=seed, backend=self.backend
+        )
+
+    def decryptor(self) -> Decryptor:
+        """A decryptor holding the session secret key."""
+        return Decryptor(self.params, self.secret_key())
+
+    def evaluator(self) -> Evaluator:
+        """A homomorphic evaluator batching through the pinned backend."""
+        return Evaluator(self.params, backend=self.backend)
+
+    def encoder(self) -> BatchEncoder:
+        """The session's SIMD batch encoder (cached; requires NTT-prime ``t``)."""
+        if self._batch_encoder is None:
+            self._batch_encoder = BatchEncoder(
+                self.params, self.basis, backend=self.backend
+            )
+        return self._batch_encoder
+
+    def integer_encoder(self) -> IntegerEncoder:
+        """A constant-coefficient integer encoder for the session."""
+        return IntegerEncoder(self.params, self.basis, backend=self.backend)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "HeContext(params=%r, backend=%r, np=%d)" % (
+            self.params.name,
+            self.backend.name,
+            self.basis.count,
+        )

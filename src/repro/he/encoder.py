@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..backends.base import ComputeBackend
+from ..backends.registry import resolve_backend
 from ..modarith.primes import is_ntt_prime
 from ..rns.basis import RnsBasis
 from ..rns.poly import RnsPolynomial
@@ -28,15 +30,23 @@ __all__ = ["IntegerEncoder", "BatchEncoder"]
 class IntegerEncoder:
     """Encode a single integer modulo ``t`` into the constant coefficient."""
 
-    def __init__(self, params: HEParams, basis: RnsBasis) -> None:
+    def __init__(
+        self,
+        params: HEParams,
+        basis: RnsBasis,
+        backend: ComputeBackend | str | None = None,
+    ) -> None:
         self.params = params
         self.basis = basis
+        self.backend = resolve_backend(backend)
 
     def encode(self, value: int) -> RnsPolynomial:
         """Encode ``value mod t`` as a constant polynomial."""
         t = self.params.plaintext_modulus
         coefficients = [value % t] + [0] * (self.params.n - 1)
-        return RnsPolynomial.from_coefficients(coefficients, self.basis)
+        return RnsPolynomial.from_coefficients(
+            coefficients, self.basis, backend=self.backend
+        )
 
     def decode(self, coefficients: Sequence[int]) -> int:
         """Decode the constant coefficient of a decrypted plaintext polynomial."""
@@ -51,9 +61,16 @@ class BatchEncoder:
             for the scheme's ``n`` (``t ≡ 1 mod 2n``).
         basis: RNS basis of the ciphertext modulus (used to embed plaintext
             polynomials as :class:`RnsPolynomial`).
+        backend: Compute backend encoded plaintexts are made resident on
+            (registry default when omitted, resolved once at construction).
     """
 
-    def __init__(self, params: HEParams, basis: RnsBasis) -> None:
+    def __init__(
+        self,
+        params: HEParams,
+        basis: RnsBasis,
+        backend: ComputeBackend | str | None = None,
+    ) -> None:
         t = params.plaintext_modulus
         if not is_ntt_prime(t, params.n):
             raise ValueError(
@@ -61,6 +78,7 @@ class BatchEncoder:
             )
         self.params = params
         self.basis = basis
+        self.backend = resolve_backend(backend)
         self._transformer = NegacyclicTransformer(params.n, t)
 
     @property
@@ -80,7 +98,9 @@ class BatchEncoder:
         t = self.params.plaintext_modulus
         slots = [v % t for v in values] + [0] * (self.slot_count - len(values))
         coefficients = self._transformer.inverse(slots)
-        return RnsPolynomial.from_coefficients(coefficients, self.basis)
+        return RnsPolynomial.from_coefficients(
+            coefficients, self.basis, backend=self.backend
+        )
 
     def decode(self, coefficients: Sequence[int]) -> list[int]:
         """Decode a decrypted plaintext polynomial back into its slot values."""

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import random
 
+from ..backends.base import ComputeBackend
+from ..backends.registry import resolve_backend
 from ..rns.poly import RnsPolynomial
 from .ciphertext import Ciphertext
 from .keys import PublicKey, SecretKey
@@ -25,22 +27,41 @@ class Encryptor:
     """
 
     def __init__(
-        self, params: HEParams, public_key: PublicKey, seed: int = 95
+        self,
+        params: HEParams,
+        public_key: PublicKey,
+        seed: int = 95,
+        backend: ComputeBackend | str | None = None,
     ) -> None:
         self.params = params
         self.public_key = public_key
         self.basis = public_key.a.basis
         self.rng = random.Random(seed)
+        # Fresh randomness is created resident on the public key's backend by
+        # default, so an encrypt → evaluate chain never crosses backends.
+        self.backend = (
+            public_key.a.backend if backend is None else resolve_backend(backend)
+        )
 
     def encrypt(self, plaintext: RnsPolynomial) -> Ciphertext:
         """Encrypt a plaintext polynomial (coefficients understood mod ``t``)."""
         t = self.params.plaintext_modulus
-        u = RnsPolynomial.random_ternary(self.basis, self.params.n, self.rng)
+        u = RnsPolynomial.random_ternary(
+            self.basis, self.params.n, self.rng, backend=self.backend
+        )
         e0 = RnsPolynomial.random_gaussian(
-            self.basis, self.params.n, self.rng, stddev=self.params.error_std
+            self.basis,
+            self.params.n,
+            self.rng,
+            stddev=self.params.error_std,
+            backend=self.backend,
         )
         e1 = RnsPolynomial.random_gaussian(
-            self.basis, self.params.n, self.rng, stddev=self.params.error_std
+            self.basis,
+            self.params.n,
+            self.rng,
+            stddev=self.params.error_std,
+            backend=self.backend,
         )
         c0 = self.public_key.b * u + e0.scalar_mul(t) + plaintext
         c1 = self.public_key.a * u + e1.scalar_mul(t)

@@ -2,18 +2,33 @@
 
 Every ciphertext multiplication performed here is, computationally, a batch
 of ``np`` negacyclic polynomial multiplications — each of which is the
-``iNTT(NTT(a) ⊙ NTT(b))`` pipeline the paper accelerates.  The evaluator
-therefore also exposes :meth:`Evaluator.ntt_invocations`, the running count
-of forward/inverse NTT calls it has triggered, which the examples use to
-connect the HE layer to the GPU performance model.
+``iNTT(NTT(a) ⊙ NTT(b))`` pipeline the paper accelerates.  Since the
+resident-tensor redesign the whole evaluator is a *handle pipeline*: a
+``multiply → relinearize → mod_switch_to_next`` chain moves
+:class:`~repro.backends.base.ResidueTensor` handles between backend calls
+and performs **zero** list ↔ ndarray conversions (asserted by the backend's
+conversion counter in the test-suite).  Even the two classically
+CRT-reconstructing steps stay in RNS:
+
+* relinearisation decomposes the quadratic component into per-prime digits
+  with :meth:`~repro.backends.base.ComputeBackend.digit_broadcast` (row ``i``
+  of the coefficient-domain residue matrix *is* the digit for prime ``i``);
+* modulus switching uses the exact RNS formula
+  ``(c_j + t*u_c) * q_last^{-1} mod p_j`` via
+  :meth:`~repro.backends.base.ComputeBackend.mod_switch_drop_last`, where the
+  correction ``u_c`` is read off the dropped residue row alone.
+
+The evaluator also exposes :meth:`Evaluator.ntt_invocations`, the running
+count of forward/inverse NTT calls it has triggered, which the examples use
+to connect the HE layer to the GPU performance model.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
-from ..backends.base import ComputeBackend
-from ..backends.registry import get_backend
+from ..backends.base import ComputeBackend, ResidueTensor
+from ..backends.registry import resolve_backend
 from ..rns.basis import RnsBasis
 from ..rns.poly import Domain, RnsPolynomial
 from .ciphertext import Ciphertext
@@ -29,18 +44,18 @@ class Evaluator:
     Args:
         params: Scheme parameters.
         backend: Compute backend the evaluator batches its residue-matrix
-            work through (registry default — ``REPRO_BACKEND`` or NumPy —
-            when omitted).  All backends are bit-exact, so ciphertexts are
-            interchangeable across evaluators with different backends.
+            work through (registry default when omitted, resolved **once** at
+            construction).  All backends are bit-exact, so ciphertexts are
+            interchangeable across evaluators with different backends —
+            ciphertexts resident on a foreign backend are materialised once
+            at the boundary (visible in the conversion counters).
     """
 
     def __init__(
         self, params: HEParams, backend: ComputeBackend | str | None = None
     ) -> None:
         self.params = params
-        self.backend = (
-            get_backend(backend) if (backend is None or isinstance(backend, str)) else backend
-        )
+        self.backend = resolve_backend(backend)
         self._ntt_invocations = 0
 
     # -- bookkeeping -----------------------------------------------------------------
@@ -62,20 +77,39 @@ class Evaluator:
                 "re-encode it for this level first"
             )
 
-    # -- backend-routed polynomial arithmetic ------------------------------------------
+    # -- residency plumbing ------------------------------------------------------------
+    def _adopt(self, poly: RnsPolynomial) -> RnsPolynomial:
+        """The polynomial, resident on this evaluator's backend.
+
+        A no-op (same handle) in the common case; a counted one-time boundary
+        crossing when the ciphertext was produced on a different backend.
+        """
+        return poly.with_backend(self.backend)
+
+    def _adopt_all(self, polys: Sequence[RnsPolynomial]) -> list[RnsPolynomial]:
+        return [self._adopt(poly) for poly in polys]
+
+    def _poly(self, tensor: ResidueTensor, basis: RnsBasis, domain: Domain) -> RnsPolynomial:
+        return RnsPolynomial(basis, self.params.n, tensor, domain)
+
     def _poly_add(self, x: RnsPolynomial, y: RnsPolynomial) -> RnsPolynomial:
         x._check_compatible(y)
-        rows = self.backend.add_batch(x.residues, y.residues, x.basis.primes)
-        return RnsPolynomial(x.basis, x.n, rows, x.domain, x.cache)
+        return self._poly(
+            self.backend.add(self._adopt(x).tensor, self._adopt(y).tensor),
+            x.basis,
+            x.domain,
+        )
 
     def _poly_sub(self, x: RnsPolynomial, y: RnsPolynomial) -> RnsPolynomial:
         x._check_compatible(y)
-        rows = self.backend.sub_batch(x.residues, y.residues, x.basis.primes)
-        return RnsPolynomial(x.basis, x.n, rows, x.domain, x.cache)
+        return self._poly(
+            self.backend.sub(self._adopt(x).tensor, self._adopt(y).tensor),
+            x.basis,
+            x.domain,
+        )
 
     def _poly_neg(self, x: RnsPolynomial) -> RnsPolynomial:
-        rows = self.backend.neg_batch(x.residues, x.basis.primes)
-        return RnsPolynomial(x.basis, x.n, rows, x.domain, x.cache)
+        return self._poly(self.backend.neg(self._adopt(x).tensor), x.basis, x.domain)
 
     # -- batched NTT plumbing ---------------------------------------------------------
     def _forward_ntt_batch(
@@ -86,54 +120,39 @@ class Evaluator:
         This is the paper's core batching observation applied at the HE
         layer: the ``(number of polynomials) x np`` independent forward NTTs
         of a ciphertext operation are issued as a single wide call instead of
-        one row at a time.  Only actually-performed transforms are counted.
+        one polynomial at a time — the pending tensors are concatenated into
+        one resident batch, transformed, and split back.  Only
+        actually-performed transforms are counted.
         """
-        results = list(polys)
-        pending = [i for i, poly in enumerate(polys) if poly.domain is Domain.COEFFICIENT]
-        if not pending:
-            return results
-        rows: list[Sequence[int]] = []
-        primes: list[int] = []
-        for i in pending:
-            rows.extend(results[i].residues)
-            primes.extend(results[i].basis.primes)
-        transformed = self.backend.forward_ntt_batch(rows, primes)
-        offset = 0
-        for i in pending:
-            poly = results[i]
-            count = poly.basis.count
-            results[i] = RnsPolynomial(
-                poly.basis, poly.n, transformed[offset : offset + count],
-                Domain.NTT, poly.cache,
-            )
-            offset += count
-            self._ntt_invocations += count
-        return results
+        return self._ntt_batch(polys, forward=True)
 
     def _inverse_ntt_batch(
         self, polys: Sequence[RnsPolynomial]
     ) -> list[RnsPolynomial]:
         """Transform every NTT-domain polynomial back in one backend batch."""
-        results = list(polys)
-        pending = [i for i, poly in enumerate(polys) if poly.domain is Domain.NTT]
+        return self._ntt_batch(polys, forward=False)
+
+    def _ntt_batch(
+        self, polys: Sequence[RnsPolynomial], forward: bool
+    ) -> list[RnsPolynomial]:
+        source = Domain.COEFFICIENT if forward else Domain.NTT
+        target = Domain.NTT if forward else Domain.COEFFICIENT
+        results = self._adopt_all(polys)
+        pending = [i for i, poly in enumerate(results) if poly.domain is source]
         if not pending:
             return results
-        rows: list[Sequence[int]] = []
-        primes: list[int] = []
-        for i in pending:
-            rows.extend(results[i].residues)
-            primes.extend(results[i].basis.primes)
-        transformed = self.backend.inverse_ntt_batch(rows, primes)
-        offset = 0
-        for i in pending:
-            poly = results[i]
-            count = poly.basis.count
-            results[i] = RnsPolynomial(
-                poly.basis, poly.n, transformed[offset : offset + count],
-                Domain.COEFFICIENT, poly.cache,
-            )
-            offset += count
-            self._ntt_invocations += count
+        stacked = self.backend.concat([results[i].tensor for i in pending])
+        transformed = (
+            self.backend.forward_ntt_batch(stacked)
+            if forward
+            else self.backend.inverse_ntt_batch(stacked)
+        )
+        pieces = self.backend.split(
+            transformed, [results[i].basis.count for i in pending]
+        )
+        for i, piece in zip(pending, pieces):
+            results[i] = self._poly(piece, results[i].basis, target)
+            self._ntt_invocations += piece.count
         return results
 
     def _tensor(
@@ -144,21 +163,18 @@ class Evaluator:
     ) -> list[RnsPolynomial]:
         """NTT-domain tensor product, returned in the coefficient domain."""
         result_size = len(a_ntt) + len(b_ntt) - 1
-        primes = basis.primes
-        accumulators: list[list[list[int]] | None] = [None] * result_size
+        accumulators: list[ResidueTensor | None] = [None] * result_size
         for i, poly_a in enumerate(a_ntt):
             for j, poly_b in enumerate(b_ntt):
-                term = self.backend.mul_batch(poly_a.residues, poly_b.residues, primes)
+                term = self.backend.mul(poly_a.tensor, poly_b.tensor)
                 k = i + j
                 accumulators[k] = (
                     term
                     if accumulators[k] is None
-                    else self.backend.add_batch(accumulators[k], term, primes)
+                    else self.backend.add(accumulators[k], term)
                 )
-        cache = a_ntt[0].cache
         products = [
-            RnsPolynomial(basis, self.params.n, rows, Domain.NTT, cache)
-            for rows in accumulators
+            self._poly(tensor, basis, Domain.NTT) for tensor in accumulators
         ]
         return self._inverse_ntt_batch(products)
 
@@ -172,9 +188,9 @@ class Evaluator:
             if index < a.size and index < b.size:
                 polys.append(self._poly_add(a.polys[index], b.polys[index]))
             elif index < a.size:
-                polys.append(a.polys[index].copy())
+                polys.append(self._adopt(a.polys[index]).copy())
             else:
-                polys.append(b.polys[index].copy())
+                polys.append(self._adopt(b.polys[index]).copy())
         return Ciphertext(polys=polys, params=self.params, level=a.level)
 
     def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
@@ -186,7 +202,7 @@ class Evaluator:
             if index < a.size and index < b.size:
                 polys.append(self._poly_sub(a.polys[index], b.polys[index]))
             elif index < a.size:
-                polys.append(a.polys[index].copy())
+                polys.append(self._adopt(a.polys[index]).copy())
             else:
                 polys.append(self._poly_neg(b.polys[index]))
         return Ciphertext(polys=polys, params=self.params, level=a.level)
@@ -203,7 +219,7 @@ class Evaluator:
         """Add an (unencrypted) plaintext polynomial."""
         self._check_plain_ring(a, plaintext)
         polys = [self._poly_add(a.polys[0], plaintext)] + [
-            poly.copy() for poly in a.polys[1:]
+            self._adopt(poly).copy() for poly in a.polys[1:]
         ]
         return Ciphertext(polys=polys, params=self.params, level=a.level)
 
@@ -216,14 +232,11 @@ class Evaluator:
         self._check_plain_ring(a, plaintext)
         transformed = self._forward_ntt_batch(list(a.polys) + [plaintext])
         plaintext_ntt = transformed[-1]
-        primes = a.basis.primes
         products = [
-            RnsPolynomial(
+            self._poly(
+                self.backend.mul(poly.tensor, plaintext_ntt.tensor),
                 a.basis,
-                self.params.n,
-                self.backend.mul_batch(poly.residues, plaintext_ntt.residues, primes),
                 Domain.NTT,
-                poly.cache,
             )
             for poly in transformed[:-1]
         ]
@@ -263,10 +276,14 @@ class Evaluator:
     def relinearize(self, a: Ciphertext, relin_key: RelinearizationKey) -> Ciphertext:
         """Reduce a size-3 ciphertext back to size 2 using the key-switching key.
 
-        The per-prime digit products are accumulated in the NTT domain and
-        inverse-transformed once at the end (NTT linearity makes this
-        bit-identical to per-product inverse transforms, at ``np`` times
-        fewer inverse NTTs).
+        The RNS digit decomposition never reconstructs big integers: row ``i``
+        of the coefficient-domain residue matrix of ``c2`` *is* ``c2 mod q_i``
+        already reduced, so :meth:`ComputeBackend.digit_broadcast` re-reduces
+        that single resident row across the basis to form the digit paired
+        with key component ``i``.  The per-prime digit products are
+        accumulated in the NTT domain and inverse-transformed once at the end
+        (NTT linearity makes this bit-identical to per-product inverse
+        transforms, at ``np`` times fewer inverse NTTs).
         """
         if a.size == 2:
             return a.copy()
@@ -274,25 +291,26 @@ class Evaluator:
             raise ValueError("relinearisation supports size-3 ciphertexts only")
         if len(relin_key.components) != len(a.basis):
             raise ValueError("relinearisation key was generated for a different basis")
-        c0, c1, c2 = a.polys
-        primes = a.basis.primes
-        # RNS digit decomposition of c2: one digit per prime, each with small
-        # coefficients, paired with the matching key component.
-        c2_coeffs = c2.to_big_coefficients()
-        acc0: list[list[int]] | None = None
-        acc1: list[list[int]] | None = None
-        for (rk0, rk1), prime in zip(relin_key.components, primes):
-            digit_coeffs = [value % prime for value in c2_coeffs]
-            digit = RnsPolynomial.from_coefficients(digit_coeffs, a.basis)
+        c0, c1, c2 = self._adopt_all(a.polys)
+        basis = a.basis
+        c2_coeff = c2.to_coefficient()
+        acc0: ResidueTensor | None = None
+        acc1: ResidueTensor | None = None
+        for index, (rk0, rk1) in enumerate(relin_key.components):
+            digit = self._poly(
+                self.backend.digit_broadcast(c2_coeff.tensor, index),
+                basis,
+                Domain.COEFFICIENT,
+            )
             digit_ntt, rk0_ntt, rk1_ntt = self._forward_ntt_batch([digit, rk0, rk1])
-            term0 = self.backend.mul_batch(digit_ntt.residues, rk0_ntt.residues, primes)
-            term1 = self.backend.mul_batch(digit_ntt.residues, rk1_ntt.residues, primes)
-            acc0 = term0 if acc0 is None else self.backend.add_batch(acc0, term0, primes)
-            acc1 = term1 if acc1 is None else self.backend.add_batch(acc1, term1, primes)
+            term0 = self.backend.mul(digit_ntt.tensor, rk0_ntt.tensor)
+            term1 = self.backend.mul(digit_ntt.tensor, rk1_ntt.tensor)
+            acc0 = term0 if acc0 is None else self.backend.add(acc0, term0)
+            acc1 = term1 if acc1 is None else self.backend.add(acc1, term1)
         sum0, sum1 = self._inverse_ntt_batch(
             [
-                RnsPolynomial(a.basis, self.params.n, acc0, Domain.NTT, c0.cache),
-                RnsPolynomial(a.basis, self.params.n, acc1, Domain.NTT, c1.cache),
+                self._poly(acc0, basis, Domain.NTT),
+                self._poly(acc1, basis, Domain.NTT),
             ]
         )
         new_c0 = self._poly_add(c0, sum0)
@@ -306,7 +324,11 @@ class Evaluator:
         Requires the dropped prime ``q ≡ 1 (mod t)`` (guaranteed by
         :func:`repro.he.params.generate_bgv_primes`), which keeps the
         plaintext unchanged.  Each coefficient ``c`` is replaced by
-        ``(c + δ) / q`` with ``δ ≡ -c (mod q)`` and ``δ ≡ 0 (mod t)``.
+        ``(c + δ) / q`` with ``δ ≡ -c (mod q)`` and ``δ ≡ 0 (mod t)`` —
+        computed entirely in RNS by the backend
+        (:meth:`~repro.backends.base.ComputeBackend.mod_switch_drop_last`),
+        since ``δ`` depends only on the dropped residue row and the division
+        becomes a per-prime multiplication by ``q^{-1} mod p_j``.
         """
         basis = a.basis
         if len(basis) < 2:
@@ -315,19 +337,17 @@ class Evaluator:
         q_last = basis.primes[-1]
         if q_last % t != 1:
             raise ValueError("modulus switching requires q_last ≡ 1 (mod t)")
-        t_inv = pow(t, -1, q_last)
         new_basis = basis.drop_last(1)
 
         new_polys = []
-        for poly in a.polys:
-            coefficients = poly.to_big_coefficients(centered=True)
-            switched = []
-            for value in coefficients:
-                correction = (-value * t_inv) % q_last
-                # Center the correction so the added term stays small.
-                if correction > q_last // 2:
-                    correction -= q_last
-                delta = t * correction
-                switched.append((value + delta) // q_last)
-            new_polys.append(RnsPolynomial.from_coefficients(switched, new_basis))
+        for poly in self._adopt_all(a.polys):
+            coeff = poly.to_coefficient()
+            new_polys.append(
+                RnsPolynomial(
+                    new_basis,
+                    self.params.n,
+                    self.backend.mod_switch_drop_last(coeff.tensor, t),
+                    Domain.COEFFICIENT,
+                )
+            )
         return Ciphertext(polys=new_polys, params=self.params, level=a.level + 1)

@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from ..backends.base import ComputeBackend
+from ..backends.registry import resolve_backend
 from ..rns.basis import RnsBasis
-from ..rns.poly import RnsPolynomial, TransformerCache
+from ..rns.poly import RnsPolynomial
 from .params import HEParams
 
 __all__ = ["SecretKey", "PublicKey", "RelinearizationKey", "KeyGenerator"]
@@ -48,26 +50,43 @@ class KeyGenerator:
     Args:
         params: Scheme parameters.
         seed: Seed for the deterministic RNG (tests rely on reproducibility).
+        backend: Compute backend every generated key polynomial is resident
+            on (registry default when omitted, resolved once at
+            construction).  Key material generated here and ciphertexts built
+            from it therefore share one pinned backend.
     """
 
-    def __init__(self, params: HEParams, seed: int = 2020) -> None:
+    def __init__(
+        self,
+        params: HEParams,
+        seed: int = 2020,
+        backend: ComputeBackend | str | None = None,
+    ) -> None:
         self.params = params
         self.basis: RnsBasis = params.make_basis()
         self.rng = random.Random(seed)
-        self.cache = TransformerCache()
+        self.backend = resolve_backend(backend)
         self._secret: SecretKey | None = None
 
     # -- helpers -------------------------------------------------------------------
     def _gaussian(self) -> RnsPolynomial:
         return RnsPolynomial.random_gaussian(
-            self.basis, self.params.n, self.rng, stddev=self.params.error_std
+            self.basis,
+            self.params.n,
+            self.rng,
+            stddev=self.params.error_std,
+            backend=self.backend,
         )
 
     def _uniform(self) -> RnsPolynomial:
-        return RnsPolynomial.random_uniform(self.basis, self.params.n, self.rng)
+        return RnsPolynomial.random_uniform(
+            self.basis, self.params.n, self.rng, backend=self.backend
+        )
 
     def _ternary(self) -> RnsPolynomial:
-        return RnsPolynomial.random_ternary(self.basis, self.params.n, self.rng)
+        return RnsPolynomial.random_ternary(
+            self.basis, self.params.n, self.rng, backend=self.backend
+        )
 
     # -- key generation ---------------------------------------------------------------
     def secret_key(self) -> SecretKey:

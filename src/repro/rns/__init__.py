@@ -1,6 +1,6 @@
 """Residue-number-system (CRT) substrate: bases and RNS polynomials."""
 
 from .basis import RnsBasis
-from .poly import Domain, RnsPolynomial, TransformerCache
+from .poly import Domain, RnsPolynomial
 
-__all__ = ["RnsBasis", "Domain", "RnsPolynomial", "TransformerCache"]
+__all__ = ["RnsBasis", "Domain", "RnsPolynomial"]

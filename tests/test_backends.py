@@ -4,7 +4,9 @@ Every backend must be bit-for-bit interchangeable: same forward/inverse NTT
 outputs as the reference :class:`NegacyclicTransformer`, same pointwise
 arithmetic, and identical HE ciphertexts end to end.  The NumPy backend is
 exercised in both of its regimes — vectorised (≤ 30-bit primes) and
-per-prime scalar fallback (60-bit primes).
+per-prime scalar fallback (60-bit primes).  All operations go through the
+handle-based :class:`ResidueTensor` API; explicit ``from_rows`` / ``to_rows``
+boundaries enter and leave residency.
 """
 
 from __future__ import annotations
@@ -16,24 +18,19 @@ import pytest
 from repro.backends import (
     BACKEND_ENV_VAR,
     ComputeBackend,
+    ResidueTensor,
     ScalarBackend,
     available_backends,
     get_backend,
     register_backend,
+    resolve_backend,
     set_default_backend,
 )
 from repro.backends.numpy_backend import MUL_VECTORIZED_LIMIT, NumpyBackend
-from repro.he import (
-    BatchEncoder,
-    Decryptor,
-    Encryptor,
-    Evaluator,
-    HEParams,
-    KeyGenerator,
-)
+from repro.he import Evaluator, HEParams, HeContext
 from repro.modarith.primes import generate_ntt_primes
 from repro.rns.basis import RnsBasis
-from repro.rns.poly import Domain, RnsPolynomial, TransformerCache
+from repro.rns.poly import Domain, RnsPolynomial
 from repro.transforms.cooley_tukey import NegacyclicTransformer
 from repro.transforms.reference import naive_negacyclic_convolution
 
@@ -56,6 +53,15 @@ def random_rows(primes, n, seed):
     return [[rng.randrange(p) for _ in range(n)] for p in primes]
 
 
+def forward_rows(backend, rows, primes):
+    """Rows-in/rows-out forward NTT through the handle boundary."""
+    return backend.forward_ntt_batch(backend.from_rows(rows, primes)).to_rows()
+
+
+def inverse_rows(backend, rows, primes):
+    return backend.inverse_ntt_batch(backend.from_rows(rows, primes)).to_rows()
+
+
 # ------------------------------------------------------------------ transforms
 
 
@@ -68,9 +74,9 @@ def test_backends_match_reference_transformer(n, bits, scalar, vectorized):
     reference = NegacyclicTransformer(n, p)
     expected_forward = reference.forward(row)
     for backend in (scalar, vectorized):
-        forward = backend.forward_ntt_batch([row], [p])[0]
+        forward = forward_rows(backend, [row], [p])[0]
         assert forward == expected_forward, backend.name
-        assert backend.inverse_ntt_batch([forward], [p])[0] == row, backend.name
+        assert inverse_rows(backend, [forward], [p])[0] == row, backend.name
 
 
 @pytest.mark.parametrize("bits", PRIME_BITS)
@@ -80,9 +86,9 @@ def test_batch_with_repeated_primes(bits, scalar, vectorized):
     primes = generate_ntt_primes(bits, 2, n)
     batch_primes = [p for p in primes for _ in range(3)]
     rows = random_rows(batch_primes, n, seed=bits)
-    expected = scalar.forward_ntt_batch(rows, batch_primes)
-    assert vectorized.forward_ntt_batch(rows, batch_primes) == expected
-    assert vectorized.inverse_ntt_batch(expected, batch_primes) == rows
+    expected = forward_rows(scalar, rows, batch_primes)
+    assert forward_rows(vectorized, rows, batch_primes) == expected
+    assert inverse_rows(vectorized, expected, batch_primes) == rows
 
 
 def test_numpy_backend_mixed_word_sizes(scalar, vectorized):
@@ -91,9 +97,9 @@ def test_numpy_backend_mixed_word_sizes(scalar, vectorized):
     primes = generate_ntt_primes(30, 2, n) + generate_ntt_primes(60, 2, n)
     assert primes[0] < MUL_VECTORIZED_LIMIT <= primes[-1]
     rows = random_rows(primes, n, seed=3)
-    expected = scalar.forward_ntt_batch(rows, primes)
-    assert vectorized.forward_ntt_batch(rows, primes) == expected
-    assert vectorized.inverse_ntt_batch(expected, primes) == rows
+    expected = forward_rows(scalar, rows, primes)
+    assert forward_rows(vectorized, rows, primes) == expected
+    assert inverse_rows(vectorized, expected, primes) == rows
 
 
 @pytest.mark.parametrize("bits", PRIME_BITS)
@@ -102,13 +108,18 @@ def test_pointwise_ops_agree(bits, scalar, vectorized):
     primes = generate_ntt_primes(bits, 3, n)
     rows_a = random_rows(primes, n, seed=10 + bits)
     rows_b = random_rows(primes, n, seed=20 + bits)
-    for op in ("add_batch", "sub_batch", "mul_batch"):
-        expected = getattr(scalar, op)(rows_a, rows_b, primes)
-        assert getattr(vectorized, op)(rows_a, rows_b, primes) == expected, op
-    assert vectorized.neg_batch(rows_a, primes) == scalar.neg_batch(rows_a, primes)
-    assert vectorized.scalar_mul_batch(rows_a, 987654321, primes) == (
-        scalar.scalar_mul_batch(rows_a, 987654321, primes)
-    )
+    results = {}
+    for backend in (scalar, vectorized):
+        a = backend.from_rows(rows_a, primes)
+        b = backend.from_rows(rows_b, primes)
+        results[backend.name] = {
+            "add": backend.add(a, b).to_rows(),
+            "sub": backend.sub(a, b).to_rows(),
+            "mul": backend.mul(a, b).to_rows(),
+            "neg": backend.neg(a).to_rows(),
+            "scalar_mul": backend.scalar_mul(a, 987654321).to_rows(),
+        }
+    assert results["scalar"] == results["numpy"]
 
 
 def test_batch_shape_validation(scalar, vectorized):
@@ -117,14 +128,81 @@ def test_batch_shape_validation(scalar, vectorized):
     (row,) = random_rows([p], n, seed=4)
     for backend in (scalar, vectorized):
         with pytest.raises(ValueError):
-            backend.forward_ntt_batch([row], [p, p])
-        with pytest.raises(ValueError):
-            backend.add_batch([row], [row, row], [p])
+            backend.from_rows([row], [p, p])
         # ragged batches are rejected identically by every backend
         with pytest.raises(ValueError):
-            backend.forward_ntt_batch([row, row[: n // 2]], [p, p])
+            backend.from_rows([row, row[: n // 2]], [p, p])
+        a = backend.from_rows([row], [p])
+        b = backend.from_rows([row, row], [p, p])
         with pytest.raises(ValueError):
-            backend.mul_batch([row], [row[: n // 2]], [p])
+            backend.add(a, b)
+
+
+def test_foreign_tensors_are_rejected(scalar, vectorized):
+    """Tensors are opaque handles owned by one backend — no implicit crossing."""
+    n = 32
+    p = generate_ntt_primes(30, 1, n)[0]
+    (row,) = random_rows([p], n, seed=5)
+    scalar_tensor = scalar.from_rows([row], [p])
+    numpy_tensor = vectorized.from_rows([row], [p])
+    with pytest.raises(ValueError):
+        vectorized.forward_ntt_batch(scalar_tensor)
+    with pytest.raises(ValueError):
+        scalar.add(scalar_tensor, numpy_tensor)
+
+
+def test_structural_ops_round_trip(scalar, vectorized):
+    """concat/split/slice_rows/copy preserve rows and never alias storage."""
+    n = 64
+    primes = generate_ntt_primes(30, 3, n)
+    rows = random_rows(primes, n, seed=6)
+    for backend in (scalar, vectorized):
+        tensor = backend.from_rows(rows, primes)
+        stacked = backend.concat([tensor, tensor])
+        assert stacked.count == 2 * len(primes)
+        assert stacked.to_rows() == rows + rows
+        first, second = backend.split(stacked, [len(primes), len(primes)])
+        assert first.to_rows() == rows and second.to_rows() == rows
+        assert backend.slice_rows(tensor, 0, 2).to_rows() == rows[:2]
+        duplicate = backend.copy(tensor)
+        assert backend.tensor_equal(duplicate, tensor)
+        # mutating the duplicate's storage must not reach the original
+        transformed = backend.forward_ntt_batch(duplicate)
+        assert backend.tensor_equal(tensor, backend.from_rows(rows, primes))
+        assert isinstance(transformed, ResidueTensor)
+
+
+def test_conversion_counter_tracks_boundaries():
+    """from_rows/to_rows are counted; resident op chains are free."""
+    backend = NumpyBackend()
+    n = 64
+    primes = generate_ntt_primes(30, 2, n)
+    rows = random_rows(primes, n, seed=7)
+    assert backend.conversion_count == 0
+    tensor = backend.from_rows(rows, primes)
+    assert backend.conversion_count == len(primes)
+    resident = backend.mul(
+        backend.forward_ntt_batch(tensor), backend.forward_ntt_batch(tensor)
+    )
+    resident = backend.inverse_ntt_batch(resident)
+    assert backend.conversion_count == len(primes)  # chain stayed resident
+    resident.to_rows()
+    assert backend.conversion_count == 2 * len(primes)
+    backend.reset_conversion_count()
+    assert backend.conversion_count == 0
+
+
+def test_numpy_fallback_conversions_are_charged():
+    """60-bit primes route per-prime through the scalar fallback — and the
+    boundary crossings that implies are visible in the counter."""
+    backend = NumpyBackend()
+    n = 64
+    primes = generate_ntt_primes(60, 2, n)
+    rows = random_rows(primes, n, seed=8)
+    tensor = backend.from_rows(rows, primes)
+    backend.reset_conversion_count()
+    backend.forward_ntt_batch(tensor)
+    assert backend.conversion_count > 0
 
 
 # ------------------------------------------------------------------ RNS layer
@@ -137,15 +215,13 @@ def test_rns_polynomial_round_trip_identical_across_backends(bits):
     rng = random.Random(bits)
     coefficients = [rng.randrange(-1000, 1000) for _ in range(n)]
     polys = {
-        name: RnsPolynomial.from_coefficients(
-            coefficients, basis, cache=TransformerCache(name)
-        )
+        name: RnsPolynomial.from_coefficients(coefficients, basis, backend=name)
         for name in ("scalar", "numpy")
     }
     ntts = {name: poly.to_ntt() for name, poly in polys.items()}
-    assert ntts["scalar"].residues == ntts["numpy"].residues
+    assert ntts["scalar"].to_coeff_lists() == ntts["numpy"].to_coeff_lists()
     for name, ntt in ntts.items():
-        assert ntt.to_coefficient().residues == polys[name].residues, name
+        assert ntt.to_coefficient() == polys[name], name
 
 
 @pytest.mark.parametrize("bits", PRIME_BITS)
@@ -157,24 +233,23 @@ def test_rns_polynomial_multiply_matches_naive_convolution(bits):
     b = [rng.randrange(50) for _ in range(n)]
     expected = naive_negacyclic_convolution(a, b, basis.modulus)
     for name in ("scalar", "numpy"):
-        cache = TransformerCache(name)
-        pa = RnsPolynomial.from_coefficients(a, basis, cache=cache)
-        pb = RnsPolynomial.from_coefficients(b, basis, cache=cache)
+        pa = RnsPolynomial.from_coefficients(a, basis, backend=name)
+        pb = RnsPolynomial.from_coefficients(b, basis, backend=name)
         assert (pa * pb).to_big_coefficients() == expected, name
 
 
+def test_rns_polynomial_pins_backend_at_creation():
+    """A polynomial's backend is fixed when its tensor is created."""
+    basis = RnsBasis.generate(32, 2, bit_size=30)
+    poly = RnsPolynomial.from_coefficients([1] * 32, basis, backend="scalar")
+    assert poly.backend.name == "scalar"
+    rebound = poly.with_backend("numpy")
+    assert rebound.backend.name == "numpy"
+    assert rebound == poly  # bit-identical residues either way
+    assert poly.with_backend(poly.backend) is poly
+
+
 # ------------------------------------------------------------------- HE layer
-
-
-def _he_context(params: HEParams, backend_name: str):
-    keygen = KeyGenerator(params, seed=7)
-    return {
-        "encoder": BatchEncoder(params, keygen.basis),
-        "encryptor": Encryptor(params, keygen.public_key(), seed=11),
-        "decryptor": Decryptor(params, keygen.secret_key()),
-        "evaluator": Evaluator(params, backend=backend_name),
-        "relin": keygen.relinearization_key(),
-    }
 
 
 def _he_params_30bit() -> HEParams:
@@ -191,17 +266,19 @@ def test_he_multiply_round_trip_per_backend(backend_name, params):
         if params == "30bit"
         else HEParams(n=64, plaintext_modulus=257, prime_bits=40, prime_count=3)
     )
-    context = _he_context(he_params, backend_name)
+    context = HeContext.create(he_params, backend=backend_name, seed=7)
     t = he_params.plaintext_modulus
     rng = random.Random(42)
     a = [rng.randrange(t) for _ in range(6)]
     b = [rng.randrange(t) for _ in range(6)]
-    ca = context["encryptor"].encrypt(context["encoder"].encode(a))
-    cb = context["encryptor"].encrypt(context["encoder"].encode(b))
-    product = context["evaluator"].relinearize(
-        context["evaluator"].multiply(ca, cb), context["relin"]
+    encryptor = context.encryptor(seed=11)
+    evaluator = context.evaluator()
+    ca = encryptor.encrypt(context.encoder().encode(a))
+    cb = encryptor.encrypt(context.encoder().encode(b))
+    product = evaluator.relinearize(
+        evaluator.multiply(ca, cb), context.relinearization_key()
     )
-    decoded = context["encoder"].decode(context["decryptor"].decrypt(product))
+    decoded = context.encoder().decode(context.decryptor().decrypt(product))
     assert decoded[:6] == [(x * y) % t for x, y in zip(a, b)]
 
 
@@ -210,15 +287,30 @@ def test_he_ciphertexts_identical_across_backends():
     he_params = _he_params_30bit()
     results = {}
     for backend_name in ("scalar", "numpy"):
-        context = _he_context(he_params, backend_name)
-        t = he_params.plaintext_modulus
-        a = context["encryptor"].encrypt(context["encoder"].encode([5, 6, 7]))
-        b = context["encryptor"].encrypt(context["encoder"].encode([9, 10, 11]))
-        product = context["evaluator"].relinearize(
-            context["evaluator"].multiply(a, b), context["relin"]
+        context = HeContext.create(he_params, backend=backend_name, seed=7)
+        encryptor = context.encryptor(seed=11)
+        evaluator = context.evaluator()
+        a = encryptor.encrypt(context.encoder().encode([5, 6, 7]))
+        b = encryptor.encrypt(context.encoder().encode([9, 10, 11]))
+        product = evaluator.relinearize(
+            evaluator.multiply(a, b), context.relinearization_key()
         )
-        results[backend_name] = [poly.residues for poly in product.polys]
+        results[backend_name] = [poly.to_coeff_lists() for poly in product.polys]
     assert results["scalar"] == results["numpy"]
+
+
+def test_evaluator_adopts_foreign_ciphertexts():
+    """Ciphertexts made on one backend evaluate correctly on another (with an
+    explicit, counted boundary crossing)."""
+    he_params = _he_params_30bit()
+    producer = HeContext.create(he_params, backend="numpy", seed=7)
+    encryptor = producer.encryptor(seed=11)
+    ct = encryptor.encrypt(producer.encoder().encode([3, 1, 4]))
+    scalar_evaluator = Evaluator(he_params, backend="scalar")
+    doubled = scalar_evaluator.add(ct, ct)
+    assert doubled.polys[0].backend.name == "scalar"
+    decoded = producer.encoder().decode(producer.decryptor().decrypt(doubled))
+    assert decoded[:3] == [6, 2, 8]
 
 
 # ------------------------------------------------------------------- registry
@@ -231,6 +323,9 @@ def test_registry_explicit_selection_and_caching():
     assert get_backend("numpy").name == "numpy"
     with pytest.raises(KeyError):
         get_backend("no-such-backend")
+    instance = get_backend("scalar")
+    assert resolve_backend(instance) is instance
+    assert resolve_backend("numpy") is get_backend("numpy")
 
 
 def test_registry_env_override(monkeypatch):
@@ -238,11 +333,14 @@ def test_registry_env_override(monkeypatch):
     assert get_backend().name == "scalar"
     monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
     assert get_backend().name == "numpy"
-    # the env override reaches polynomials bound to the default cache
+    # the env override is read at *creation* time: a polynomial built under
+    # one default stays pinned to it when the environment later changes
     basis = RnsBasis.generate(32, 1, bit_size=30)
     poly = RnsPolynomial.from_coefficients([1] * 32, basis)
+    assert poly.backend.name == "numpy"
     monkeypatch.setenv(BACKEND_ENV_VAR, "scalar")
-    assert poly.backend.name == "scalar"
+    assert poly.backend.name == "numpy"
+    assert RnsPolynomial.from_coefficients([1] * 32, basis).backend.name == "scalar"
 
 
 def test_registry_default_and_custom_backend():

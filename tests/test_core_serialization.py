@@ -1,15 +1,21 @@
-"""Tests for JSON serialisation of plans and twiddle tables."""
+"""Tests for JSON serialisation of plans, twiddle tables, polynomials and ciphertexts."""
 
 from __future__ import annotations
+
+import random
 
 import pytest
 
 from repro.core.on_the_fly import OnTheFlyConfig
 from repro.core.plan import NTTAlgorithm, NTTPlan
 from repro.core.serialization import (
+    ciphertext_from_dict,
+    ciphertext_to_dict,
     load_json,
     plan_from_dict,
     plan_to_dict,
+    rns_polynomial_from_dict,
+    rns_polynomial_to_dict,
     save_json,
     twiddle_table_from_dict,
     twiddle_table_to_dict,
@@ -17,6 +23,8 @@ from repro.core.serialization import (
 from repro.core.twiddle import TwiddleTable
 from repro.modarith.primes import generate_ntt_primes
 from repro.modarith.roots import primitive_root_of_unity
+from repro.rns.basis import RnsBasis
+from repro.rns.poly import Domain, RnsPolynomial
 
 N = 1 << 5
 P = generate_ntt_primes(40, 1, N)[0]
@@ -74,6 +82,72 @@ def test_twiddle_table_validation_on_load():
     bad_modulus["p"] = hex(P + 2)
     with pytest.raises(ValueError):
         twiddle_table_from_dict(bad_modulus)
+
+
+def test_rns_polynomial_roundtrip_both_domains():
+    basis = RnsBasis.generate(N, 3, bit_size=30)
+    rng = random.Random(1)
+    coefficients = [rng.randrange(-500, 500) for _ in range(N)]
+    poly = RnsPolynomial.from_coefficients(coefficients, basis)
+    for candidate in (poly, poly.to_ntt()):
+        payload = rns_polynomial_to_dict(candidate)
+        restored = rns_polynomial_from_dict(payload)
+        assert restored == candidate
+        assert restored.domain is candidate.domain
+        assert restored.basis.primes == basis.primes
+
+
+def test_rns_polynomial_from_dict_selects_backend():
+    basis = RnsBasis.generate(N, 2, bit_size=30)
+    poly = RnsPolynomial.from_coefficients([1] * N, basis, backend="numpy")
+    payload = rns_polynomial_to_dict(poly)
+    restored = rns_polynomial_from_dict(payload, backend="scalar")
+    assert restored.backend.name == "scalar"
+    assert restored == poly  # bit-identical residues across backends
+
+
+def test_rns_polynomial_from_dict_rejects_wrong_kind():
+    with pytest.raises(ValueError):
+        rns_polynomial_from_dict({"kind": "ciphertext"})
+
+
+def test_ciphertext_roundtrip_through_chain():
+    """Ciphertexts serialise at any level — including after mod switching —
+    and the restored ciphertext decrypts to the same plaintext."""
+    from repro.he import HeContext, toy_params
+
+    ctx = HeContext.create(toy_params())
+    evaluator = ctx.evaluator()
+    ct = ctx.encryptor().encrypt(ctx.encoder().encode([7, 8, 9]))
+    product = evaluator.relinearize(
+        evaluator.multiply(ct, ct), ctx.relinearization_key()
+    )
+    switched = evaluator.mod_switch_to_next(product)
+    for candidate in (ct, product, switched):
+        payload = ciphertext_to_dict(candidate)
+        restored = ciphertext_from_dict(payload, backend=ctx.backend)
+        assert restored.level == candidate.level
+        assert restored.params == candidate.params
+        assert [p.to_coeff_lists() for p in restored.polys] == [
+            p.to_coeff_lists() for p in candidate.polys
+        ]
+        assert ctx.decryptor().decrypt(restored) == ctx.decryptor().decrypt(candidate)
+
+
+def test_ciphertext_json_file_roundtrip(tmp_path):
+    from repro.he import HeContext, toy_params
+
+    ctx = HeContext.create(toy_params())
+    ct = ctx.encryptor().encrypt(ctx.encoder().encode([1, 2]))
+    path = save_json(ciphertext_to_dict(ct), tmp_path / "ct.json")
+    restored = ciphertext_from_dict(load_json(path), backend=ctx.backend)
+    decoded = ctx.encoder().decode(ctx.decryptor().decrypt(restored))
+    assert decoded[:2] == [1, 2]
+
+
+def test_ciphertext_from_dict_rejects_wrong_kind():
+    with pytest.raises(ValueError):
+        ciphertext_from_dict({"kind": "rns_polynomial"})
 
 
 def test_save_and_load_json(tmp_path):

@@ -1,0 +1,235 @@
+"""Tests for the :class:`HeContext` facade and the resident data plane.
+
+Covers the API-redesign acceptance criteria:
+
+* the three-line quickstart works;
+* the backend is pinned at context creation — flipping ``REPRO_BACKEND``
+  mid-session cannot mix backends inside one context;
+* a ``multiply → relinearize → mod_switch_to_next`` chain on the NumPy
+  backend performs **zero** list ↔ ndarray conversions (backend counter);
+* scalar and numpy backends stay bit-for-bit equivalent over randomized
+  ``multiply / square / relinearize / mod_switch`` chains on the resident
+  path;
+* domain- and ring-mismatch errors still raise on the handle-based API.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.backends import BACKEND_ENV_VAR, get_backend
+from repro.he import Evaluator, HEParams, HeContext, toy_params
+from repro.rns.poly import Domain, RnsPolynomial
+
+
+def _params_30bit(n=64, t=257, count=3) -> HEParams:
+    """30-bit primes keep the numpy backend fully on the vectorised path."""
+    return HEParams(n=n, plaintext_modulus=t, prime_bits=30, prime_count=count)
+
+
+# ---------------------------------------------------------------- facade
+
+
+def test_quickstart_three_liner():
+    ctx = HeContext.create(toy_params())
+    ct = ctx.encryptor().encrypt(ctx.encoder().encode([1, 2, 3]))
+    assert ctx.encoder().decode(ctx.decryptor().decrypt(ct))[:3] == [1, 2, 3]
+
+
+def test_context_components_share_pinned_backend():
+    ctx = HeContext.create(_params_30bit(), backend="numpy")
+    assert ctx.backend.name == "numpy"
+    assert ctx.keygen.backend is ctx.backend
+    assert ctx.evaluator().backend is ctx.backend
+    assert ctx.encryptor().backend is ctx.backend
+    assert ctx.encoder().backend is ctx.backend
+    assert ctx.integer_encoder().backend is ctx.backend
+    assert ctx.secret_key().s.backend is ctx.backend
+    for rk0, rk1 in ctx.relinearization_key().components:
+        assert rk0.backend is ctx.backend and rk1.backend is ctx.backend
+
+
+def test_context_warms_twiddle_tables():
+    ctx = HeContext.create(_params_30bit(), backend="scalar")
+    built = ctx.backend.resident_contexts
+    assert built >= ctx.basis.count
+    # the first real operation must not grow the cache for the session basis
+    ct = ctx.encryptor().encrypt(ctx.encoder().encode([4]))
+    ctx.evaluator().multiply(ct, ct)
+    assert ctx.backend.resident_contexts == built
+
+
+def test_integer_encoder_round_trip():
+    ctx = HeContext.create(toy_params())
+    encoder = ctx.integer_encoder()
+    ct = ctx.encryptor().encrypt(encoder.encode(123))
+    assert encoder.decode(ctx.decryptor().decrypt(ct)) == 123
+
+
+def test_relinearization_key_is_cached():
+    ctx = HeContext.create(_params_30bit())
+    assert ctx.relinearization_key() is ctx.relinearization_key()
+
+
+# ---------------------------------------------------------------- pinning
+
+
+def test_env_flip_mid_session_does_not_mix_backends(monkeypatch):
+    """Regression: HeContext resolves the registry once; a REPRO_BACKEND flip
+    mid-session affects new contexts only, never an existing one."""
+    monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+    ctx = HeContext.create(_params_30bit())
+    assert ctx.backend.name == "numpy"
+
+    monkeypatch.setenv(BACKEND_ENV_VAR, "scalar")
+    # every factory product and every polynomial created through the context
+    # still lives on the pinned backend
+    assert ctx.evaluator().backend is ctx.backend
+    assert ctx.encryptor().backend is ctx.backend
+    encryptor = ctx.encryptor()
+    ct = encryptor.encrypt(ctx.encoder().encode([1, 2]))
+    assert all(poly.backend is ctx.backend for poly in ct.polys)
+    product = ctx.evaluator().multiply(ct, ct)
+    assert all(poly.backend is ctx.backend for poly in product.polys)
+    # while a *new* context picks up the flipped environment
+    assert HeContext.create(_params_30bit()).backend.name == "scalar"
+    assert get_backend().name == "scalar"
+
+
+# ---------------------------------------------------- resident acceptance
+
+
+def test_chain_performs_zero_conversions_on_numpy_backend():
+    """Acceptance: multiply → relinearize → mod_switch_to_next stays entirely
+    in backend-native storage (zero list ↔ ndarray conversions)."""
+    ctx = HeContext.create(_params_30bit(), backend="numpy")
+    encryptor = ctx.encryptor()
+    evaluator = ctx.evaluator()
+    relin = ctx.relinearization_key()
+    ct_a = encryptor.encrypt(ctx.encoder().encode([1, 2, 3]))
+    ct_b = encryptor.encrypt(ctx.encoder().encode([4, 5, 6]))
+
+    before = ctx.backend.conversion_count
+    switched = evaluator.mod_switch_to_next(
+        evaluator.relinearize(evaluator.multiply(ct_a, ct_b), relin)
+    )
+    assert ctx.backend.conversion_count == before, "chain left resident storage"
+
+    t = ctx.params.plaintext_modulus
+    decoded = ctx.encoder().decode(ctx.decryptor().decrypt(switched))
+    assert decoded[:3] == [(x * y) % t for x, y in zip([1, 2, 3], [4, 5, 6])]
+
+
+def test_square_and_add_stay_resident_on_numpy_backend():
+    ctx = HeContext.create(_params_30bit(), backend="numpy")
+    encryptor = ctx.encryptor()
+    evaluator = ctx.evaluator()
+    ct = encryptor.encrypt(ctx.encoder().encode([2, 3]))
+    before = ctx.backend.conversion_count
+    evaluator.add(evaluator.square(ct), evaluator.negate(evaluator.square(ct)))
+    assert ctx.backend.conversion_count == before
+
+
+# ------------------------------------------------- cross-backend chains
+
+
+def _random_chain(context: HeContext, seed: int):
+    """Run a randomized multiply/square/relinearize/mod_switch chain."""
+    rng = random.Random(seed)
+    t = context.params.plaintext_modulus
+    encryptor = context.encryptor(seed=seed + 1)
+    evaluator = context.evaluator()
+    relin = context.relinearization_key()
+    ct = encryptor.encrypt(
+        context.encoder().encode([rng.randrange(t) for _ in range(8)])
+    )
+    other = encryptor.encrypt(
+        context.encoder().encode([rng.randrange(t) for _ in range(8)])
+    )
+    for _ in range(4):
+        op = rng.choice(("multiply", "square", "add", "sub"))
+        if op == "multiply":
+            ct = evaluator.relinearize(evaluator.multiply(ct, other), relin)
+        elif op == "square":
+            ct = evaluator.relinearize(evaluator.square(ct), relin)
+        elif op == "add":
+            ct = evaluator.add(ct, other)
+        else:
+            ct = evaluator.sub(ct, other)
+    if rng.random() < 0.8 and ct.basis.count > 1:
+        ct = evaluator.mod_switch_to_next(ct)
+        other = None  # different level now; chain ends here
+    return ct
+
+
+@pytest.mark.parametrize("seed", [11, 23, 47])
+def test_randomized_chains_bit_identical_across_backends(seed):
+    params = _params_30bit(n=64, t=257, count=4)
+    results = {}
+    for name in ("scalar", "numpy"):
+        context = HeContext.create(params, backend=name, seed=7)
+        ct = _random_chain(context, seed)
+        results[name] = (
+            ct.level,
+            [poly.to_coeff_lists() for poly in ct.polys],
+        )
+    assert results["scalar"] == results["numpy"]
+
+
+@pytest.mark.parametrize("seed", [5, 9])
+def test_randomized_chains_decrypt_identically_across_backends(seed):
+    """Same chains, checked at the plaintext level (covers CRT boundaries)."""
+    params = _params_30bit(n=64, t=257, count=4)
+    decoded = {}
+    for name in ("scalar", "numpy"):
+        context = HeContext.create(params, backend=name, seed=7)
+        ct = _random_chain(context, seed)
+        decoded[name] = context.encoder().decode(context.decryptor().decrypt(ct))
+    assert decoded["scalar"] == decoded["numpy"]
+
+
+# ----------------------------------------------------- mismatch errors
+
+
+def test_domain_mismatch_raises_on_handle_api():
+    ctx = HeContext.create(_params_30bit())
+    basis = ctx.basis
+    a = RnsPolynomial.random_uniform(basis, ctx.params.n, random.Random(0), backend=ctx.backend)
+    b = a.to_ntt()
+    assert b.domain is Domain.NTT
+    with pytest.raises(ValueError):
+        _ = a + b
+    with pytest.raises(ValueError):
+        _ = a * b
+
+
+def test_ring_mismatch_raises_on_handle_api():
+    ctx = HeContext.create(_params_30bit(count=3))
+    encryptor = ctx.encryptor()
+    evaluator = ctx.evaluator()
+    ct = encryptor.encrypt(ctx.encoder().encode([1, 2, 3]))
+    switched = evaluator.mod_switch_to_next(ct)
+    with pytest.raises(ValueError):
+        evaluator.add(switched, ct)
+    # plaintexts encoded for the wrong level are rejected, not corrupted
+    stray = RnsPolynomial.from_coefficients(
+        [1] * ctx.params.n, ct.basis.drop_last(1), backend=ctx.backend
+    )
+    with pytest.raises(ValueError):
+        evaluator.multiply_plain(ct, stray)
+    with pytest.raises(ValueError):
+        evaluator.add_plain(ct, stray)
+
+
+def test_relinearization_key_level_mismatch_raises():
+    ctx = HeContext.create(_params_30bit(count=3))
+    encryptor = ctx.encryptor()
+    evaluator = ctx.evaluator()
+    relin = ctx.relinearization_key()
+    ct = encryptor.encrypt(ctx.encoder().encode([1]))
+    product = evaluator.multiply(ct, ct)
+    switched = evaluator.mod_switch_to_next(product)
+    with pytest.raises(ValueError):
+        evaluator.relinearize(switched, relin)

@@ -1,4 +1,4 @@
-"""Tests for RNS polynomials (double-CRT representation)."""
+"""Tests for RNS polynomials (double-CRT representation, resident tensors)."""
 
 from __future__ import annotations
 
@@ -8,7 +8,7 @@ import pytest
 
 from repro.backends import ScalarBackend
 from repro.rns.basis import RnsBasis
-from repro.rns.poly import Domain, RnsPolynomial, TransformerCache
+from repro.rns.poly import Domain, RnsPolynomial
 from repro.transforms.reference import naive_negacyclic_convolution
 
 N = 1 << 5
@@ -29,15 +29,22 @@ def test_from_coefficients_and_reconstruct():
 
 def test_zero_polynomial():
     poly = RnsPolynomial.zero(BASIS, N)
-    assert all(all(x == 0 for x in row) for row in poly.residues)
+    assert all(all(x == 0 for x in row) for row in poly.to_coeff_lists())
     assert poly.to_big_coefficients() == [0] * N
 
 
 def test_validation_of_row_shapes():
     with pytest.raises(ValueError):
-        RnsPolynomial(basis=BASIS, n=N, residues=[[0] * N] * 2)
+        RnsPolynomial.from_residue_rows([[0] * N] * 2, BASIS)
     with pytest.raises(ValueError):
-        RnsPolynomial(basis=BASIS, n=N, residues=[[0] * (N - 1)] * BASIS.count)
+        RnsPolynomial.from_residue_rows([[0] * (N - 1)] * BASIS.count, BASIS, n=N)
+
+
+def test_tensor_must_match_basis():
+    backend = ScalarBackend()
+    tensor = backend.from_rows([[0] * N] * 2, BASIS.primes[:2])
+    with pytest.raises(ValueError):
+        RnsPolynomial(BASIS, N, tensor)
 
 
 def test_domain_roundtrip():
@@ -80,7 +87,7 @@ def test_multiplication_in_ntt_domain_is_elementwise():
     product = a * b
     assert product.domain is Domain.NTT
     coeff_product = (a.to_coefficient() * b.to_coefficient()).to_ntt()
-    assert product.residues == coeff_product.residues
+    assert product.to_coeff_lists() == coeff_product.to_coeff_lists()
 
 
 def test_domain_mismatch_raises():
@@ -118,7 +125,7 @@ def test_random_ternary_and_gaussian_are_small():
 def test_random_uniform_rows_reduced():
     rng = random.Random(1)
     poly = RnsPolynomial.random_uniform(BASIS, N, rng)
-    for row, p in zip(poly.residues, BASIS.primes):
+    for row, p in zip(poly.to_coeff_lists(), BASIS.primes):
         assert all(0 <= x < p for x in row)
 
 
@@ -126,26 +133,47 @@ def test_drop_last_prime():
     poly = RnsPolynomial.from_coefficients(random_coeffs(14, bound=10), BASIS)
     smaller = poly.drop_last_prime()
     assert smaller.basis.count == BASIS.count - 1
-    assert smaller.residues == poly.residues[:-1]
+    assert smaller.to_coeff_lists() == poly.to_coeff_lists()[:-1]
 
 
 def test_copy_is_deep():
     poly = RnsPolynomial.from_coefficients(random_coeffs(15), BASIS)
     duplicate = poly.copy()
-    duplicate.residues[0][0] = (duplicate.residues[0][0] + 1) % BASIS.primes[0]
-    assert duplicate != poly
+    assert duplicate == poly
+    assert duplicate.tensor is not poly.tensor
+    # a modified rebuild is a different polynomial (and leaves the original alone)
+    rows = duplicate.to_coeff_lists()
+    rows[0][0] = (rows[0][0] + 1) % BASIS.primes[0]
+    modified = RnsPolynomial.from_residue_rows(rows, BASIS, backend=duplicate.backend)
+    assert modified != poly
 
 
-def test_transformer_cache_shared_and_sized():
-    # Twiddle contexts are resident with the backend the cache carries: one
-    # per (n, p) pair, built on first use and reused afterwards.
+def test_residues_property_is_a_materialized_copy():
+    poly = RnsPolynomial.from_coefficients(random_coeffs(18), BASIS)
+    rows = poly.residues
+    assert rows == poly.to_coeff_lists()
+    rows[0][0] ^= 1  # mutating the copy must not write back into the tensor
+    assert poly.residues != rows
+
+
+def test_backend_contexts_shared_and_sized():
+    # Twiddle contexts are resident with the pinned backend: one per (n, p)
+    # pair, built on first use and reused afterwards.
     backend = ScalarBackend()
-    cache = TransformerCache(backend)
-    poly = RnsPolynomial.from_coefficients(random_coeffs(16), BASIS, cache=cache)
+    poly = RnsPolynomial.from_coefficients(random_coeffs(16), BASIS, backend=backend)
     assert poly.backend is backend
     poly.to_ntt()
     assert backend.resident_contexts == BASIS.count
     # converting again must not grow the cache
+    poly.to_ntt()
+    assert backend.resident_contexts == BASIS.count
+
+
+def test_warm_twiddles_prebuilds_contexts():
+    backend = ScalarBackend()
+    backend.warm_twiddles(N, BASIS.primes)
+    assert backend.resident_contexts == BASIS.count
+    poly = RnsPolynomial.from_coefficients(random_coeffs(19), BASIS, backend=backend)
     poly.to_ntt()
     assert backend.resident_contexts == BASIS.count
 

@@ -11,4 +11,4 @@ def test_bench_fig04_high_radix(benchmark, cost_model):
     print(format_experiment(result))
     for log_n in (16, 17):
         subset = [r for r in result.rows if r["logN"] == log_n]
-        assert min(subset, key=lambda r: r["time (us)"])["radix"] == 16  # paper: radix-16 best
+        assert min(subset, key=lambda r: r["model time (us)"])["radix"] == 16  # paper: radix-16 best

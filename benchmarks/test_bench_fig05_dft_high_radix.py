@@ -10,4 +10,4 @@ def test_bench_fig05_dft_high_radix(benchmark, cost_model):
     print()
     print(format_experiment(result))
     subset = [r for r in result.rows if r["logN"] == 17]
-    assert min(subset, key=lambda r: r["time (us)"])["radix"] == 32  # paper: radix-32 best
+    assert min(subset, key=lambda r: r["model time (us)"])["radix"] == 32  # paper: radix-32 best

@@ -9,5 +9,5 @@ def test_bench_fig13_batch_sweep(benchmark, cost_model):
     result = benchmark(fig13_batch_sweep.run, cost_model)
     print()
     print(format_experiment(result))
-    saturated = [r["time per prime (us)"] for r in result.rows if r["np"] >= 21]
+    saturated = [r["model time per prime (us)"] for r in result.rows if r["np"] >= 21]
     assert max(saturated) / min(saturated) < 1.05  # linear growth once saturated

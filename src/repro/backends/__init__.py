@@ -15,9 +15,24 @@ contract in :mod:`repro.backends.base`).  Ships with:
 Select explicitly (``get_backend("numpy")``), process-wide
 (:func:`set_default_backend`), or via the ``REPRO_BACKEND`` environment
 variable.
+
+Inside each backend, *how* a batch of NTTs is executed is a second pluggable
+axis: the :class:`NttEngine` layer in :mod:`repro.backends.engines` provides
+the paper's algorithm variants (``radix2``, ``high_radix``, ``four_step``,
+``stockham``), selected per transform shape by explicit argument >
+:func:`set_default_engine` > ``REPRO_NTT_ENGINE`` > a per-shape auto-tuner.
 """
 
 from .base import ComputeBackend, ResidueRows, ResidueTensor
+from .engines import (
+    ENGINE_ENV_VAR,
+    NttAutoTuner,
+    NttEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+    set_default_engine,
+)
 from .registry import (
     BACKEND_ENV_VAR,
     available_backends,
@@ -30,14 +45,21 @@ from .scalar import ScalarBackend, ScalarTensor
 
 __all__ = [
     "BACKEND_ENV_VAR",
+    "ENGINE_ENV_VAR",
     "ComputeBackend",
+    "NttAutoTuner",
+    "NttEngine",
     "ResidueRows",
     "ResidueTensor",
     "ScalarBackend",
     "ScalarTensor",
     "available_backends",
+    "available_engines",
     "get_backend",
+    "get_engine",
     "register_backend",
+    "register_engine",
     "resolve_backend",
     "set_default_backend",
+    "set_default_engine",
 ]

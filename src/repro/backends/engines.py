@@ -1,0 +1,735 @@
+"""The pluggable NTT-engine layer: the paper's algorithm zoo inside the backends.
+
+The source paper is a study of *NTT algorithm variants* — radix-2 vs
+high-radix butterflies, the two-kernel (four-step) decomposition, Stockham's
+auto-sort formulation — yet until this layer existed the fast data plane
+hardwired a single radix-2 Cooley-Tukey path while the variants lived in
+scalar-only teaching code under :mod:`repro.transforms`.  An
+:class:`NttEngine` folds each variant into the backends so the *production*
+transform path is the thing the experiments measure:
+
+* every engine operates on whole resident batches — a ``(batch, n)``
+  ``uint64`` block on the NumPy backend, a list of residue rows on the
+  scalar backend — and the scalar side delegates to the reference
+  implementations in :mod:`repro.transforms`, which stay the readable
+  ground truth;
+* every engine is **bit-for-bit interchangeable**: forward output in the
+  bit-reversed order of Algorithm 1 (engines whose natural formulation is
+  auto-sorting re-permute with one cached gather), inverse consuming
+  bit-reversed input — so NTT-domain data can flow between engines freely
+  and the cross-check suite pins them all against
+  :mod:`repro.transforms.reference`;
+* engines are chosen **per transform shape** ``(n, p_bits, batch)`` with the
+  precedence *explicit backend argument > process default
+  (:func:`set_default_engine`) > ``REPRO_NTT_ENGINE`` environment variable >
+  auto-tuner*, where :class:`NttAutoTuner` micro-benchmarks the candidates
+  once per shape and the backend caches the winner.
+
+Why the vectorised variants win on a CPU: the radix-2 baseline reduces every
+butterfly output with a hardware-division ``%``.  The high-radix, four-step
+and Stockham engines only divide after twiddle *products*; the add/sub halves
+of each butterfly use the branch-free conditional subtraction
+``min(x, x - p)`` (exact for ``x < 2p`` in ``uint64``, where the wrapped
+``x - p`` is huge whenever ``x < p``) — the software analogue of the lazy
+reductions the paper's fused passes legitimise, and the measured source of
+the speedup ``benchmarks/test_bench_engines.py`` pins.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import time
+from collections.abc import Callable, Sequence
+
+try:  # The array paths need NumPy; the scalar row paths never touch it.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None
+
+from ..modarith.modops import inv_mod, mul_mod, pow_mod
+from ..modarith.roots import primitive_root_of_unity
+from ..transforms.bitrev import (
+    bit_reverse_index_array,
+    bit_reverse_permute,
+    is_power_of_two,
+)
+from ..transforms.cooley_tukey import NegacyclicTransformer, forward_twiddle_table
+from ..transforms.four_step import (
+    default_split,
+    four_step_negacyclic_intt,
+    four_step_negacyclic_ntt,
+)
+from ..transforms.high_radix import ntt_forward_by_passes, plan_stage_groups
+from ..transforms.stockham import stockham_ntt_forward, stockham_ntt_inverse
+
+__all__ = [
+    "ENGINE_ENV_VAR",
+    "DEFAULT_AUTOTUNE_CANDIDATES",
+    "NttEngine",
+    "EngineTables",
+    "NttAutoTuner",
+    "EngineSelectionMixin",
+    "available_engines",
+    "default_engine_spec",
+    "get_engine",
+    "parse_engine_spec",
+    "register_engine",
+    "set_default_engine",
+]
+
+#: Environment variable selecting an engine when no explicit choice is made.
+ENGINE_ENV_VAR = "REPRO_NTT_ENGINE"
+
+#: Engine specs the auto-tuner races when nothing picked an engine.
+DEFAULT_AUTOTUNE_CANDIDATES = ("radix2", "high_radix", "four_step", "stockham")
+
+
+# --------------------------------------------------------------------- tables
+
+
+def _modular_powers(base: int, count: int, p: int) -> list[int]:
+    powers = [1] * count
+    for i in range(1, count):
+        powers[i] = mul_mod(powers[i - 1], base, p)
+    return powers
+
+
+def _cyclic_stage_tables(n: int, omega: int, p: int) -> list:
+    """Per-stage twiddle arrays for the Stockham sweep (span n down to 2)."""
+    tables = []
+    span = n
+    while span > 1:
+        w_step = pow_mod(omega, n // span, p)
+        tables.append(np.asarray(_modular_powers(w_step, span // 2, p), dtype=np.uint64))
+        span //= 2
+    return tables
+
+
+class _FourStepTables:
+    """Twiddle material for one ``n = n1 * n2`` four-step split."""
+
+    __slots__ = ("n1", "n2", "inner_f", "outer_f", "inner_i", "outer_i", "twist_f", "twist_i")
+
+    def __init__(self, n: int, n1: int, omega: int, p: int) -> None:
+        self.n1 = n1
+        self.n2 = n // n1
+        omega_inner = pow_mod(omega, self.n2, p)
+        omega_outer = pow_mod(omega, n1, p)
+        omega_inv = inv_mod(omega, p)
+        self.inner_f = _cyclic_stage_tables(n1, omega_inner, p)
+        self.outer_f = _cyclic_stage_tables(self.n2, omega_outer, p)
+        self.inner_i = _cyclic_stage_tables(n1, inv_mod(omega_inner, p), p)
+        self.outer_i = _cyclic_stage_tables(self.n2, inv_mod(omega_outer, p), p)
+        self.twist_f = self._twist(omega, p)
+        self.twist_i = self._twist(omega_inv, p)
+
+    def _twist(self, omega: int, p: int):
+        rows = [_modular_powers(pow_mod(omega, j2, p), self.n1, p) for j2 in range(self.n2)]
+        return np.asarray(rows, dtype=np.uint64)
+
+
+class EngineTables:
+    """Lazily built per-``(n, p)`` twiddle material shared by every engine.
+
+    One instance lives on the owning backend per ``(n, p)`` pair (``p`` below
+    the vector unit's exact-product window), so switching engines never
+    rebuilds the tables another engine already paid for.  Only the
+    Cooley-Tukey tables are built eagerly — they are what
+    :meth:`repro.backends.base.ComputeBackend.warm_twiddles` warms and what
+    the default engine needs; the Stockham/four-step extras appear on first
+    use.
+    """
+
+    __slots__ = (
+        "n", "p", "p64", "psi", "n_inv64", "ct_forward", "ct_inverse",
+        "_psi_powers", "_psi_inv_scaled", "_stockham_f", "_stockham_i",
+        "_four_step",
+    )
+
+    def __init__(self, n: int, p: int, psi_2n: int | None = None) -> None:
+        if not is_power_of_two(n):
+            raise ValueError("n must be a power of two")
+        if (p - 1) % (2 * n) != 0:
+            raise ValueError("p must satisfy p ≡ 1 (mod 2n)")
+        self.n = n
+        self.p = p
+        self.p64 = np.uint64(p)
+        self.psi = psi_2n if psi_2n is not None else primitive_root_of_unity(2 * n, p)
+        self.n_inv64 = np.uint64(inv_mod(n, p))
+        self.ct_forward = np.asarray(forward_twiddle_table(n, self.psi, p), dtype=np.uint64)
+        self.ct_inverse = np.asarray(
+            forward_twiddle_table(n, inv_mod(self.psi, p), p), dtype=np.uint64
+        )
+        self._psi_powers = None
+        self._psi_inv_scaled = None
+        self._stockham_f = None
+        self._stockham_i = None
+        self._four_step: dict[int, _FourStepTables] = {}
+
+    @property
+    def bitrev(self):
+        """Cached bit-reversal gather indices (shared library-wide)."""
+        return bit_reverse_index_array(self.n)
+
+    @property
+    def psi_powers(self):
+        """Natural-order ``psi^i`` pre-twist for the auto-sorting engines."""
+        if self._psi_powers is None:
+            self._psi_powers = np.asarray(
+                _modular_powers(self.psi, self.n, self.p), dtype=np.uint64
+            )
+        return self._psi_powers
+
+    @property
+    def psi_inv_scaled(self):
+        """``psi^{-i} * n^{-1}`` post-twist — folds the final scaling in."""
+        if self._psi_inv_scaled is None:
+            psi_inv = inv_mod(self.psi, self.p)
+            n_inv = inv_mod(self.n, self.p)
+            powers = _modular_powers(psi_inv, self.n, self.p)
+            self._psi_inv_scaled = np.asarray(
+                [mul_mod(value, n_inv, self.p) for value in powers], dtype=np.uint64
+            )
+        return self._psi_inv_scaled
+
+    def stockham_stages(self, inverse: bool):
+        """Per-stage twiddles of the cyclic Stockham sweep, ``omega = psi^2``."""
+        omega = mul_mod(self.psi, self.psi, self.p)
+        if inverse:
+            if self._stockham_i is None:
+                self._stockham_i = _cyclic_stage_tables(self.n, inv_mod(omega, self.p), self.p)
+            return self._stockham_i
+        if self._stockham_f is None:
+            self._stockham_f = _cyclic_stage_tables(self.n, omega, self.p)
+        return self._stockham_f
+
+    def four_step(self, n1: int) -> _FourStepTables:
+        """Twiddle bundle for the ``n1 x (n / n1)`` four-step split."""
+        bundle = self._four_step.get(n1)
+        if bundle is None:
+            omega = mul_mod(self.psi, self.psi, self.p)
+            bundle = _FourStepTables(self.n, n1, omega, self.p)
+            self._four_step[n1] = bundle
+        return bundle
+
+
+# ------------------------------------------------------------ array kernels
+
+
+def _cond_sub(x, p64):
+    """``x mod p`` for ``x < 2p`` without division: ``min(x, x - p)`` in uint64."""
+    return np.minimum(x, x - p64)
+
+
+def _stockham_sweep(a, stage_tables, p64):
+    """Cyclic NTT along the last axis, natural order in and out.
+
+    The classic double-buffered Stockham sweep of
+    :func:`repro.transforms.stockham.stockham_cyclic_ntt`, vectorised over a
+    2-D ``(batch, length)`` block.  The input buffer is consumed (it becomes
+    one of the two ping-pong buffers).
+    """
+    batch, n = a.shape
+    source, destination = a, np.empty_like(a)
+    span = n
+    stride = 1
+    for w in stage_tables:
+        half = span // 2
+        view = source.reshape(batch, span, stride)
+        upper = view[:, :half, :]
+        lower = view[:, half:, :]
+        out = destination.reshape(batch, half, 2, stride)
+        out[:, :, 0, :] = _cond_sub(upper + lower, p64)
+        difference = _cond_sub(upper + (p64 - lower), p64)
+        out[:, :, 1, :] = (difference * w[None, :, None]) % p64
+        source, destination = destination, source
+        span //= 2
+        stride *= 2
+    return source
+
+
+def _four_step_cyclic(a, bundle: _FourStepTables, p64, inverse: bool):
+    """Cyclic NTT via the four-step decomposition, natural order in and out."""
+    batch, n = a.shape
+    n1, n2 = bundle.n1, bundle.n2
+    inner = bundle.inner_i if inverse else bundle.inner_f
+    outer = bundle.outer_i if inverse else bundle.outer_f
+    twist = bundle.twist_i if inverse else bundle.twist_f
+    # Step 1: n2 strided n1-point NTTs (the paper's Kernel-1) — transpose so
+    # the strided columns become contiguous rows, then one batched sweep.
+    columns = np.ascontiguousarray(a.reshape(batch, n1, n2).transpose(0, 2, 1))
+    columns = _stockham_sweep(columns.reshape(batch * n2, n1), inner, p64)
+    # Step 2: twist by omega^(j2 * k1).
+    columns = (columns.reshape(batch, n2, n1) * twist[None, :, :]) % p64
+    # Step 3: n1 contiguous n2-point NTTs (Kernel-2).
+    rows = np.ascontiguousarray(columns.transpose(0, 2, 1)).reshape(batch * n1, n2)
+    rows = _stockham_sweep(rows, outer, p64)
+    # Step 4: transpose back to natural order: result[k1 + n1*k2] = rows[k1, k2].
+    return np.ascontiguousarray(rows.reshape(batch, n1, n2).transpose(0, 2, 1)).reshape(
+        batch, n
+    )
+
+
+# -------------------------------------------------------------------- engines
+
+
+class NttEngine(abc.ABC):
+    """One negacyclic-NTT algorithm, usable by every backend.
+
+    Engines are stateless flyweights (twiddle material lives in the owning
+    backend's :class:`EngineTables` / transformer caches) shared process-wide
+    through :func:`get_engine`.  The two seams:
+
+    * **array path** — :meth:`forward_array` / :meth:`inverse_array` operate
+      in place on a ``(batch, n)`` ``uint64`` block whose modulus fits the
+      exact-product window (``p < 2^31``); the block is a private copy the
+      backend hands over, so engines may clobber it.
+    * **row path** — :meth:`forward_row` / :meth:`inverse_row` are the exact
+      big-int fallback (any word size), delegating to the reference
+      implementations in :mod:`repro.transforms` via a cached
+      :class:`~repro.transforms.cooley_tukey.NegacyclicTransformer`.
+
+    Both paths use the conventions of Algorithm 1: forward output and inverse
+    input are in bit-reversed order, every residue fully reduced — which is
+    what makes all engines bit-for-bit interchangeable.
+    """
+
+    #: Registry name ("radix2", "high_radix", ...).
+    name: str = "abstract"
+    #: Full selection spec, including a parameter ("high_radix:8").
+    spec: str = "abstract"
+
+    # -- scalar row path -------------------------------------------------------
+    @abc.abstractmethod
+    def forward_row(self, row: Sequence[int], transformer: NegacyclicTransformer) -> list[int]:
+        """Forward negacyclic NTT of one residue row (bit-reversed output)."""
+
+    @abc.abstractmethod
+    def inverse_row(self, row: Sequence[int], transformer: NegacyclicTransformer) -> list[int]:
+        """Inverse negacyclic NTT of one bit-reversed residue row."""
+
+    def forward_rows(self, rows, transformer: NegacyclicTransformer) -> list[list[int]]:
+        return [self.forward_row(row, transformer) for row in rows]
+
+    def inverse_rows(self, rows, transformer: NegacyclicTransformer) -> list[list[int]]:
+        return [self.inverse_row(row, transformer) for row in rows]
+
+    # -- vectorised array path -------------------------------------------------
+    @abc.abstractmethod
+    def forward_array(self, block, tables: EngineTables):
+        """Forward-transform a ``(batch, n)`` uint64 block (may run in place)."""
+
+    @abc.abstractmethod
+    def inverse_array(self, block, tables: EngineTables):
+        """Inverse-transform a ``(batch, n)`` uint64 block (may run in place)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "%s(spec=%r)" % (type(self).__name__, self.spec)
+
+
+class Radix2Engine(NttEngine):
+    """Algorithm 1 verbatim: one radix-2 stage per pass, ``%`` reductions.
+
+    This is the pre-engine data plane unchanged — the baseline every other
+    engine is benchmarked against — and the scalar side *is* the reference
+    :class:`~repro.transforms.cooley_tukey.NegacyclicTransformer`.
+    """
+
+    name = "radix2"
+    spec = "radix2"
+
+    def forward_row(self, row, transformer):
+        return transformer.forward(row)
+
+    def inverse_row(self, row, transformer):
+        return transformer.inverse(row)
+
+    def forward_array(self, block, tables):
+        p64 = tables.p64
+        batch, n = block.shape
+        t = n // 2
+        m = 1
+        while m < n:
+            view = block.reshape(batch, m, 2 * t)
+            upper = view[:, :, :t]
+            lower = view[:, :, t:]
+            twiddles = tables.ct_forward[m : 2 * m].reshape(1, m, 1)
+            product = (lower * twiddles) % p64
+            new_upper = (upper + product) % p64
+            new_lower = (upper + p64 - product) % p64
+            view[:, :, :t] = new_upper
+            view[:, :, t:] = new_lower
+            m *= 2
+            t //= 2
+        return block
+
+    def inverse_array(self, block, tables):
+        p64 = tables.p64
+        batch, n = block.shape
+        t = 1
+        m = n // 2
+        while m >= 1:
+            view = block.reshape(batch, m, 2 * t)
+            upper = view[:, :, :t].copy()
+            lower = view[:, :, t:].copy()
+            twiddles = tables.ct_inverse[m : 2 * m].reshape(1, m, 1)
+            view[:, :, :t] = (upper + lower) % p64
+            view[:, :, t:] = ((upper + p64 - lower) % p64 * twiddles) % p64
+            m //= 2
+            t *= 2
+        return (block * tables.n_inv64) % p64
+
+
+class HighRadixEngine(NttEngine):
+    """Pass-structured radix-``2^k`` execution (Section V) with lazy adds.
+
+    The butterflies are exactly the radix-2 ones; what the radix changes is
+    the pass structure — ``k`` consecutive stages per pass over the data, the
+    grouping :func:`repro.transforms.high_radix.plan_stage_groups` plans and
+    the scalar side executes through
+    :func:`repro.transforms.high_radix.ntt_forward_by_passes`.  On the
+    vectorised path the fused passes use the conditional-subtract reduction
+    for the butterfly add/sub halves (only twiddle products pay a division),
+    which is where the measured speedup over the radix-2 baseline comes from;
+    the radix itself is a memory-schedule knob the GPU cost model prices, not
+    a CPU-visible one.
+    """
+
+    name = "high_radix"
+
+    def __init__(self, radix: int = 16) -> None:
+        if not is_power_of_two(radix) or radix < 2:
+            raise ValueError("high-radix engine needs a power-of-two radix >= 2")
+        self.radix = radix
+        self.spec = "high_radix:%d" % radix
+
+    def _groups(self, n: int) -> list[int]:
+        return plan_stage_groups(n, min(self.radix, n)) if n > 1 else []
+
+    def forward_row(self, row, transformer):
+        values = [value % transformer.p for value in row]
+        ntt_forward_by_passes(
+            values, transformer.forward_table, transformer.p, self._groups(transformer.n)
+        )
+        return values
+
+    def inverse_row(self, row, transformer):
+        # Pass grouping is a memory-schedule change only; the inverse
+        # butterflies are the same Gentleman-Sande sweep as radix-2.
+        return transformer.inverse(row)
+
+    def forward_array(self, block, tables):
+        p64 = tables.p64
+        batch, n = block.shape
+        t = n // 2
+        m = 1
+        for stages in self._groups(n):
+            for _ in range(stages):
+                view = block.reshape(batch, m, 2 * t)
+                upper = view[:, :, :t]
+                lower = view[:, :, t:]
+                twiddles = tables.ct_forward[m : 2 * m].reshape(1, m, 1)
+                product = (lower * twiddles) % p64
+                total = upper + product
+                difference = upper + (p64 - product)
+                view[:, :, :t] = _cond_sub(total, p64)
+                view[:, :, t:] = _cond_sub(difference, p64)
+                m *= 2
+                t //= 2
+        return block
+
+    def inverse_array(self, block, tables):
+        p64 = tables.p64
+        batch, n = block.shape
+        t = 1
+        m = n // 2
+        while m >= 1:
+            view = block.reshape(batch, m, 2 * t)
+            upper = view[:, :, :t].copy()
+            lower = view[:, :, t:].copy()
+            twiddles = tables.ct_inverse[m : 2 * m].reshape(1, m, 1)
+            view[:, :, :t] = _cond_sub(upper + lower, p64)
+            difference = _cond_sub(upper + (p64 - lower), p64)
+            view[:, :, t:] = (difference * twiddles) % p64
+            m //= 2
+            t *= 2
+        return (block * tables.n_inv64) % p64
+
+
+class StockhamEngine(NttEngine):
+    """Stockham auto-sort NTT (Algorithm 3) re-ordered to the common convention.
+
+    The double-buffered sweep produces natural order, so one cached gather
+    re-permutes forward output to (and inverse input from) the bit-reversed
+    convention the rest of the pipeline speaks.  The pre-twist by ``psi^i``
+    merges the negacyclic wrap, exactly as in
+    :mod:`repro.transforms.stockham`.
+    """
+
+    name = "stockham"
+    spec = "stockham"
+
+    def forward_row(self, row, transformer):
+        natural = stockham_ntt_forward(row, transformer.psi, transformer.p)
+        return bit_reverse_permute(natural)
+
+    def inverse_row(self, row, transformer):
+        natural = bit_reverse_permute(list(row))
+        return stockham_ntt_inverse(natural, transformer.psi, transformer.p)
+
+    def forward_array(self, block, tables):
+        twisted = (block * tables.psi_powers) % tables.p64
+        natural = _stockham_sweep(twisted, tables.stockham_stages(inverse=False), tables.p64)
+        return natural[:, tables.bitrev]
+
+    def inverse_array(self, block, tables):
+        natural = np.ascontiguousarray(block[:, tables.bitrev])
+        swept = _stockham_sweep(natural, tables.stockham_stages(inverse=True), tables.p64)
+        return (swept * tables.psi_inv_scaled) % tables.p64
+
+
+class FourStepEngine(NttEngine):
+    """Four-step (Bailey) decomposition — the paper's two-kernel SMEM shape.
+
+    ``N = N1 * N2``: strided ``N1``-point NTTs (Kernel-1), a twist, contiguous
+    ``N2``-point NTTs (Kernel-2), and a transpose, exactly as in
+    :mod:`repro.transforms.four_step` — then one gather to the bit-reversed
+    convention.  ``N1`` is configurable (spec ``"four_step:64"``) so the
+    experiments can sweep kernel splits on the real data plane; invalid or
+    absent splits fall back to the even default.
+    """
+
+    name = "four_step"
+
+    def __init__(self, n1: int | None = None) -> None:
+        if n1 is not None and (not is_power_of_two(n1) or n1 < 2):
+            raise ValueError("four-step engine needs a power-of-two n1 >= 2")
+        self.n1 = n1
+        self.spec = "four_step" if n1 is None else "four_step:%d" % n1
+
+    def _split(self, n: int) -> int:
+        if self.n1 is not None and 1 < self.n1 < n and n % self.n1 == 0:
+            return self.n1
+        return default_split(n)[0]
+
+    def forward_row(self, row, transformer):
+        natural = four_step_negacyclic_ntt(
+            row, transformer.psi, transformer.p, self._split(transformer.n)
+        )
+        return bit_reverse_permute(natural)
+
+    def inverse_row(self, row, transformer):
+        natural = bit_reverse_permute(list(row))
+        return four_step_negacyclic_intt(
+            natural, transformer.psi, transformer.p, self._split(transformer.n)
+        )
+
+    def forward_array(self, block, tables):
+        n = block.shape[1]
+        twisted = (block * tables.psi_powers) % tables.p64
+        n1 = self._split(n)
+        if n1 <= 1 or n // n1 <= 1:  # degenerate split: plain auto-sort sweep
+            natural = _stockham_sweep(twisted, tables.stockham_stages(inverse=False), tables.p64)
+        else:
+            natural = _four_step_cyclic(twisted, tables.four_step(n1), tables.p64, inverse=False)
+        return natural[:, tables.bitrev]
+
+    def inverse_array(self, block, tables):
+        n = block.shape[1]
+        natural = np.ascontiguousarray(block[:, tables.bitrev])
+        n1 = self._split(n)
+        if n1 <= 1 or n // n1 <= 1:
+            swept = _stockham_sweep(natural, tables.stockham_stages(inverse=True), tables.p64)
+        else:
+            swept = _four_step_cyclic(natural, tables.four_step(n1), tables.p64, inverse=True)
+        return (swept * tables.psi_inv_scaled) % tables.p64
+
+
+# ------------------------------------------------------------------- registry
+
+_engine_factories: dict[str, Callable[[int | None], NttEngine]] = {}
+_engine_instances: dict[str, NttEngine] = {}
+_default_engine: str | None = None
+
+
+def register_engine(
+    name: str, factory: Callable[[int | None], NttEngine], replace: bool = False
+) -> None:
+    """Register an engine factory under ``name``.
+
+    The factory receives the optional integer parameter of a
+    ``"name:param"`` spec (``None`` when the spec is bare) and must return an
+    :class:`NttEngine`.
+    """
+    if name in _engine_factories and not replace:
+        raise ValueError("engine %r is already registered" % name)
+    _engine_factories[name] = factory
+    for spec in [key for key in _engine_instances if parse_engine_spec(key)[0] == name]:
+        _engine_instances.pop(spec, None)
+
+
+def _no_param(name: str, builder: Callable[[], NttEngine]) -> Callable[[int | None], NttEngine]:
+    def factory(param: int | None) -> NttEngine:
+        if param is not None:
+            raise ValueError("engine %r takes no parameter" % name)
+        return builder()
+
+    return factory
+
+
+register_engine("radix2", _no_param("radix2", Radix2Engine))
+register_engine("high_radix", lambda param: HighRadixEngine(param if param is not None else 16))
+register_engine("four_step", lambda param: FourStepEngine(param))
+register_engine("stockham", _no_param("stockham", StockhamEngine))
+
+
+def available_engines() -> list[str]:
+    """Registered engine names, in registration order."""
+    return list(_engine_factories)
+
+
+def parse_engine_spec(spec: str) -> tuple[str, int | None]:
+    """Split ``"high_radix:8"`` into ``("high_radix", 8)``; bare names get ``None``."""
+    name, _, param = spec.partition(":")
+    if not param:
+        return name, None
+    try:
+        return name, int(param)
+    except ValueError:
+        raise ValueError("engine parameter in %r must be an integer" % spec) from None
+
+
+def get_engine(spec: str) -> NttEngine:
+    """Resolve an engine spec to its cached flyweight instance."""
+    engine = _engine_instances.get(spec)
+    if engine is None:
+        name, param = parse_engine_spec(spec)
+        if name not in _engine_factories:
+            raise KeyError(
+                "unknown NTT engine %r (registered: %s)" % (name, ", ".join(_engine_factories))
+            )
+        engine = _engine_factories[name](param)
+        _engine_instances[spec] = engine
+    return engine
+
+
+def set_default_engine(spec: str | None) -> None:
+    """Install (or with ``None`` clear) the process-wide default engine spec."""
+    if spec is not None:
+        get_engine(spec)  # validate eagerly
+    global _default_engine
+    _default_engine = spec
+
+
+def default_engine_spec() -> str | None:
+    """Process default if set, else ``REPRO_NTT_ENGINE`` (read at call time)."""
+    if _default_engine is not None:
+        return _default_engine
+    return os.environ.get(ENGINE_ENV_VAR) or None
+
+
+# ------------------------------------------------------------------ autotuner
+
+
+class NttAutoTuner:
+    """Races candidate engines on a real workload and returns the winner.
+
+    The backend supplies a ``runner`` closure that executes one transform of
+    the shape being tuned through a candidate engine; the tuner warms each
+    candidate once (so table construction is not billed — the resident-table
+    policy Section IV analyses), times ``repeats`` runs, and keeps the best.
+    Results are cached by the *backend* per ``(n, p_bits, batch)`` key, so
+    the micro-benchmark cost is paid once per shape per backend instance.
+    """
+
+    def __init__(
+        self, candidates: Sequence[str] | None = None, repeats: int = 2
+    ) -> None:
+        self.candidates = (
+            tuple(candidates) if candidates is not None else DEFAULT_AUTOTUNE_CANDIDATES
+        )
+        if repeats < 1:
+            raise ValueError("repeats must be at least 1")
+        self.repeats = repeats
+
+    def pick(self, runner: Callable[[NttEngine], object]) -> tuple[str, dict[str, float]]:
+        """Return ``(winning spec, {spec: best seconds})`` for the workload."""
+        timings: dict[str, float] = {}
+        for spec in self.candidates:
+            engine = get_engine(spec)
+            runner(engine)  # warm-up: builds twiddle tables off the clock
+            best = float("inf")
+            for _ in range(self.repeats):
+                start = time.perf_counter()
+                runner(engine)
+                best = min(best, time.perf_counter() - start)
+            timings[spec] = best
+        if not timings:
+            return "radix2", timings
+        return min(timings, key=timings.__getitem__), timings
+
+
+class EngineSelectionMixin:
+    """Per-shape engine selection shared by the concrete backends.
+
+    Precedence, first match wins:
+
+    1. the backend's explicit override (constructor ``engine=`` argument or
+       :meth:`set_engine` — what :class:`repro.he.context.HeContext` pins);
+    2. the process default installed with :func:`set_default_engine`;
+    3. the ``REPRO_NTT_ENGINE`` environment variable (read at call time);
+    4. the auto-tuner, whose per-``(n, p_bits, batch)`` winner is cached on
+       the backend (inspect :attr:`engine_choices` / :attr:`engine_timings`).
+    """
+
+    def _init_engine_selection(
+        self, engine: str | None = None, tuner: NttAutoTuner | None = None
+    ) -> None:
+        self._engine_override: str | None = None
+        self._engine_choices: dict[tuple[int, int, int], str] = {}
+        self._engine_timings: dict[tuple[int, int, int], dict[str, float]] = {}
+        self._tuner = tuner if tuner is not None else NttAutoTuner()
+        if engine is not None:
+            self.set_engine(engine)
+
+    def set_engine(self, spec: str | None) -> None:
+        """Pin every transform of this backend to one engine (``None`` unpins)."""
+        if spec is not None:
+            get_engine(spec)  # validate eagerly
+        self._engine_override = spec
+
+    @property
+    def engine(self) -> str | None:
+        """The explicit engine override, or ``None`` when selection is dynamic."""
+        return self._engine_override
+
+    @property
+    def engine_choices(self) -> dict[tuple[int, int, int], str]:
+        """Auto-tuned winners so far, keyed by ``(n, p_bits, batch)``."""
+        return dict(self._engine_choices)
+
+    @property
+    def engine_timings(self) -> dict[tuple[int, int, int], dict[str, float]]:
+        """Auto-tuner timings (best seconds per candidate) per tuned shape."""
+        return {key: dict(value) for key, value in self._engine_timings.items()}
+
+    def _select_engine(self, n: int, p: int, batch: int) -> NttEngine:
+        spec = self._engine_override
+        if spec is None:
+            spec = default_engine_spec()
+        if spec is not None:
+            return get_engine(spec)
+        key = (n, p.bit_length(), batch)
+        choice = self._engine_choices.get(key)
+        if choice is None:
+            choice, timings = self._tuner.pick(
+                lambda engine: self._autotune_run(engine, n, p, batch)
+            )
+            self._engine_choices[key] = choice
+            self._engine_timings[key] = timings
+        return get_engine(choice)
+
+    def _autotune_run(self, engine: NttEngine, n: int, p: int, batch: int) -> None:
+        """Execute one representative transform through ``engine`` (override me)."""
+        raise NotImplementedError

@@ -18,11 +18,13 @@ are shared with the vectorised backends' per-prime fallback path.
 
 from __future__ import annotations
 
+import random
 from collections.abc import Sequence
 
 from ..modarith.modops import add_mod, mul_mod, neg_mod, sub_mod
 from ..transforms.cooley_tukey import NegacyclicTransformer
 from .base import ComputeBackend, ResidueRows, ResidueTensor
+from .engines import EngineSelectionMixin, NttEngine
 
 __all__ = ["ScalarBackend", "ScalarTensor"]
 
@@ -37,20 +39,30 @@ class ScalarTensor(ResidueTensor):
         self.rows = rows
 
 
-class ScalarBackend(ComputeBackend):
+class ScalarBackend(EngineSelectionMixin, ComputeBackend):
     """Row-by-row exact backend over Python integers.
 
     Transformer contexts (twiddle tables) are cached per ``(n, p)`` pair —
     table construction is O(n) modular multiplications and must be paid once
     per prime, not once per transform; this is the resident-table policy
     Section IV of the paper analyses.
+
+    Transforms go through the :class:`~repro.backends.engines.NttEngine`
+    seam: every registered engine has an exact big-int row path delegating to
+    the reference implementations in :mod:`repro.transforms`, so this backend
+    is the correctness oracle for each engine, not just for the default one.
+    Pin an engine with the ``engine`` constructor argument or
+    :meth:`set_engine`; otherwise the documented selection precedence
+    applies.
     """
 
     name = "scalar"
 
-    def __init__(self) -> None:
+    def __init__(self, engine: str | None = None) -> None:
         super().__init__()
         self._transformers: dict[tuple[int, int], NegacyclicTransformer] = {}
+        self._tune_rows: dict[tuple[int, int], list[int]] = {}
+        self._init_engine_selection(engine)
 
     @property
     def resident_contexts(self) -> int:
@@ -86,20 +98,49 @@ class ScalarBackend(ComputeBackend):
     def _wrap(self, primes, n, rows: list[list[int]]) -> ScalarTensor:
         return ScalarTensor(self, primes, n, rows)
 
+    # -- engine selection plumbing ---------------------------------------------
+    def _autotune_run(self, engine: NttEngine, n: int, p: int, batch: int) -> None:
+        # Per-row cost is batch-independent on this backend, so one cached
+        # random row is a faithful micro-benchmark of the whole group.
+        engine.forward_row(self._tune_row(n, p), self.transformer(n, p))
+
+    def _tune_row(self, n: int, p: int) -> list[int]:
+        key = (n, p)
+        row = self._tune_rows.get(key)
+        if row is None:
+            rng = random.Random((n << 16) ^ (p & 0xFFFF))
+            row = [rng.randrange(p) for _ in range(n)]
+            self._tune_rows[key] = row
+        return row
+
     # -- row-level kernels (shared with vectorised backends' fallback) ---------
+    def _transform_rows(
+        self, rows: ResidueRows, primes: Sequence[int], forward: bool
+    ) -> list[list[int]]:
+        out: list[list[int] | None] = [None] * len(rows)
+        if not rows:
+            return []
+        n = len(rows[0])
+        groups: dict[int, list[int]] = {}
+        for index, p in enumerate(primes):
+            groups.setdefault(p, []).append(index)
+        for p, indices in groups.items():
+            engine = self._select_engine(n, p, len(indices))
+            transformer = self.transformer(n, p)
+            method = engine.forward_row if forward else engine.inverse_row
+            for index in indices:
+                out[index] = method(rows[index], transformer)
+        return out
+
     def _forward_rows(
         self, rows: ResidueRows, primes: Sequence[int]
     ) -> list[list[int]]:
-        return [
-            self.transformer(len(row), p).forward(row) for row, p in zip(rows, primes)
-        ]
+        return self._transform_rows(rows, primes, forward=True)
 
     def _inverse_rows(
         self, rows: ResidueRows, primes: Sequence[int]
     ) -> list[list[int]]:
-        return [
-            self.transformer(len(row), p).inverse(row) for row, p in zip(rows, primes)
-        ]
+        return self._transform_rows(rows, primes, forward=False)
 
     @staticmethod
     def _add_rows(rows_a, rows_b, primes) -> list[list[int]]:

@@ -2,29 +2,95 @@
 
 Usage::
 
-    python -m repro.experiments            # run everything
-    python -m repro.experiments table2     # run selected experiments
+    python -m repro.experiments                       # run everything
+    python -m repro.experiments table2 fig4           # run selected experiments
+    python -m repro.experiments --backend scalar      # pin the compute backend
+    python -m repro.experiments --engine stockham     # pin the NTT engine
+    python -m repro.experiments --list                # list experiment keys
+
+Exit status: 0 on full success, 1 when any experiment raised (the failure is
+reported on stderr and the remaining experiments still run), 2 on bad
+arguments.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+import traceback
 
+from ..backends.engines import set_default_engine
+from ..backends.registry import available_backends, set_default_backend
 from .registry import EXPERIMENTS, run_experiment
 from .report import format_experiment
 
 
 def main(argv: list[str]) -> int:
-    keys = argv if argv else list(EXPERIMENTS)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "keys",
+        nargs="*",
+        metavar="experiment",
+        help="experiment keys to run (default: all, in paper order)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="compute backend for the measured columns (default: registry "
+        "precedence; registered: %s)" % ", ".join(available_backends()),
+    )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        help="NTT engine spec pinned for the run, e.g. 'stockham' or "
+        "'high_radix:8' (default: REPRO_NTT_ENGINE, then per-shape auto-tuning)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment keys and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("\n".join(EXPERIMENTS))
+        return 0
+
+    keys = args.keys if args.keys else list(EXPERIMENTS)
     unknown = [key for key in keys if key not in EXPERIMENTS]
     if unknown:
-        print("unknown experiment(s): %s" % ", ".join(unknown))
-        print("available: %s" % ", ".join(EXPERIMENTS))
+        print("unknown experiment(s): %s" % ", ".join(unknown), file=sys.stderr)
+        print("available: %s" % ", ".join(EXPERIMENTS), file=sys.stderr)
         return 2
+    try:
+        if args.backend is not None:
+            set_default_backend(args.backend)
+        if args.engine is not None:
+            set_default_engine(args.engine)
+    except (KeyError, ValueError) as exc:
+        # Unknown names raise KeyError, malformed engine parameters
+        # (e.g. "high_radix:3") raise ValueError — both are bad arguments.
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
     for key in keys:
-        result = run_experiment(key)
+        try:
+            result = run_experiment(key)
+        except Exception:
+            # A broken experiment must not abort the rest of the report —
+            # but it must be loud and must fail the process at the end.
+            failures.append(key)
+            print("experiment %r FAILED:" % key, file=sys.stderr)
+            traceback.print_exc()
+            continue
         print(format_experiment(result))
         print()
+    if failures:
+        print("%d experiment(s) failed: %s" % (len(failures), ", ".join(failures)),
+              file=sys.stderr)
+        return 1
     return 0
 
 

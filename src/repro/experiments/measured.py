@@ -1,0 +1,210 @@
+"""Measured-engine counterparts for the figure harness.
+
+The cost-model columns of the experiment tables price the paper's GPU; the
+helpers here produce the *measured* companion numbers by running the actual
+:class:`~repro.backends.engines.NttEngine` implementations through the
+production backend path (``from_rows`` → ``forward_ntt_batch``), exactly the
+route :class:`repro.he.context.HeContext` and the evaluator take.  Every
+figure that reports engine behaviour shows both: the model column for the
+paper's hardware, the measured column for this repository's data plane.
+
+Measurement shapes are deliberately smaller than the paper's ``N = 2^16..17,
+np = 21`` points — the sweep must stay cheap enough for the test harness —
+and are scaled per backend (the pure-Python reference backend measures at a
+fraction of the vectorised backend's shape).  Column headers and notes name
+the shape so model and measured numbers cannot be confused.
+
+All helpers cache backends (twiddle tables, auto-tuner verdicts) and results
+module-wide, so a full ``run_all()`` pays for each measurement once.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable
+
+from ..backends.base import ComputeBackend
+from ..backends.registry import resolve_backend
+from ..modarith.primes import generate_ntt_primes
+
+__all__ = [
+    "MEASURE_PRIME_BITS",
+    "MEASURE_SHAPES",
+    "measurement_shape",
+    "measurement_backend",
+    "measured_forward_ms",
+    "measured_fft_ms",
+    "measured_ntt_share",
+]
+
+#: Default ``(log_n, batch)`` measurement shape per backend name.
+MEASURE_SHAPES = {"numpy": (12, 8), "scalar": (8, 2)}
+#: Measured primes stay in the vector unit's exact-product window.
+MEASURE_PRIME_BITS = 30
+#: Rows repeat this many distinct moduli so per-modulus batching is exercised.
+_DISTINCT_PRIMES = 2
+
+_backend_cache: dict[tuple[str, str | None], ComputeBackend] = {}
+_prime_cache: dict[tuple[int, int], list[int]] = {}
+_result_cache: dict[tuple, float] = {}
+
+
+def measurement_shape(backend_name: str) -> tuple[int, int]:
+    """The ``(log_n, batch)`` measurement shape for a backend."""
+    return MEASURE_SHAPES.get(backend_name, MEASURE_SHAPES["scalar"])
+
+
+def measurement_backend(
+    backend: ComputeBackend | str | None = None, engine: str | None = None
+) -> ComputeBackend:
+    """A dedicated backend instance for measurements (cached per engine pin).
+
+    Fresh instances keep engine pins and auto-tuner state out of the shared
+    registry singletons; caching them here keeps twiddle tables warm across
+    the whole figure harness.
+    """
+    resolved = resolve_backend(backend)
+    key = (resolved.name, engine)
+    instance = _backend_cache.get(key)
+    if instance is None:
+        instance = type(resolved)(engine=engine) if engine is not None else type(resolved)()
+        _backend_cache[key] = instance
+    return instance
+
+
+def _primes(n: int, count: int) -> list[int]:
+    key = (n, count)
+    primes = _prime_cache.get(key)
+    if primes is None:
+        primes = generate_ntt_primes(MEASURE_PRIME_BITS, count, n)
+        _prime_cache[key] = primes
+    return primes
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    fn()  # warm: twiddle tables, auto-tuner, allocator
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measured_forward_ms(
+    engine: str | None = None,
+    backend: ComputeBackend | str | None = None,
+    log_n: int | None = None,
+    batch: int | None = None,
+    distinct_primes: int | None = None,
+    repeats: int = 2,
+) -> float:
+    """Best-of-``repeats`` milliseconds for one batched forward NTT.
+
+    The batch enters residency once (outside the timed region) and the timed
+    call is exactly the production ``forward_ntt_batch`` the HE layer issues.
+    ``engine=None`` measures the backend's own dynamic selection (the
+    auto-tuned path); a spec pins the engine.
+    """
+    instance = measurement_backend(backend, engine)
+    default_log_n, default_batch = measurement_shape(instance.name)
+    log_n = default_log_n if log_n is None else log_n
+    batch = default_batch if batch is None else batch
+    distinct = min(batch, _DISTINCT_PRIMES if distinct_primes is None else distinct_primes)
+    key = ("fwd", instance.name, engine, log_n, batch, distinct)
+    cached = _result_cache.get(key)
+    if cached is not None:
+        return cached
+    n = 1 << log_n
+    primes = _primes(n, distinct)
+    batch_primes = [primes[i % distinct] for i in range(batch)]
+    rng = random.Random(log_n * 1000003 + batch)
+    rows = [[rng.randrange(p) for _ in range(n)] for p in batch_primes]
+    tensor = instance.from_rows(rows, batch_primes)
+    result = _best_of(lambda: instance.forward_ntt_batch(tensor), repeats) * 1e3
+    _result_cache[key] = result
+    return result
+
+
+def measured_fft_ms(log_n: int = 12, batch: int = 8, repeats: int = 2) -> float | None:
+    """Best-of-``repeats`` milliseconds for a batched complex FFT (``np.fft``).
+
+    The measured stand-in for the paper's DFT kernels; ``None`` when NumPy is
+    unavailable.
+    """
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - exercised only without numpy
+        return None
+    key = ("fft", log_n, batch)
+    cached = _result_cache.get(key)
+    if cached is not None:
+        return cached
+    rng = np.random.default_rng(2020)
+    data = rng.standard_normal((batch, 1 << log_n)) + 1j * rng.standard_normal(
+        (batch, 1 << log_n)
+    )
+    result = _best_of(lambda: np.fft.fft(data, axis=1), repeats) * 1e3
+    _result_cache[key] = result
+    return result
+
+
+def measured_ntt_share(
+    backend: ComputeBackend | str | None = None, engine: str | None = None
+) -> dict[str, object]:
+    """Measure the NTT share of one multiply → relinearize chain end to end.
+
+    Runs the chain through :class:`repro.he.context.HeContext` on a dedicated
+    backend whose ``forward_ntt_batch`` / ``inverse_ntt_batch`` are wrapped
+    with timers, so the share is *time actually spent inside the engines*
+    over the wall-clock of the whole homomorphic operation — the measured
+    companion of the paper's 50.04 % motivation claim.
+    """
+    from ..he.context import HeContext
+    from ..he.params import HEParams
+
+    instance = measurement_backend(backend, engine)
+    n, prime_count = (1024, 6) if instance.name == "numpy" else (256, 3)
+    params = HEParams(n=n, plaintext_modulus=17, prime_bits=MEASURE_PRIME_BITS,
+                      prime_count=prime_count)
+    context = HeContext.create(params, backend=instance, seed=7)
+    encryptor = context.encryptor(seed=11)
+    encoder = context.integer_encoder()
+    ct_a = encryptor.encrypt(encoder.encode(3))
+    ct_b = encryptor.encrypt(encoder.encode(5))
+    evaluator = context.evaluator()
+    relin_key = context.relinearization_key()
+
+    evaluator.relinearize(evaluator.multiply(ct_a, ct_b), relin_key)  # warm
+
+    ntt_seconds = 0.0
+
+    def timed(original):
+        def run(tensor):
+            nonlocal ntt_seconds
+            start = time.perf_counter()
+            result = original(tensor)
+            ntt_seconds += time.perf_counter() - start
+            return result
+
+        return run
+
+    instance.forward_ntt_batch = timed(instance.forward_ntt_batch)
+    instance.inverse_ntt_batch = timed(instance.inverse_ntt_batch)
+    try:
+        start = time.perf_counter()
+        evaluator.relinearize(evaluator.multiply(ct_a, ct_b), relin_key)
+        total_seconds = time.perf_counter() - start
+    finally:
+        # Instance attributes shadow the class methods; deleting restores them.
+        del instance.forward_ntt_batch
+        del instance.inverse_ntt_batch
+    return {
+        "backend": instance.name,
+        "n": n,
+        "np": prime_count,
+        "ntt_ms": ntt_seconds * 1e3,
+        "total_ms": total_seconds * 1e3,
+        "share": ntt_seconds / total_seconds if total_seconds else float("nan"),
+    }

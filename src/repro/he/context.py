@@ -73,6 +73,7 @@ class HeContext:
         backend: ComputeBackend | str | None = None,
         seed: int = 2020,
         warm: bool = True,
+        engine: str | None = None,
     ) -> "HeContext":
         """Build a context: resolve the backend once, generate the basis, warm caches.
 
@@ -84,13 +85,38 @@ class HeContext:
             seed: Key-generation RNG seed (reproducible key material).
             warm: Precompute the per-prime twiddle tables up front so the
                 first operation runs at steady-state speed.
+            engine: Optional NTT-engine spec (``"stockham"``,
+                ``"high_radix:8"``, ...) pinning every transform of this
+                context to one algorithm.  All engines are bit-exact, so this
+                only changes *how* transforms execute.  When the backend was
+                resolved from the registry (shared instance), a dedicated
+                backend of the same class is constructed so the pin cannot
+                leak into other contexts; an explicitly passed instance is
+                pinned in place via
+                :meth:`~repro.backends.base.ComputeBackend.set_engine`.
+                ``None`` keeps the documented engine-selection precedence
+                (``REPRO_NTT_ENGINE``, then the per-shape auto-tuner).
         """
+        caller_owned = isinstance(backend, ComputeBackend)
         pinned = resolve_backend(backend)
+        if engine is not None:
+            if not caller_owned:
+                # Fresh instance so the pin cannot leak into the shared
+                # registry singleton; set_engine (not a constructor kwarg)
+                # so seam-less backends fail with their documented
+                # NotImplementedError rather than a TypeError.
+                pinned = type(pinned)()
+            pinned.set_engine(engine)
         keygen = KeyGenerator(params, seed=seed, backend=pinned)
         context = cls(params, keygen.basis, pinned, keygen)
         if warm:
             pinned.warm_twiddles(params.n, keygen.basis.primes)
         return context
+
+    @property
+    def engine(self) -> str | None:
+        """NTT-engine spec pinned on the context's backend (``None`` = dynamic)."""
+        return self.backend.engine
 
     # -- key material ----------------------------------------------------------
     @property

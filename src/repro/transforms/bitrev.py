@@ -16,10 +16,18 @@ from collections.abc import Sequence
 __all__ = [
     "bit_reverse",
     "bit_reverse_indices",
+    "bit_reverse_index_array",
     "bit_reverse_permute",
     "is_power_of_two",
     "log2_exact",
 ]
+
+#: Cached permutations, keyed by ``n``.  Every layer that bit-reverses —
+#: twiddle-table construction, the engine layer's Stockham/four-step output
+#: reordering, the test oracles — shares these tables instead of re-deriving
+#: the permutation locally.
+_INDEX_CACHE: dict[int, tuple[int, ...]] = {}
+_ARRAY_CACHE: dict[int, "object"] = {}
 
 
 def is_power_of_two(n: int) -> bool:
@@ -51,9 +59,38 @@ def bit_reverse(value: int, bits: int) -> int:
 
 
 def bit_reverse_indices(n: int) -> list[int]:
-    """Return the bit-reversal permutation of ``range(n)`` for power-of-two ``n``."""
-    bits = log2_exact(n)
-    return [bit_reverse(i, bits) for i in range(n)]
+    """Return the bit-reversal permutation of ``range(n)`` for power-of-two ``n``.
+
+    Built once per ``n`` by the doubling recurrence
+    ``rev(2n) = [2r for r in rev(n)] + [2r + 1 for r in rev(n)]`` and cached —
+    O(n) instead of the O(n log n) per-element reversal.
+    """
+    log2_exact(n)
+    cached = _INDEX_CACHE.get(n)
+    if cached is None:
+        indices = [0]
+        while len(indices) < n:
+            doubled = [2 * index for index in indices]
+            indices = doubled + [index + 1 for index in doubled]
+        cached = tuple(indices)
+        _INDEX_CACHE[n] = cached
+    return list(cached)
+
+
+def bit_reverse_index_array(n: int):
+    """The permutation of :func:`bit_reverse_indices` as a cached ndarray.
+
+    This is the fast path the vectorised engine layer uses to reorder whole
+    residue batches with one gather (``block[:, indices]``).  Requires NumPy;
+    pure-scalar callers should use :func:`bit_reverse_indices`.
+    """
+    cached = _ARRAY_CACHE.get(n)
+    if cached is None:
+        import numpy as np
+
+        cached = np.asarray(bit_reverse_indices(n), dtype=np.intp)
+        _ARRAY_CACHE[n] = cached
+    return cached
 
 
 def bit_reverse_permute(values: Sequence[int]) -> list:

@@ -1,9 +1,12 @@
-"""NumPy-vectorised NTT backend for single-word (≤ 30-bit) primes.
+"""NumPy-vectorised NTT view for single-word (≤ 30-bit) primes.
 
 The scalar implementations in :mod:`repro.transforms.cooley_tukey` favour
-clarity; for larger experiments and for users who want throughput on a CPU,
-this module provides a vectorised radix-2 implementation that processes whole
-butterfly groups as NumPy array operations.
+clarity; this module is the vectorised single-transform view of the same
+radix-2 algorithm.  Since the engine layer exists the butterfly loops live
+in exactly one place — :class:`repro.backends.engines.Radix2Engine` — and
+:class:`VectorizedNTT` is a thin rows-in/rows-out wrapper around that shared
+array path (one ``(1, n)`` batch per call), kept for its teaching-friendly
+interface and its historical role in the test suite.
 
 The backend is restricted to moduli below ``2^31``: with both operands below
 ``2^31`` the 64-bit products computed by NumPy's ``uint64`` arithmetic cannot
@@ -18,10 +21,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from ..modarith.modops import inv_mod
-from ..modarith.roots import primitive_root_of_unity
 from .bitrev import is_power_of_two, log2_exact
-from .cooley_tukey import forward_twiddle_table
 
 __all__ = ["MAX_VECTORIZED_MODULUS_BITS", "VectorizedNTT"]
 
@@ -53,16 +53,18 @@ class VectorizedNTT:
             )
         if (p - 1) % (2 * n) != 0:
             raise ValueError("p must satisfy p ≡ 1 (mod 2n)")
+        # Imported here, not at module top: transforms is the layer the
+        # engine module builds on, so the teaching wrapper reaches *up* to
+        # the shared tables/kernels only when actually instantiated.
+        from ..backends.engines import EngineTables, get_engine
+
         self.n = n
         self.p = p
-        self.psi = psi_2n if psi_2n is not None else primitive_root_of_unity(2 * n, p)
         self.log_n = log2_exact(n)
-        forward = forward_twiddle_table(n, self.psi, p)
-        inverse = forward_twiddle_table(n, inv_mod(self.psi, p), p)
-        self._forward = np.asarray(forward, dtype=np.uint64)
-        self._inverse = np.asarray(inverse, dtype=np.uint64)
-        self._p = np.uint64(p)
-        self._n_inv = np.uint64(inv_mod(n, p))
+        self._tables = EngineTables(n, p, psi_2n)
+        self.psi = self._tables.psi
+        self._engine = get_engine("radix2")
+        self._p = self._tables.p64
 
     # -- helpers -----------------------------------------------------------------
     def _as_array(self, values: Sequence[int]) -> np.ndarray:
@@ -74,46 +76,13 @@ class VectorizedNTT:
     # -- transforms -----------------------------------------------------------------
     def forward(self, values: Sequence[int]) -> list[int]:
         """Forward negacyclic NTT (bit-reversed output)."""
-        a = self._as_array(values)
-        p = self._p
-        n = self.n
-        t = n // 2
-        m = 1
-        while m < n:
-            # View the vector as (m groups) x (2t elements); split each group
-            # into its upper and lower halves and apply the butterfly to whole
-            # halves at once.
-            groups = a.reshape(m, 2 * t)
-            upper = groups[:, :t]
-            lower = groups[:, t:]
-            twiddles = self._forward[m : 2 * m].reshape(m, 1)
-            product = (lower * twiddles) % p
-            new_lower = (upper + p - product) % p
-            new_upper = (upper + product) % p
-            groups[:, :t] = new_upper
-            groups[:, t:] = new_lower
-            m *= 2
-            t //= 2
-        return [int(x) for x in a]
+        block = self._as_array(values).reshape(1, self.n)
+        return [int(x) for x in self._engine.forward_array(block, self._tables)[0]]
 
     def inverse(self, values: Sequence[int]) -> list[int]:
         """Inverse negacyclic NTT (bit-reversed input, natural output)."""
-        a = self._as_array(values)
-        p = self._p
-        n = self.n
-        t = 1
-        m = n // 2
-        while m >= 1:
-            groups = a.reshape(m, 2 * t)
-            upper = groups[:, :t].copy()
-            lower = groups[:, t:].copy()
-            twiddles = self._inverse[m : 2 * m].reshape(m, 1)
-            groups[:, :t] = (upper + lower) % p
-            groups[:, t:] = ((upper + p - lower) % p * twiddles) % p
-            m //= 2
-            t *= 2
-        a = (a * self._n_inv) % p
-        return [int(x) for x in a]
+        block = self._as_array(values).reshape(1, self.n)
+        return [int(x) for x in self._engine.inverse_array(block, self._tables)[0]]
 
     def multiply(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
         """Negacyclic polynomial product computed entirely in the vectorised backend."""

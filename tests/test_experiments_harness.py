@@ -89,19 +89,30 @@ def test_fig4_best_radix_and_collapse():
     result = fig04_high_radix.run(MODEL)
     for log_n in (16, 17):
         subset = [r for r in result.rows if r["logN"] == log_n]
-        best = min(subset, key=lambda r: r["time (us)"])
+        best = min(subset, key=lambda r: r["model time (us)"])
         assert best["radix"] == 16  # paper's best radix
         radix2 = next(r for r in subset if r["radix"] == 2)
-        assert 2.0 < radix2["time (us)"] / best["time (us)"] < 3.5  # paper: 2.41x
+        assert 2.0 < radix2["model time (us)"] / best["model time (us)"] < 3.5  # paper: 2.41x
     radix32 = result.row_by("radix", 32)
     assert radix32["DRAM utilization"] < 0.7
+
+
+def test_fig4_measured_engine_columns():
+    """Every radix row carries a positive measured-engine time from the backend path."""
+    result = fig04_high_radix.run(MODEL)
+    for row in result.rows:
+        assert row["measured time (ms)"] > 0
+        assert row["measured speedup vs radix-2"] > 0
+    radix2 = result.row_by("radix", 2)
+    assert radix2["measured speedup vs radix-2"] == pytest.approx(1.0)
 
 
 def test_fig5_dft_best_radix():
     result = fig05_dft_high_radix.run(MODEL)
     subset = [r for r in result.rows if r["logN"] == 17]
-    best = min(subset, key=lambda r: r["time (us)"])
+    best = min(subset, key=lambda r: r["model time (us)"])
     assert best["radix"] == 32  # paper's best DFT radix
+    assert all(r["measured NTT time (ms)"] > 0 for r in result.rows)
 
 
 def test_fig7_coalescing_gain():
@@ -138,13 +149,27 @@ def test_fig12_ot_speedup_and_traffic():
         assert 1.04 < row["OT speedup"] < 1.20  # paper: 8-10%
         assert 0.10 < row["DRAM reduction"] < 0.30  # paper: 23.5-25.1%
         assert row["BW util w/ OT"] < row["BW util w/o OT"]  # paper: utilisation drops
+        # measured companion: the scaled four-step split really ran
+        assert row["measured four-step (ms)"] > 0
+        k1, k2 = (int(v) for v in row["measured split"].split("x"))
+        assert k1 >= 2 and k2 >= 1 and (k1 * k2) & (k1 * k2 - 1) == 0
+
+
+def test_fig12_scaled_split_preserves_product():
+    for log_n, splits in fig12_radix_combos.SPLITS_BY_LOGN.items():
+        for k1, k2 in splits:
+            for measure_log_n in (8, 12):
+                m1, m2 = fig12_radix_combos.scaled_split(log_n, k1, k2, measure_log_n)
+                assert m1 * m2 == 1 << measure_log_n
+                assert m1 >= 2 and m2 >= 1
 
 
 def test_fig13_linear_in_np():
     result = fig13_batch_sweep.run(MODEL)
     saturated = [r for r in result.rows if r["np"] >= 21]
-    per_prime = [r["time per prime (us)"] for r in saturated]
+    per_prime = [r["model time per prime (us)"] for r in saturated]
     assert max(per_prime) / min(per_prime) < 1.05  # linear once saturated
+    assert all(r["measured time (ms)"] > 0 for r in result.rows)
 
 
 def test_table2_speedups_in_range():
@@ -170,6 +195,55 @@ def test_word_size_ablation_small_difference():
     times = result.column("model time (us)")
     difference = abs(times[0] - times[1]) / max(times)
     assert difference < 0.15  # paper: ~5%
+
+
+def test_ntt_share_measured_share_is_sane():
+    from repro.experiments import ntt_share
+
+    result = ntt_share.run(MODEL)
+    for row in result.rows:
+        assert 0.0 < row["measured NTT share"] < 1.0
+        assert row["measured NTT (ms)"] < row["measured total (ms)"]
+
+
+# ------------------------------------------------------------------- CLI
+
+
+def test_cli_runs_selected_experiment(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["fig8"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 8" in out
+
+
+def test_cli_rejects_unknown_keys_and_backends(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["fig99"]) == 2
+    assert main(["--backend", "no-such-backend", "fig8"]) == 2
+    assert main(["--engine", "no-such-engine", "fig8"]) == 2
+    assert main(["--engine", "stockham:4", "fig8"]) == 2  # malformed parameter
+    assert main(["--list"]) == 0
+    assert "fig8" in capsys.readouterr().out
+
+
+def test_cli_exits_nonzero_when_an_experiment_raises(capsys, monkeypatch):
+    """A raising experiment is reported on stderr, the rest still run, exit is 1."""
+    from repro.experiments import registry
+    from repro.experiments.__main__ import main
+
+    def boom(model=None):
+        raise RuntimeError("synthetic failure")
+
+    broken = dict(registry.EXPERIMENTS)
+    broken["fig8"] = boom
+    monkeypatch.setattr(registry, "EXPERIMENTS", broken)
+    monkeypatch.setattr("repro.experiments.__main__.EXPERIMENTS", broken)
+    assert main(["fig8", "fig9"]) == 1
+    captured = capsys.readouterr()
+    assert "synthetic failure" in captured.err
+    assert "Figure 9" in captured.out  # later experiments still ran
 
 
 def test_ot_base_ablation_prefers_moderate_bases():

@@ -88,5 +88,5 @@ def test_experiments_cli_entry_point(capsys):
     captured = capsys.readouterr().out
     assert "Figure 8" in captured
     assert experiments_main(["not-an-experiment"]) == 2
-    captured = capsys.readouterr().out
-    assert "unknown experiment" in captured
+    captured = capsys.readouterr()
+    assert "unknown experiment" in captured.err

@@ -11,6 +11,11 @@ contract in :mod:`repro.backends.base`).  Ships with:
 * ``"scalar"`` — exact big-int reference path (any word size).
 * ``"numpy"`` — batched uint64 vectorisation for ≤ 30-bit primes with
   automatic per-prime scalar fallback.
+* ``"parallel"`` — shards every batched operation of an inner backend
+  (default ``numpy``) across a persistent process pool over shared-memory
+  resident tensors, with a work-threshold crossover that keeps small
+  shapes inline; worker count via :func:`set_default_shards` /
+  ``REPRO_SHARDS``.
 
 Select explicitly (``get_backend("numpy")``), process-wide
 (:func:`set_default_backend`), or via the ``REPRO_BACKEND`` environment
@@ -33,6 +38,12 @@ from .engines import (
     register_engine,
     set_default_engine,
 )
+from .pool import (
+    SHARDS_ENV_VAR,
+    plan_shards,
+    resolve_shard_count,
+    set_default_shards,
+)
 from .registry import (
     BACKEND_ENV_VAR,
     available_backends,
@@ -46,6 +57,7 @@ from .scalar import ScalarBackend, ScalarTensor
 __all__ = [
     "BACKEND_ENV_VAR",
     "ENGINE_ENV_VAR",
+    "SHARDS_ENV_VAR",
     "ComputeBackend",
     "NttAutoTuner",
     "NttEngine",
@@ -57,9 +69,12 @@ __all__ = [
     "available_engines",
     "get_backend",
     "get_engine",
+    "plan_shards",
     "register_backend",
     "register_engine",
     "resolve_backend",
+    "resolve_shard_count",
     "set_default_backend",
     "set_default_engine",
+    "set_default_shards",
 ]

@@ -39,6 +39,13 @@ owned by exactly one backend instance.  The contract every backend must obey:
    such materialisation increments :attr:`ComputeBackend.conversion_count`,
    by the number of rows converted, so callers — and the regression tests —
    can assert that a chain of operations stayed resident.
+5. **Optional shared-buffer capability** — a tensor whose storage other
+   processes can map directly reports it via
+   :meth:`ResidueTensor.shared_buffer`; the default (``None``) means the
+   storage is private to this process.  This is how the ``parallel``
+   backend's shards cross process boundaries with zero pickling of payload
+   data; consumers must treat a ``None`` as "fall back to the counted
+   list boundary", never as an error.
 
 Implementations:
 
@@ -47,6 +54,9 @@ Implementations:
 * :class:`repro.backends.numpy_backend.NumpyBackend` — one resident
   ``uint64`` ndarray per tensor, vectorising butterfly stages and the batch
   dimension for ≤ 30-bit primes with a per-prime exact scalar fallback above.
+* :class:`repro.backends.parallel.ParallelBackend` — shards every batched
+  operation of an inner backend across a persistent process pool, with
+  shared-memory-backed tensors above a work-threshold crossover.
 
 Backends are interchangeable bit-for-bit: the cross-check suite in
 ``tests/test_backends.py`` pins every implementation against
@@ -103,6 +113,17 @@ class ResidueTensor:
     def to_rows(self) -> list[list[int]]:
         """Materialise to Python lists — an explicit, counted boundary."""
         return self.backend.to_rows(self)
+
+    def shared_buffer(self) -> tuple[str, int, int, int] | None:
+        """Descriptor of this tensor's cross-process-mappable storage, if any.
+
+        Backends whose storage lives in named shared memory return a
+        ``(segment name, first row, rows, n)`` tuple another process can map
+        without copying (the ``parallel`` backend's zero-pickle payload
+        path).  The default is ``None``: storage is private to this process
+        and data must cross through the counted :meth:`to_rows` boundary.
+        """
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "%s(backend=%r, shape=%dx%d)" % (

@@ -10,8 +10,12 @@ Selection precedence (first match wins):
 
 Backend instances are cached per name so twiddle tables are shared by every
 layer that resolves the same backend — the resident-table policy Section IV
-of the paper analyses.  Third-party backends (a multiprocessing pool, a GPU
-runtime) plug in through :func:`register_backend`.
+of the paper analyses.  Three backends ship built in: ``scalar`` (exact
+big-int reference), ``numpy`` (batched uint64 vectorisation) and
+``parallel`` (the multiprocessing pool of :mod:`repro.backends.parallel`,
+sharding batches across cores over shared-memory tensors; its worker count
+resolves via ``REPRO_SHARDS``).  Third-party backends (a GPU runtime, a
+remote executor) plug in through :func:`register_backend`.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from .base import ComputeBackend
 __all__ = [
     "BACKEND_ENV_VAR",
     "available_backends",
+    "build_backend",
     "get_backend",
     "register_backend",
     "resolve_backend",
@@ -71,8 +76,28 @@ def _build_numpy() -> ComputeBackend:
     return NumpyBackend()
 
 
+def _build_parallel() -> ComputeBackend:
+    try:
+        from .parallel import ParallelBackend
+    except ImportError as exc:  # pragma: no cover - depends on environment
+        raise RuntimeError(
+            "the 'parallel' backend requires NumPy for its shared-memory "
+            "tensors; install it or select REPRO_BACKEND=scalar"
+        ) from exc
+    return ParallelBackend()
+
+
 register_backend("scalar", _build_scalar)
 register_backend("numpy", _build_numpy)
+register_backend("parallel", _build_parallel)
+
+
+def _unknown_backend_error(name: str) -> KeyError:
+    return KeyError(
+        "unknown backend %r (registered: %s; selection also honours the "
+        "REPRO_BACKEND, REPRO_NTT_ENGINE and REPRO_SHARDS environment "
+        "overrides)" % (name, ", ".join(_factories))
+    )
 
 
 def _numpy_available() -> bool:
@@ -91,11 +116,24 @@ def available_backends() -> list[str]:
 def set_default_backend(name: str | None) -> None:
     """Install (or with ``None`` clear) the process-wide default backend."""
     if name is not None and name not in _factories:
-        raise KeyError(
-            "unknown backend %r (registered: %s)" % (name, ", ".join(_factories))
-        )
+        raise _unknown_backend_error(name)
     global _default_name
     _default_name = name
+
+
+def build_backend(name: str) -> ComputeBackend:
+    """Build a *fresh*, uncached instance of a registered backend.
+
+    Runs the registered factory, so any configuration it applies (a pinned
+    engine, constructor arguments) is preserved — unlike instantiating the
+    bare class of the cached singleton.  Used by layers that need a private
+    instance to pin without leaking into the shared registry singleton
+    (:class:`repro.backends.parallel.ParallelBackend`'s embedded inner
+    backend).
+    """
+    if name not in _factories:
+        raise _unknown_backend_error(name)
+    return _factories[name]()
 
 
 def get_backend(name: str | None = None) -> ComputeBackend:
@@ -111,9 +149,7 @@ def get_backend(name: str | None = None) -> ComputeBackend:
     if name is None:
         name = "numpy" if _numpy_available() else "scalar"
     if name not in _factories:
-        raise KeyError(
-            "unknown backend %r (registered: %s)" % (name, ", ".join(_factories))
-        )
+        raise _unknown_backend_error(name)
     instance = _instances.get(name)
     if instance is None:
         instance = _factories[name]()

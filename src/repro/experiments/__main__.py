@@ -6,7 +6,8 @@ Usage::
     python -m repro.experiments table2 fig4           # run selected experiments
     python -m repro.experiments --backend scalar      # pin the compute backend
     python -m repro.experiments --engine stockham     # pin the NTT engine
-    python -m repro.experiments --list                # list experiment keys
+    python -m repro.experiments --backend parallel --shards 4   # sharded pool
+    python -m repro.experiments --list                # keys + backend/shard info
 
 Exit status: 0 on full success, 1 when any experiment raised (the failure is
 reported on stderr and the remaining experiments still run), 2 on bad
@@ -16,11 +17,13 @@ arguments.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import traceback
 
-from ..backends.engines import set_default_engine
-from ..backends.registry import available_backends, set_default_backend
+from ..backends.engines import get_engine, set_default_engine
+from ..backends.pool import SHARDS_ENV_VAR, resolve_shard_count, set_default_shards
+from ..backends.registry import BACKEND_ENV_VAR, available_backends, set_default_backend
 from .registry import EXPERIMENTS, run_experiment
 from .report import format_experiment
 
@@ -49,12 +52,34 @@ def main(argv: list[str]) -> int:
         "'high_radix:8' (default: REPRO_NTT_ENGINE, then per-shape auto-tuning)",
     )
     parser.add_argument(
-        "--list", action="store_true", help="list experiment keys and exit"
+        "--shards",
+        type=int,
+        default=None,
+        help="shard/worker count for the 'parallel' backend (default: "
+        "%s env var, then cpu_count-1)" % SHARDS_ENV_VAR,
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list experiment keys plus backend/shard-worker info and exit",
     )
     args = parser.parse_args(argv)
 
     if args.list:
         print("\n".join(EXPERIMENTS))
+        print()
+        print("backends: %s" % ", ".join(available_backends()))
+        try:
+            shard_info = "%d shard worker(s)" % resolve_shard_count(args.shards)
+        except ValueError as exc:
+            # Informational command: report the problem, don't fail on an
+            # environment variable an actual run might never consult.
+            shard_info = "shard count unresolved (%s)" % exc
+        print(
+            "parallel backend: %s on %s cpu(s) "
+            "(--shards > set_default_shards > %s > cpu_count-1)"
+            % (shard_info, os.cpu_count() or "?", SHARDS_ENV_VAR)
+        )
         return 0
 
     keys = args.keys if args.keys else list(EXPERIMENTS)
@@ -63,14 +88,43 @@ def main(argv: list[str]) -> int:
         print("unknown experiment(s): %s" % ", ".join(unknown), file=sys.stderr)
         print("available: %s" % ", ".join(EXPERIMENTS), file=sys.stderr)
         return 2
+    if args.shards is not None:
+        # --shards only reaches a sharding backend; rejecting the built-in
+        # non-sharding combinations loudly matches
+        # HeContext.create(shards=...) instead of silently running
+        # single-core.  Unrecognised (third-party) names pass through: their
+        # capability cannot be known without instantiating them, and a
+        # sharding implementation reads the default via resolve_shard_count.
+        selected = args.backend or os.environ.get(BACKEND_ENV_VAR)
+        if selected in (None, "scalar", "numpy"):
+            print(
+                "error: --shards requires a sharding backend "
+                "(--backend parallel or %s=parallel), got %r"
+                % (BACKEND_ENV_VAR, selected),
+                file=sys.stderr,
+            )
+            return 2
     try:
+        # Validate every argument before mutating any process-wide default:
+        # a rejected invocation must leak nothing into later in-process
+        # main() calls.  (set_default_backend validates atomically; engine
+        # and shard values are pre-checked with their pure resolvers.  The
+        # 'parallel' backend is built lazily at first resolution, so the
+        # shard default set below is read in time.)
+        if args.engine is not None:
+            get_engine(args.engine)
+        if args.shards is not None:
+            resolve_shard_count(args.shards)
         if args.backend is not None:
             set_default_backend(args.backend)
         if args.engine is not None:
             set_default_engine(args.engine)
+        if args.shards is not None:
+            set_default_shards(args.shards)
     except (KeyError, ValueError) as exc:
         # Unknown names raise KeyError, malformed engine parameters
-        # (e.g. "high_radix:3") raise ValueError — both are bad arguments.
+        # (e.g. "high_radix:3") or shard counts raise ValueError — both are
+        # bad arguments.
         print("error: %s" % exc, file=sys.stderr)
         return 2
 

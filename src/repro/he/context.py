@@ -30,7 +30,7 @@ Typical usage (the whole quickstart)::
 from __future__ import annotations
 
 from ..backends.base import ComputeBackend
-from ..backends.registry import resolve_backend
+from ..backends.registry import build_backend, resolve_backend
 from ..rns.basis import RnsBasis
 from .encoder import BatchEncoder, IntegerEncoder
 from .encryptor import Decryptor, Encryptor
@@ -74,6 +74,7 @@ class HeContext:
         seed: int = 2020,
         warm: bool = True,
         engine: str | None = None,
+        shards: int | None = None,
     ) -> "HeContext":
         """Build a context: resolve the backend once, generate the basis, warm caches.
 
@@ -96,16 +97,35 @@ class HeContext:
                 :meth:`~repro.backends.base.ComputeBackend.set_engine`.
                 ``None`` keeps the documented engine-selection precedence
                 (``REPRO_NTT_ENGINE``, then the per-shape auto-tuner).
+            shards: Shard/worker count for a sharding backend
+                (``backend="parallel"``).  Only valid when the resolved
+                backend exposes ``set_shards``; as with ``engine``, a
+                registry-resolved backend is replaced by a dedicated
+                instance so the pin cannot leak into the shared singleton.
+                ``None`` keeps the backend's own resolution
+                (``set_default_shards`` > ``REPRO_SHARDS`` >
+                ``cpu_count - 1``).
         """
         caller_owned = isinstance(backend, ComputeBackend)
-        pinned = resolve_backend(backend)
+        if (engine is not None or shards is not None) and not caller_owned:
+            # Fresh factory-built instance so the pin cannot leak into the
+            # shared registry singleton while factory-applied configuration
+            # is kept (a named backend skips the singleton entirely; the
+            # default precedence is resolved just for its name); set_engine
+            # (not a constructor kwarg) so seam-less backends fail with
+            # their documented NotImplementedError rather than a TypeError.
+            name = backend if isinstance(backend, str) else resolve_backend(None).name
+            pinned = build_backend(name)
+        else:
+            pinned = resolve_backend(backend)
+        if shards is not None:
+            if not hasattr(pinned, "set_shards"):
+                raise ValueError(
+                    "backend %r does not shard; shards= requires the "
+                    "'parallel' backend" % pinned.name
+                )
+            pinned.set_shards(shards)
         if engine is not None:
-            if not caller_owned:
-                # Fresh instance so the pin cannot leak into the shared
-                # registry singleton; set_engine (not a constructor kwarg)
-                # so seam-less backends fail with their documented
-                # NotImplementedError rather than a TypeError.
-                pinned = type(pinned)()
             pinned.set_engine(engine)
         keygen = KeyGenerator(params, seed=seed, backend=pinned)
         context = cls(params, keygen.basis, pinned, keygen)

@@ -150,6 +150,77 @@ def test_ciphertext_from_dict_rejects_wrong_kind():
         ciphertext_from_dict({"kind": "rns_polynomial"})
 
 
+# ----------------------------------------------------- parallel backend
+
+
+def _forced_parallel_backend():
+    """A parallel backend whose every multi-row operation hits the pool."""
+    from repro.backends.parallel import ParallelBackend
+
+    return ParallelBackend(shards=2, transform_threshold=1, pointwise_threshold=1)
+
+
+def test_rns_polynomial_roundtrip_under_parallel_backend():
+    """Shared-memory tensors serialise through the counted to_coeff_lists()
+    boundary exactly once, and the payload round-trips bit-identically."""
+    backend = _forced_parallel_backend()
+    try:
+        basis = RnsBasis.generate(N, 3, bit_size=30)
+        rng = random.Random(2)
+        coefficients = [rng.randrange(-500, 500) for _ in range(N)]
+        poly = RnsPolynomial.from_coefficients(coefficients, basis, backend=backend)
+        ntt_poly = poly.to_ntt()  # sharded through the pool
+        assert backend.pool_dispatch_count >= 1
+        for candidate in (poly, ntt_poly):
+            before = backend.conversion_count
+            payload = rns_polynomial_to_dict(candidate)
+            assert backend.conversion_count - before == basis.count, (
+                "serialisation must materialise each residue row exactly once"
+            )
+            restored = rns_polynomial_from_dict(payload, backend=backend)
+            assert restored == candidate
+            assert restored.domain is candidate.domain
+        # and the payload re-enters any other backend bit-identically
+        foreign = rns_polynomial_from_dict(
+            rns_polynomial_to_dict(ntt_poly), backend="scalar"
+        )
+        assert foreign == ntt_poly
+    finally:
+        backend.close()
+
+
+def test_ciphertext_roundtrip_under_parallel_backend():
+    from repro.he import HeContext, HEParams
+
+    backend = _forced_parallel_backend()
+    try:
+        params = HEParams(n=64, plaintext_modulus=257, prime_bits=30, prime_count=3)
+        ctx = HeContext.create(params, backend=backend)
+        evaluator = ctx.evaluator()
+        ct = ctx.encryptor().encrypt(ctx.encoder().encode([7, 8, 9]))
+        switched = evaluator.mod_switch_to_next(
+            evaluator.relinearize(evaluator.multiply(ct, ct), ctx.relinearization_key())
+        )
+        for candidate in (ct, switched):
+            rows_per_poly = candidate.polys[0].basis.count
+            before = backend.conversion_count
+            payload = ciphertext_to_dict(candidate)
+            assert (
+                backend.conversion_count - before
+                == rows_per_poly * len(candidate.polys)
+            )
+            restored = ciphertext_from_dict(payload, backend=backend)
+            assert restored.level == candidate.level
+            assert [p.to_coeff_lists() for p in restored.polys] == [
+                p.to_coeff_lists() for p in candidate.polys
+            ]
+            assert ctx.decryptor().decrypt(restored) == ctx.decryptor().decrypt(
+                candidate
+            )
+    finally:
+        backend.close()
+
+
 def test_save_and_load_json(tmp_path):
     plan = NTTPlan(n=1 << 10, ot=OnTheFlyConfig(base=64, ot_stages=1))
     path = save_json(plan_to_dict(plan), tmp_path / "plan.json")

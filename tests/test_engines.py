@@ -54,6 +54,13 @@ ENGINE_SPECS = ("radix2", "high_radix", "high_radix:4", "four_step", "four_step:
 BACKEND_NAMES = ("scalar", "numpy")
 PRIME_BITS = (30, 60)  # vectorised regime and per-prime fallback regime
 
+#: Fixed per-regime seeds for the randomized cross-check vectors — every
+#: random stream in this module is derived from these (or from a literal
+#: seed at the call site), so a failure on one CI matrix leg replays
+#: bit-identically on every other.
+CROSS_CHECK_SEEDS = {30: 210, 60: 420}  # bits * 7
+WRAP_SEEDS = {30: 130, 60: 160}  # 100 + bits
+
 
 def make_backend(name: str, engine: str | None = None):
     return ScalarBackend(engine=engine) if name == "scalar" else NumpyBackend(engine=engine)
@@ -112,7 +119,7 @@ def test_engine_matches_reference_and_round_trips(spec, backend_name, bits):
     """Forward == bit-reversed naive transform; inverse restores the input."""
     n = 64
     p = generate_ntt_primes(bits, 1, n)[0]
-    (row,) = random_rows([p], n, seed=bits * 7)
+    (row,) = random_rows([p], n, seed=CROSS_CHECK_SEEDS[bits])
     psi = primitive_root_of_unity(2 * n, p)
     expected = bit_reverse_permute(naive_negacyclic_ntt(row, psi, p))
 
@@ -130,7 +137,7 @@ def test_engine_negacyclic_wrap(spec, backend_name, bits):
     """iNTT(NTT(a) ⊙ NTT(b)) equals the schoolbook negacyclic convolution."""
     n = 32
     p = generate_ntt_primes(bits, 1, n)[0]
-    rng = random.Random(100 + bits)
+    rng = random.Random(WRAP_SEEDS[bits])
     a = [rng.randrange(p) for _ in range(n)]
     b = [rng.randrange(p) for _ in range(n)]
     expected = naive_negacyclic_convolution(a, b, p)

@@ -224,8 +224,21 @@ def test_cli_rejects_unknown_keys_and_backends(capsys):
     assert main(["--backend", "no-such-backend", "fig8"]) == 2
     assert main(["--engine", "no-such-engine", "fig8"]) == 2
     assert main(["--engine", "stockham:4", "fig8"]) == 2  # malformed parameter
+    assert main(["--backend", "parallel", "--shards", "0", "fig8"]) == 2
+    assert main(["--backend", "parallel", "--engine", "no-such", "fig8"]) == 2
+    # --shards without the sharding backend is rejected, not ignored
+    assert main(["--backend", "numpy", "--shards", "2", "fig8"]) == 2
+    # rejected invocations leak no process-wide defaults: resolution still
+    # follows the environment precedence, not the arguments just refused
+    import os
+
+    from repro.backends import get_backend
+
+    assert get_backend().name == (os.environ.get("REPRO_BACKEND") or "numpy")
     assert main(["--list"]) == 0
-    assert "fig8" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "fig8" in out
+    assert "parallel backend:" in out  # --list reports shard/worker info
 
 
 def test_cli_exits_nonzero_when_an_experiment_raises(capsys, monkeypatch):

@@ -133,6 +133,24 @@ def test_square_and_add_stay_resident_on_numpy_backend():
 
 
 # ------------------------------------------------- cross-backend chains
+#
+# Every chain is driven by an explicit per-test seed (the parametrised
+# value seeds both the plaintexts and the operation schedule, the context
+# seed pins the key material) so a divergence on any CI matrix leg replays
+# bit-identically everywhere.
+
+
+def _chain_backends():
+    """scalar / numpy / pool-forced parallel, freshly constructed per test."""
+    from repro.backends.parallel import ParallelBackend
+
+    return {
+        "scalar": "scalar",
+        "numpy": "numpy",
+        "parallel": ParallelBackend(
+            shards=2, transform_threshold=1, pointwise_threshold=1
+        ),
+    }
 
 
 def _random_chain(context: HeContext, seed: int):
@@ -168,14 +186,18 @@ def _random_chain(context: HeContext, seed: int):
 def test_randomized_chains_bit_identical_across_backends(seed):
     params = _params_30bit(n=64, t=257, count=4)
     results = {}
-    for name in ("scalar", "numpy"):
-        context = HeContext.create(params, backend=name, seed=7)
-        ct = _random_chain(context, seed)
-        results[name] = (
-            ct.level,
-            [poly.to_coeff_lists() for poly in ct.polys],
-        )
-    assert results["scalar"] == results["numpy"]
+    backends = _chain_backends()
+    try:
+        for name, backend in backends.items():
+            context = HeContext.create(params, backend=backend, seed=7)
+            ct = _random_chain(context, seed)
+            results[name] = (
+                ct.level,
+                [poly.to_coeff_lists() for poly in ct.polys],
+            )
+    finally:
+        backends["parallel"].close()
+    assert results["scalar"] == results["numpy"] == results["parallel"]
 
 
 @pytest.mark.parametrize("seed", [5, 9])
@@ -183,11 +205,15 @@ def test_randomized_chains_decrypt_identically_across_backends(seed):
     """Same chains, checked at the plaintext level (covers CRT boundaries)."""
     params = _params_30bit(n=64, t=257, count=4)
     decoded = {}
-    for name in ("scalar", "numpy"):
-        context = HeContext.create(params, backend=name, seed=7)
-        ct = _random_chain(context, seed)
-        decoded[name] = context.encoder().decode(context.decryptor().decrypt(ct))
-    assert decoded["scalar"] == decoded["numpy"]
+    backends = _chain_backends()
+    try:
+        for name, backend in backends.items():
+            context = HeContext.create(params, backend=backend, seed=7)
+            ct = _random_chain(context, seed)
+            decoded[name] = context.encoder().decode(context.decryptor().decrypt(ct))
+    finally:
+        backends["parallel"].close()
+    assert decoded["scalar"] == decoded["numpy"] == decoded["parallel"]
 
 
 # ----------------------------------------------------- mismatch errors

@@ -1,0 +1,467 @@
+"""Tests for the sharded multi-core ``parallel`` backend.
+
+Pins the acceptance criteria of the parallel-execution subsystem:
+
+* **bit-for-bit interchangeability** — every operation of the
+  :class:`~repro.backends.base.ComputeBackend` interface matches the scalar
+  and numpy backends exactly, on both word-size regimes (30-bit vectorised,
+  60-bit per-prime fallback), whether the work is dispatched to the worker
+  pool or runs inline below the crossover;
+* **ownership** — foreign tensors are rejected in both directions;
+* **residency** — a ``multiply → relinearize → mod_switch`` chain through
+  the whole HE stack performs zero boundary conversions even when every
+  operation is force-dispatched through the pool (payload rows cross
+  process boundaries via shared memory, never via pickled lists);
+* **lifecycle** — the pool is lazy (no workers before the first dispatch),
+  survives a worker crash by rebuilding and retrying once, and the
+  shared-memory arena releases segments when tensors die;
+* **configuration** — shard-count resolution precedence and the
+  ``HeContext.create(backend="parallel", shards=...)`` plumbing.
+
+Pool-dispatching tests force the crossover down (``transform_threshold=1``)
+so toy shapes exercise the sharded path; crossover tests use the defaults.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.backends import SHARDS_ENV_VAR, get_backend, set_default_shards
+from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.parallel import (
+    DEFAULT_POINTWISE_THRESHOLD,
+    DEFAULT_TRANSFORM_THRESHOLD,
+    ParallelBackend,
+    ParallelTensor,
+)
+from repro.backends.pool import get_arena, plan_shards, resolve_shard_count
+from repro.backends.scalar import ScalarBackend
+from repro.he import HEParams, HeContext
+from repro.modarith.primes import generate_ntt_primes
+
+PRIME_BITS = (30, 60)  # vectorised regime and per-prime fallback regime
+N = 64
+
+
+def random_rows(primes, n, seed):
+    rng = random.Random(seed)
+    return [[rng.randrange(p) for _ in range(n)] for p in primes]
+
+
+def forced_backend(shards=2):
+    """A parallel backend whose every multi-row operation hits the pool."""
+    return ParallelBackend(shards=shards, transform_threshold=1, pointwise_threshold=1)
+
+
+@pytest.fixture(scope="module")
+def pooled():
+    backend = forced_backend()
+    yield backend
+    backend.close()
+
+
+@pytest.fixture(scope="module")
+def references():
+    return {"scalar": ScalarBackend(), "numpy": NumpyBackend()}
+
+
+# ------------------------------------------------------------- cross-checks
+
+
+@pytest.mark.parametrize("bits", PRIME_BITS)
+def test_transforms_bit_identical_to_scalar_and_numpy(bits, pooled, references):
+    primes = generate_ntt_primes(bits, 2, N)
+    batch = [p for p in primes for _ in range(3)]  # repeats: the Fig. 3 shape
+    rows = random_rows(batch, N, seed=bits)
+    expected = {}
+    for name, backend in references.items():
+        tensor = backend.from_rows(rows, batch)
+        expected[name] = backend.forward_ntt_batch(tensor).to_rows()
+    assert expected["scalar"] == expected["numpy"]
+
+    before = pooled.pool_dispatch_count
+    tensor = pooled.from_rows(rows, batch)
+    forward = pooled.forward_ntt_batch(tensor)
+    assert pooled.pool_dispatch_count > before, "transform did not shard"
+    assert forward.to_rows() == expected["scalar"]
+    assert pooled.inverse_ntt_batch(forward).to_rows() == rows
+
+
+@pytest.mark.parametrize("bits", PRIME_BITS)
+def test_pointwise_and_rns_ops_bit_identical(bits, pooled, references):
+    numpy_backend = references["numpy"]
+    primes = generate_ntt_primes(bits, 2, N)
+    batch = [p for p in primes for _ in range(2)]
+    rows_a = random_rows(batch, N, seed=10 + bits)
+    rows_b = random_rows(batch, N, seed=20 + bits)
+    a_np, b_np = numpy_backend.from_rows(rows_a, batch), numpy_backend.from_rows(rows_b, batch)
+    a, b = pooled.from_rows(rows_a, batch), pooled.from_rows(rows_b, batch)
+
+    assert pooled.add(a, b).to_rows() == numpy_backend.add(a_np, b_np).to_rows()
+    assert pooled.sub(a, b).to_rows() == numpy_backend.sub(a_np, b_np).to_rows()
+    assert pooled.mul(a, b).to_rows() == numpy_backend.mul(a_np, b_np).to_rows()
+    assert pooled.neg(a).to_rows() == numpy_backend.neg(a_np).to_rows()
+    assert (
+        pooled.scalar_mul(a, 123457).to_rows()
+        == numpy_backend.scalar_mul(a_np, 123457).to_rows()
+    )
+    assert (
+        pooled.digit_broadcast(a, 1).to_rows()
+        == numpy_backend.digit_broadcast(a_np, 1).to_rows()
+    )
+    # modulus switching needs a distinct-prime RNS basis
+    basis = generate_ntt_primes(bits, 4, N)
+    ms_rows = random_rows(basis, N, seed=30 + bits)
+    switched = pooled.mod_switch_drop_last(pooled.from_rows(ms_rows, basis), 257)
+    expected = numpy_backend.mod_switch_drop_last(
+        numpy_backend.from_rows(ms_rows, basis), 257
+    )
+    assert switched.to_rows() == expected.to_rows()
+
+
+def test_mixed_word_size_batch(pooled, references):
+    """One batch spanning both regimes shards correctly."""
+    primes = generate_ntt_primes(30, 2, N) + generate_ntt_primes(60, 2, N)
+    rows = random_rows(primes, N, seed=3)
+    expected = references["scalar"].forward_ntt_batch(
+        references["scalar"].from_rows(rows, primes)
+    ).to_rows()
+    produced = pooled.forward_ntt_batch(pooled.from_rows(rows, primes)).to_rows()
+    assert produced == expected
+
+
+def test_structural_ops_round_trip(pooled):
+    primes = generate_ntt_primes(30, 2, N)
+    batch = [p for p in primes for _ in range(3)]
+    rows = random_rows(batch, N, seed=4)
+    tensor = pooled.from_rows(rows, batch)
+    first, second = pooled.split(tensor, [2, 4])
+    assert first.count == 2 and second.count == 4
+    # slices of a shared-memory tensor are views sharing the refcounted
+    # segment (zero copy); concat reassembles the original bits
+    assert first.segment is tensor.segment
+    assert pooled.concat([first, second]).to_rows() == rows
+    sliced = pooled.slice_rows(tensor, 1, 4)
+    assert sliced.to_rows() == rows[1:4]
+    duplicate = pooled.copy(tensor)
+    assert pooled.tensor_equal(duplicate, tensor)
+    assert duplicate.data is not tensor.data
+
+
+# --------------------------------------------------------------- ownership
+
+
+def test_foreign_tensors_rejected_both_directions(pooled, references):
+    numpy_backend = references["numpy"]
+    primes = generate_ntt_primes(30, 1, N)
+    rows = random_rows(primes, N, seed=5)
+    parallel_tensor = pooled.from_rows(rows, primes)
+    numpy_tensor = numpy_backend.from_rows(rows, primes)
+    with pytest.raises(ValueError):
+        pooled.forward_ntt_batch(numpy_tensor)
+    with pytest.raises(ValueError):
+        numpy_backend.forward_ntt_batch(parallel_tensor)
+    other = forced_backend()
+    try:
+        with pytest.raises(ValueError):
+            other.neg(parallel_tensor)  # even another parallel instance
+    finally:
+        other.close()
+
+
+def test_shape_validation(pooled):
+    with pytest.raises(ValueError):
+        pooled.from_rows([[1, 2], [3]], [17, 17])  # ragged
+    with pytest.raises(ValueError):
+        pooled.from_rows([[1, 2]], [17, 17])  # count mismatch
+    with pytest.raises(ValueError):
+        pooled.concat([])
+
+
+# ------------------------------------------------- residency / zero copy
+
+
+def test_forced_pool_chain_performs_zero_conversions():
+    """multiply → relinearize → mod_switch through the whole HE stack with
+    every operation sharded across the pool: payload rows travel via shared
+    memory, so the parallel backend's conversion counter stays untouched."""
+    backend = forced_backend()
+    try:
+        params = HEParams(n=64, plaintext_modulus=257, prime_bits=30, prime_count=3)
+        ctx = HeContext.create(params, backend=backend)
+        encryptor = ctx.encryptor()
+        evaluator = ctx.evaluator()
+        relin = ctx.relinearization_key()
+        ct_a = encryptor.encrypt(ctx.encoder().encode([1, 2, 3]))
+        ct_b = encryptor.encrypt(ctx.encoder().encode([4, 5, 6]))
+        dispatches = backend.pool_dispatch_count
+        before = backend.conversion_count
+        switched = evaluator.mod_switch_to_next(
+            evaluator.relinearize(evaluator.multiply(ct_a, ct_b), relin)
+        )
+        assert backend.conversion_count == before, "chain left resident storage"
+        assert backend.pool_dispatch_count > dispatches, "chain never sharded"
+        t = params.plaintext_modulus
+        decoded = ctx.encoder().decode(ctx.decryptor().decrypt(switched))
+        assert decoded[:3] == [(x * y) % t for x, y in zip([1, 2, 3], [4, 5, 6])]
+    finally:
+        backend.close()
+
+
+def test_chain_bit_identical_across_all_three_backends():
+    params = HEParams(n=64, plaintext_modulus=257, prime_bits=30, prime_count=3)
+    results = {}
+    for name, backend in (
+        ("scalar", "scalar"),
+        ("numpy", "numpy"),
+        ("parallel", forced_backend()),
+    ):
+        ctx = HeContext.create(params, backend=backend, seed=7)
+        encryptor = ctx.encryptor(seed=11)
+        evaluator = ctx.evaluator()
+        relin = ctx.relinearization_key()
+        ct = encryptor.encrypt(ctx.encoder().encode([9, 8, 7]))
+        out = evaluator.mod_switch_to_next(
+            evaluator.relinearize(evaluator.square(ct), relin)
+        )
+        results[name] = [poly.to_coeff_lists() for poly in out.polys]
+        if isinstance(backend, ParallelBackend):
+            backend.close()
+    assert results["scalar"] == results["numpy"] == results["parallel"]
+
+
+def test_fallback_conversions_visible_across_process_boundary(pooled, references):
+    """The > 30-bit per-prime fallback crossings charged inside the workers
+    are mirrored onto the parallel backend's counter, matching the numpy
+    backend's accounting for the same transform — sharding must be
+    invisible to the base.py boundary contract."""
+    numpy_backend = references["numpy"]
+    primes = generate_ntt_primes(60, 2, N)
+    batch = [p for p in primes for _ in range(2)]
+    rows = random_rows(batch, N, seed=17)
+
+    numpy_tensor = numpy_backend.from_rows(rows, batch)
+    before = numpy_backend.conversion_count
+    numpy_backend.forward_ntt_batch(numpy_tensor)
+    expected = numpy_backend.conversion_count - before
+    assert expected > 0  # 60-bit rows leave the resident array per op
+
+    tensor = pooled.from_rows(rows, batch)
+    before = pooled.conversion_count
+    pooled.forward_ntt_batch(tensor)
+    assert pooled.conversion_count - before == expected
+
+    # ... while the vectorised regime stays at zero even when sharded
+    primes30 = generate_ntt_primes(30, 2, N)
+    batch30 = [p for p in primes30 for _ in range(2)]
+    tensor30 = pooled.from_rows(random_rows(batch30, N, seed=18), batch30)
+    before = pooled.conversion_count
+    pooled.forward_ntt_batch(tensor30)
+    assert pooled.conversion_count == before
+
+
+def test_segments_released_when_tensors_die(pooled):
+    import gc
+
+    arena = get_arena()
+    primes = generate_ntt_primes(30, 2, N)
+    before = arena.live_segments
+    tensor = pooled.from_rows(random_rows(primes, N, seed=6), primes)
+    forward = pooled.forward_ntt_batch(tensor)
+    assert arena.live_segments >= before + 2
+    del tensor, forward
+    gc.collect()
+    # a sweep runs on the next allocation; live accounting is immediate
+    assert arena.live_segments <= before
+
+
+# ----------------------------------------------------------- pool lifecycle
+
+
+def test_pool_is_lazy_below_the_crossover():
+    backend = ParallelBackend(shards=2)  # default thresholds
+    try:
+        assert not backend.pool_running
+        primes = generate_ntt_primes(30, 2, N)
+        rows = random_rows([p for p in primes for _ in range(2)], N, seed=8)
+        batch = [p for p in primes for _ in range(2)]
+        tensor = backend.from_rows(rows, batch)
+        forward = backend.forward_ntt_batch(tensor)
+        assert backend.pool_dispatch_count == 0, "toy shape paid the pool tax"
+        assert not backend.pool_running
+        assert tensor.segment is None, "sub-crossover tensor went to /dev/shm"
+        # the inline path is still the real engine path, bit-for-bit
+        reference = NumpyBackend()
+        assert forward.to_rows() == reference.forward_ntt_batch(
+            reference.from_rows(rows, batch)
+        ).to_rows()
+    finally:
+        backend.close()
+
+
+def test_thresholds_separate_transform_and_pointwise():
+    assert DEFAULT_TRANSFORM_THRESHOLD < DEFAULT_POINTWISE_THRESHOLD
+    backend = ParallelBackend(
+        shards=2,
+        transform_threshold=1,
+        pointwise_threshold=1 << 40,  # pointwise effectively never dispatches
+    )
+    try:
+        primes = generate_ntt_primes(30, 2, N)
+        batch = [p for p in primes for _ in range(2)]
+        tensor = backend.from_rows(random_rows(batch, N, seed=9), batch)
+        backend.forward_ntt_batch(tensor)
+        transforms = backend.pool_dispatch_count
+        assert transforms == 1
+        backend.add(tensor, tensor)
+        assert backend.pool_dispatch_count == transforms  # stayed inline
+    finally:
+        backend.close()
+
+
+def test_pool_restarts_after_worker_crash(pooled):
+    primes = generate_ntt_primes(30, 2, N)
+    batch = [p for p in primes for _ in range(2)]
+    tensor = pooled.from_rows(random_rows(batch, N, seed=12), batch)
+    expected = pooled.forward_ntt_batch(tensor).to_rows()
+    restarts = pooled._pool.restarts
+    pooled._pool.crash_for_test()  # kill a worker abruptly
+    recovered = pooled.forward_ntt_batch(tensor).to_rows()
+    assert recovered == expected
+    assert pooled._pool.restarts == restarts + 1
+    assert pooled.pool_running
+
+
+def test_worker_exceptions_propagate(pooled):
+    primes = generate_ntt_primes(30, 4, N)
+    rows = random_rows(primes, N, seed=13)
+    tensor = pooled.from_rows(rows, primes)
+    with pytest.raises(ValueError):
+        # t shares a factor with q_last -> not invertible, raised in-worker
+        pooled.mod_switch_drop_last(tensor, primes[-1])
+
+
+# ------------------------------------------------------------ configuration
+
+
+def test_shard_count_resolution_precedence(monkeypatch):
+    monkeypatch.delenv(SHARDS_ENV_VAR, raising=False)
+    assert resolve_shard_count(5) == 5
+    assert resolve_shard_count() >= 1  # cpu fallback
+    monkeypatch.setenv(SHARDS_ENV_VAR, "3")
+    assert resolve_shard_count() == 3
+    try:
+        set_default_shards(4)
+        assert resolve_shard_count() == 4  # default beats env
+        assert resolve_shard_count(2) == 2  # explicit beats default
+    finally:
+        set_default_shards(None)
+    monkeypatch.setenv(SHARDS_ENV_VAR, "zero")
+    with pytest.raises(ValueError):
+        resolve_shard_count()
+    monkeypatch.setenv(SHARDS_ENV_VAR, "-1")
+    with pytest.raises(ValueError):
+        resolve_shard_count()
+    with pytest.raises(ValueError):
+        resolve_shard_count(0)
+    with pytest.raises(ValueError):
+        set_default_shards(0)
+
+
+def test_plan_shards_balances_contiguously():
+    assert plan_shards(6, 2) == [(0, 3), (3, 6)]
+    assert plan_shards(7, 3) == [(0, 3), (3, 5), (5, 7)]
+    assert plan_shards(2, 8) == [(0, 1), (1, 2)]  # never more shards than rows
+    assert plan_shards(5, 1) == [(0, 5)]
+
+
+def test_registry_resolves_parallel_and_reports_env_overrides():
+    backend = get_backend("parallel")
+    assert isinstance(backend, ParallelBackend)
+    assert get_backend("parallel") is backend  # cached singleton
+    with pytest.raises(KeyError) as excinfo:
+        get_backend("no-such-backend")
+    message = str(excinfo.value)
+    assert "parallel" in message
+    assert "REPRO_BACKEND" in message
+    assert "REPRO_NTT_ENGINE" in message
+    assert "REPRO_SHARDS" in message
+
+
+def test_parallel_cannot_wrap_itself():
+    with pytest.raises(ValueError):
+        ParallelBackend(inner="parallel")
+
+
+def test_inner_backend_keeps_factory_configuration():
+    """The inline inner instance is factory-built, so configuration applied
+    by a registered factory (e.g. a pinned engine) reaches the
+    sub-crossover path exactly as it reaches the workers."""
+    from repro.backends import register_backend
+
+    try:
+        register_backend(
+            "tuned-for-test", lambda: NumpyBackend(engine="stockham")
+        )
+    except ValueError:
+        pass  # registered by an earlier run of this module
+    backend = ParallelBackend(inner="tuned-for-test")
+    try:
+        assert backend.inner.engine == "stockham"
+        assert backend.engine == "stockham"
+    finally:
+        backend.close()
+
+
+def test_context_shards_pin_does_not_leak_into_registry():
+    shared = get_backend("parallel")
+    params = HEParams(n=64, plaintext_modulus=257, prime_bits=30, prime_count=2)
+    ctx = HeContext.create(params, backend="parallel", shards=2)
+    assert ctx.backend is not shared
+    assert ctx.backend.shards == 2
+    with pytest.raises(ValueError):
+        HeContext.create(params, backend="numpy", shards=2)
+
+
+def test_context_engine_pin_reaches_the_workers():
+    backend = ParallelBackend(
+        shards=2, engine="stockham", transform_threshold=1, pointwise_threshold=1
+    )
+    try:
+        assert backend.engine == "stockham"
+        primes = generate_ntt_primes(30, 2, N)
+        batch = [p for p in primes for _ in range(2)]
+        rows = random_rows(batch, N, seed=14)
+        produced = backend.forward_ntt_batch(backend.from_rows(rows, batch)).to_rows()
+        reference = NumpyBackend(engine="radix2")
+        expected = reference.forward_ntt_batch(
+            reference.from_rows(rows, batch)
+        ).to_rows()
+        assert produced == expected  # engines are bit-interchangeable
+        backend.set_engine(None)
+        assert backend.engine is None
+    finally:
+        backend.close()
+
+
+def test_shared_buffer_capability():
+    backend = forced_backend()
+    try:
+        primes = generate_ntt_primes(30, 2, N)
+        tensor = backend.from_rows(random_rows(primes, N, seed=15), primes)
+        name, first_row, rows, n = tensor.shared_buffer()
+        assert (first_row, rows, n) == (0, 2, N)
+        view = backend.slice_rows(tensor, 1, 2)
+        assert view.shared_buffer() == (name, 1, 1, N)
+        # sub-crossover (heap) tensors report no shared storage
+        small = ParallelBackend(shards=2)
+        heap_tensor = small.from_rows(random_rows(primes, N, seed=16), primes)
+        assert heap_tensor.shared_buffer() is None
+        small.close()
+        # and so does every non-parallel backend (the contract default)
+        numpy_tensor = NumpyBackend().from_rows([[1] * 4], [17])
+        assert numpy_tensor.shared_buffer() is None
+    finally:
+        backend.close()

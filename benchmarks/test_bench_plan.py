@@ -1,0 +1,168 @@
+"""Benchmark: fused plan execution vs eager per-op dispatch.
+
+The op-graph redesign's claim is launch-overhead amortisation: an evaluator
+chain compiled into plans reaches the sharded ``parallel`` backend as one
+fused task set per stage (≤ 3 pool round trips for
+``multiply → relinearize → mod_switch``) instead of one round trip per
+backend method, with pointwise work sharded instead of running single-core
+inline.  This module pins the two acceptance criteria:
+
+* **fused speedup** — at the paper-adjacent shape ``N = 8192`` (np = 4
+  primes) the fused chain must beat the eager chain by ≥ 1.2x on the
+  parallel backend on a machine with at least 4 cores (below that the
+  assertion is skipped — there is nothing to amortise against — but the
+  bit-for-bit check and the timing report still run);
+* **bit-for-bit equivalence** — fused and eager chains produce identical
+  ciphertexts on scalar, numpy and pool-forced parallel backends.
+
+Both sides run on the *same* backend instance (same pool, same warmed
+twiddle tables, same auto-tuner verdicts) so the comparison isolates the
+execution model, not the backend state.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.backends.parallel import ParallelBackend
+from repro.he import HeContext, HEParams
+
+N_LARGE = 8192
+PRIME_COUNT = 4
+PLAINTEXT_MODULUS = 17
+ENGINE = "high_radix"  # pin one engine: isolate the execution model
+MIN_SPEEDUP = 1.2
+MIN_CORES = 4
+
+
+def _speedup_assertion_applies() -> bool:
+    """Whether this run should enforce the ≥ 1.2x fused-over-eager criterion.
+
+    Needs enough cores for dispatch overhead to be the bottleneck worth
+    amortising, and — because the tier-1 suite runs this module on *every*
+    CI matrix leg — the assertion is owned by the ``REPRO_BACKEND=parallel``
+    leg (and by plain local runs); the other legs still execute the
+    bit-for-bit check and the timing report.
+    """
+    if (os.cpu_count() or 1) < MIN_CORES:
+        return False
+    return os.environ.get("REPRO_BACKEND") in (None, "", "parallel")
+
+
+def _best_of(callable_, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _chain_workload(n: int, backend):
+    params = HEParams(
+        n=n,
+        plaintext_modulus=PLAINTEXT_MODULUS,
+        prime_bits=30,
+        prime_count=PRIME_COUNT,
+    )
+    context = HeContext.create(params, backend=backend, seed=7)
+    encryptor = context.encryptor(seed=11)
+    encoder = context.integer_encoder()
+    relin = context.relinearization_key()
+    ct_a = encryptor.encrypt(encoder.encode(3))
+    ct_b = encryptor.encrypt(encoder.encode(5))
+    return context, relin, ct_a, ct_b
+
+
+def test_bench_plan_fused_vs_eager_chain(benchmark):
+    cores = os.cpu_count() or 1
+    shards = max(2, cores - 1)
+    backend = ParallelBackend(shards=shards, engine=ENGINE)
+    try:
+        context, relin, ct_a, ct_b = _chain_workload(N_LARGE, backend)
+        eager = context.evaluator(mode="eager")
+        pipe = context.pipeline()
+
+        def run_eager():
+            return eager.mod_switch_to_next(
+                eager.relinearize(eager.multiply(ct_a, ct_b), relin)
+            )
+
+        def run_fused():
+            return (
+                (pipe.load(ct_a) * pipe.load(ct_b)).relinearize(relin).mod_switch()
+            ).run()
+
+        # Warm both sides (pool workers, twiddle tables, compiled plan) and
+        # pin bit-for-bit equality plus the dispatch budget before timing.
+        expected = run_eager()
+        backend.reset_dispatch_count()
+        produced = run_fused()
+        fused_dispatches = backend.dispatch_count
+        assert fused_dispatches <= 3, fused_dispatches
+        assert [p.to_coeff_lists() for p in produced.polys] == [
+            p.to_coeff_lists() for p in expected.polys
+        ]
+
+        eager_s = _best_of(run_eager)
+        fused_s = _best_of(run_fused)
+        speedup = eager_s / fused_s
+        print()
+        print(
+            "multiply -> relinearize -> mod_switch, N=%d, np=%d, engine=%s"
+            % (N_LARGE, PRIME_COUNT, ENGINE)
+        )
+        print("  eager (per-op dispatch) : %8.2f ms" % (eager_s * 1e3))
+        print(
+            "  fused (%d dispatches)    : %8.2f ms" % (fused_dispatches, fused_s * 1e3)
+        )
+        print(
+            "  speedup                 : %8.2fx on %d cpu(s), %d shards"
+            % (speedup, cores, shards)
+        )
+        benchmark(run_fused)
+        if _speedup_assertion_applies():
+            assert speedup >= MIN_SPEEDUP, (
+                "fused chain only %.2fx over eager" % speedup
+            )
+    finally:
+        backend.close()
+
+
+def test_bench_plan_fused_eager_bit_identical_across_backends(benchmark):
+    """Small-N correctness sweep: the fused and eager chains agree on every
+    backend (pool-forced on parallel so the fused stages really dispatch)."""
+    results = {}
+    pooled = ParallelBackend(shards=2, transform_threshold=1, pointwise_threshold=1)
+    try:
+        for name, backend in (("scalar", "scalar"), ("numpy", "numpy"), ("parallel", pooled)):
+            context, relin, ct_a, ct_b = _chain_workload(64, backend)
+            eager = context.evaluator(mode="eager")
+            fused = context.evaluator(mode="fused")
+            chain_eager = eager.mod_switch_to_next(
+                eager.relinearize(eager.multiply(ct_a, ct_b), relin)
+            )
+            chain_fused = fused.mod_switch_to_next(
+                fused.relinearize(fused.multiply(ct_a, ct_b), relin)
+            )
+            pipe = context.pipeline()
+            chain_pipeline = (
+                (pipe.load(ct_a) * pipe.load(ct_b)).relinearize(relin).mod_switch()
+            ).run()
+            as_rows = lambda ct: [p.to_coeff_lists() for p in ct.polys]
+            assert as_rows(chain_eager) == as_rows(chain_fused) == as_rows(chain_pipeline)
+            results[name] = as_rows(chain_fused)
+        assert results["scalar"] == results["numpy"] == results["parallel"]
+
+        context, relin, ct_a, ct_b = _chain_workload(64, "numpy")
+        pipe = context.pipeline()
+
+        def tiny_chain():
+            return (
+                (pipe.load(ct_a) * pipe.load(ct_b)).relinearize(relin).mod_switch()
+            ).run()
+
+        benchmark(tiny_chain)
+    finally:
+        pooled.close()

@@ -1,65 +1,86 @@
-"""Quickstart: negacyclic polynomial multiplication through the NTT engine.
+"""Quickstart: encrypted arithmetic through the op-graph execution API.
 
-This walks the library's core path end to end:
+The shortest end-to-end path through the library:
 
-1. pick an NTT-friendly prime and build an :class:`repro.core.NTTEngine`,
-2. transform two polynomials, multiply them point-wise, transform back,
-3. check the result against the schoolbook negacyclic convolution, and
-4. ask the engine for its execution report and the GPU cost model for the
-   time the same transform would take on the paper's Titan V at
+1. build an :class:`repro.he.HeContext` — parameters, RNS basis, pinned
+   compute backend and warm twiddle tables behind one facade,
+2. encrypt two vectors and evaluate ``x * y`` homomorphically — the
+   evaluator compiles the whole multiplication into **one** declarative
+   plan (see :mod:`repro.backends.ops`) and the backend executes it in a
+   single call,
+3. decrypt, verify against plain arithmetic, and inspect what ran: plans
+   compiled, NTT rows transformed, boundary conversions (zero for ≤ 30-bit
+   primes, where the chain stays fully resident; the toy preset's 40-bit
+   primes route through the counted per-prime exact fallback),
+4. price the same transform workload on the paper's modelled Titan V at
    bootstrappable scale.
 
 Run with::
 
     python examples/quickstart.py
+
+Backends (``REPRO_BACKEND=scalar|numpy|parallel``), NTT engines
+(``REPRO_NTT_ENGINE=stockham|high_radix:8|...``) and the execution model
+(``REPRO_EXECUTION=fused|eager``) are all selectable without code changes;
+every combination is bit-for-bit identical.  See
+``examples/fused_pipeline.py`` for the fluent expression API that fuses a
+whole chain of operations into one plan.
 """
 
 from __future__ import annotations
 
 import random
 
-from repro.core import NTTEngine, NTTPlan, OnTheFlyConfig, best_smem_plan
+from repro.core import best_smem_plan
 from repro.gpu import GpuCostModel, TITAN_V
+from repro.he import HeContext, toy_params
 from repro.kernels import smem_model_from_plan
-from repro.modarith import generate_ntt_primes, primitive_root_of_unity
-from repro.transforms import naive_negacyclic_convolution
 
 
 def main() -> None:
-    # -- 1. build an engine for a 2^10-point negacyclic NTT --------------------------
-    n = 1 << 10
-    prime = generate_ntt_primes(60, 1, n)[0]
-    plan = NTTPlan(n=n, ot=OnTheFlyConfig(base=64, ot_stages=1))
-    engine = NTTEngine(n, prime, plan)
-    print("prime p        : %d (%d bits)" % (prime, prime.bit_length()))
-    print("2N-th root psi : %d" % engine.psi)
-    print("plan           : %s" % plan.label)
+    # -- 1. one facade owns params, basis, backend and key material ------------------
+    params = toy_params()
+    context = HeContext.create(params, seed=2020)
+    print("parameters     : %s (N=%d, t=%d, np=%d x %d-bit primes)"
+          % (params.name, params.n, params.plaintext_modulus,
+             params.prime_count, params.prime_bits))
+    print("pinned backend : %s (twiddle tables warmed)" % context.backend.name)
 
-    # -- 2. multiply two random polynomials in Z_p[X]/(X^N + 1) ------------------------
-    rng = random.Random(2020)
-    a = [rng.randrange(1000) for _ in range(n)]
-    b = [rng.randrange(1000) for _ in range(n)]
-    product = engine.multiply(a, b)
+    # -- 2. encrypt and multiply: one compiled plan, one backend call -----------------
+    rng = random.Random(7)
+    t = params.plaintext_modulus
+    x = [rng.randrange(t) for _ in range(4)]
+    y = [rng.randrange(t) for _ in range(4)]
+    encoder = context.encoder()
+    encryptor = context.encryptor()
+    evaluator = context.evaluator()  # fused mode by default
+    ct_x = encryptor.encrypt(encoder.encode(x))
+    ct_y = encryptor.encrypt(encoder.encode(y))
 
-    # -- 3. verify against the schoolbook negacyclic convolution -----------------------
-    expected = naive_negacyclic_convolution(a, b, prime)
-    assert product == expected, "NTT-based product disagrees with the schoolbook result"
-    print("negacyclic product verified against the O(N^2) schoolbook convolution")
+    conversions_before = context.backend.conversion_count
+    product = evaluator.relinearize(
+        evaluator.multiply(ct_x, ct_y), context.relinearization_key()
+    )
 
-    # -- 4. inspect what the engine did ---------------------------------------------------
-    _, report = engine.forward_with_report(a)
-    print("forward NTT    : %d butterflies, %d twiddles from the table, %d regenerated (OT)"
-          % (report.butterflies, report.table_fetches, report.regenerated))
-    print("resident table : %d entries (%.1f KiB with Shoup companions)"
-          % (report.resident_table_entries, report.resident_table_bytes / 1024))
+    # -- 3. decrypt, verify, and look under the hood ----------------------------------
+    decoded = encoder.decode(context.decryptor().decrypt(product))
+    expected = [(a * b) % t for a, b in zip(x, y)]
+    assert decoded[: len(expected)] == expected, "homomorphic product is wrong"
+    print("decrypted x*y  : %s (verified against plain arithmetic)"
+          % decoded[: len(expected)])
+    print("execution      : %s mode — %d plan(s) compiled, %d NTT row transforms"
+          % (evaluator.mode, evaluator.plans_compiled, evaluator.ntt_invocations))
+    print("residency      : %d boundary conversions (these 40-bit toy primes "
+          "use the per-prime exact fallback; 0 for <= 30-bit primes)"
+          % (context.backend.conversion_count - conversions_before))
 
-    # -- 5. what would this cost on the paper's GPU at bootstrappable scale? -----------------
+    # -- 4. what would the transforms cost on the paper's GPU at full scale? -----------
     model = GpuCostModel(TITAN_V)
     paper_plan = best_smem_plan(1 << 17, ot_stages=2)
     estimate = smem_model_from_plan(paper_plan, batch=21, model=model)
     print()
     print("paper-scale workload (N = 2^17, np = 21) on the modelled %s:" % TITAN_V.name)
-    print("  plan                : %s" % paper_plan.label)
+    print("  kernel plan         : %s" % paper_plan.label)
     print("  modelled time       : %.1f us   (paper Table II: 304.2 us)" % estimate.time_us)
     print("  modelled DRAM moved : %.1f MB" % estimate.dram_mb)
     print("  bandwidth utilised  : %.0f%%" % (100 * estimate.bandwidth_utilization))

@@ -26,9 +26,27 @@ axis: the :class:`NttEngine` layer in :mod:`repro.backends.engines` provides
 the paper's algorithm variants (``radix2``, ``high_radix``, ``four_step``,
 ``stockham``), selected per transform shape by explicit argument >
 :func:`set_default_engine` > ``REPRO_NTT_ENGINE`` > a per-shape auto-tuner.
+
+Since the op-graph redesign, the primary execution entrypoint is
+:meth:`ComputeBackend.execute`: callers compile a chain of operations into a
+declarative :class:`Plan` (built with :class:`OpGraph`, see
+:mod:`repro.backends.ops`) and the backend runs it in one shot — eagerly
+interpreted on ``scalar``/``numpy``, fused into one task per worker per plan
+stage on ``parallel``.  The per-op methods remain as the eager compatibility
+layer; the evaluator's fused/eager switch resolves via
+:func:`resolve_execution_mode` (``REPRO_EXECUTION``, or the experiments
+CLI's ``--fused``/``--eager``).
 """
 
 from .base import ComputeBackend, ResidueRows, ResidueTensor
+from .ops import (
+    EXECUTION_ENV_VAR,
+    NODE_NAMES,
+    OpGraph,
+    Plan,
+    resolve_execution_mode,
+    set_default_execution_mode,
+)
 from .engines import (
     ENGINE_ENV_VAR,
     NttAutoTuner,
@@ -57,10 +75,14 @@ from .scalar import ScalarBackend, ScalarTensor
 __all__ = [
     "BACKEND_ENV_VAR",
     "ENGINE_ENV_VAR",
+    "EXECUTION_ENV_VAR",
+    "NODE_NAMES",
     "SHARDS_ENV_VAR",
     "ComputeBackend",
     "NttAutoTuner",
     "NttEngine",
+    "OpGraph",
+    "Plan",
     "ResidueRows",
     "ResidueTensor",
     "ScalarBackend",
@@ -73,8 +95,10 @@ __all__ = [
     "register_backend",
     "register_engine",
     "resolve_backend",
+    "resolve_execution_mode",
     "resolve_shard_count",
     "set_default_backend",
     "set_default_engine",
+    "set_default_execution_mode",
     "set_default_shards",
 ]

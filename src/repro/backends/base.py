@@ -66,7 +66,9 @@ Backends are interchangeable bit-for-bit: the cross-check suite in
 from __future__ import annotations
 
 import abc
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
+
+from . import ops
 
 __all__ = ["ComputeBackend", "ResidueTensor", "ResidueRows"]
 
@@ -142,6 +144,21 @@ class ComputeBackend(abc.ABC):
     into one wide operation by the implementation; callers are encouraged to
     :meth:`concat` the largest batch they can assemble (e.g. all polynomials
     of a ciphertext at once) — that is where the paper's speedup lives.
+
+    **Execution model.**  The primary entrypoint is :meth:`execute`: callers
+    describe a whole chain of operations as a declarative
+    :class:`repro.backends.ops.Plan` and the backend runs it in one shot,
+    which is what lets implementations fuse across operations (the
+    ``parallel`` backend dispatches one task per worker per plan stage
+    instead of one pool round trip per method).  The per-operation methods
+    below (``forward_ntt_batch``, ``add``, ...) remain supported as the
+    **eager compatibility layer** — each is semantically a one-node plan, and
+    ``tests/test_ops_plans.py`` pins the two surfaces bit-for-bit against
+    each other.  They are deprecated as an extension surface for *callers*
+    composing multi-op chains (emit a plan instead: eager chains cannot be
+    fused and pay per-op dispatch overhead on sharding backends) but are
+    fully supported as the node kernels a backend implements — the generic
+    interpreter executes plans through them.
     """
 
     #: Registry name of the backend (``"scalar"``, ``"numpy"``, ...).
@@ -184,7 +201,24 @@ class ComputeBackend(abc.ABC):
         Counts ``tensor.count`` conversions.
         """
 
-    # -- transforms ------------------------------------------------------------
+    # -- plan execution (the primary entrypoint) -------------------------------
+    def execute(
+        self, plan: "ops.Plan", inputs: Mapping[str, ResidueTensor]
+    ) -> dict[str, ResidueTensor]:
+        """Execute a compiled operation plan and return its named outputs.
+
+        ``inputs`` binds each of the plan's :class:`~repro.backends.ops.Input`
+        names to a tensor owned by this backend.  The base implementation is
+        the generic interpreter — one eager method call per node, so every
+        node still routes through this backend's engine selection and
+        fallback machinery; backends that can fuse across nodes override
+        this.  A plan that returns an input unchanged returns the same
+        handle (no defensive copy — insert an explicit ``copy`` node when
+        fresh storage is required).
+        """
+        return ops.interpret(self, plan, inputs)
+
+    # -- transforms (eager compatibility layer: one-node plans) ----------------
     @abc.abstractmethod
     def forward_ntt_batch(self, tensor: ResidueTensor) -> ResidueTensor:
         """Forward negacyclic NTT of every row (bit-reversed output).

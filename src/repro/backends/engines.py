@@ -606,8 +606,15 @@ def get_engine(spec: str) -> NttEngine:
     if engine is None:
         name, param = parse_engine_spec(spec)
         if name not in _engine_factories:
+            from .ops import NODE_NAMES
+
             raise KeyError(
-                "unknown NTT engine %r (registered: %s)" % (name, ", ".join(_engine_factories))
+                "unknown NTT engine %r (registered: %s; selection honours "
+                "REPRO_NTT_ENGINE).  Engines execute the forward_ntt / "
+                "inverse_ntt plan nodes (all nodes: %s); whether a plan runs "
+                "fused or eager is a separate axis — the experiments CLI's "
+                "--fused/--eager flags or REPRO_EXECUTION"
+                % (name, ", ".join(_engine_factories), ", ".join(NODE_NAMES))
             )
         engine = _engine_factories[name](param)
         _engine_instances[spec] = engine

@@ -359,8 +359,127 @@ def _result_parts(backend, result):
     return data, big
 
 
+def _run_plan_task(backend, task: dict, shms: list) -> None:
+    """Execute one worker's share of a fused plan stage.
+
+    The task carries the stage's node records (:mod:`repro.backends.ops`),
+    this worker's row ranges for every value the stage touches, shared-memory
+    refs for the stage's materialised inputs and outputs, and the inferred
+    modulus tuple per value.  Intermediates live on this worker's heap only —
+    they never cross a process boundary; the worker writes exactly the output
+    rows it owns into the preallocated output segments.
+    """
+    from . import ops
+
+    n = task["n"]
+    rowsets: dict[int, tuple] = task["rowsets"]
+    primes: dict[int, tuple] = task["primes"]
+    views = {vid: _attach_view(ref, shms) for vid, ref in task["inputs"].items()}
+    out_views = {vid: _attach_view(ref, shms) for vid, ref in task["outputs"].items()}
+    local: dict[int, "np.ndarray"] = {}
+    empty = np.zeros((0, n), dtype=np.uint64)
+
+    def owned_rows(vid: int) -> "np.ndarray":
+        if vid in local:
+            return local[vid]
+        ranges = rowsets[vid]
+        if not ranges:
+            return empty
+        view = views[vid]
+        if len(ranges) == 1:
+            lo, hi = ranges[0]
+            return view[lo:hi]
+        return np.concatenate([view[lo:hi] for lo, hi in ranges], axis=0)
+
+    def owned_primes(vid: int) -> tuple[int, ...]:
+        value_primes = rowsets[vid], primes[vid]
+        return tuple(p for lo, hi in value_primes[0] for p in value_primes[1][lo:hi])
+
+    def owned_index(vid: int) -> list[int]:
+        return [row for lo, hi in rowsets[vid] for row in range(lo, hi)]
+
+    def compute(result) -> "np.ndarray":
+        data, big = _result_parts(backend, result)
+        if big:  # pragma: no cover - the coordinator precludes big rows
+            raise RuntimeError("fused plan stage produced unexpected big rows")
+        return data
+
+    def inner(vid: int):
+        return _inner_tensor(backend, owned_primes(vid), n, owned_rows(vid), {})
+
+    for vid, node in task["nodes"]:
+        if not rowsets[vid]:
+            local[vid] = empty
+            continue
+        if isinstance(node, (ops.Add, ops.Sub, ops.Mul)):
+            method = getattr(backend, node.kind)
+            local[vid] = compute(method(inner(node.a), inner(node.b)))
+        elif isinstance(node, ops.ForwardNtt):
+            local[vid] = compute(backend.forward_ntt_batch(inner(node.src)))
+        elif isinstance(node, ops.InverseNtt):
+            local[vid] = compute(backend.inverse_ntt_batch(inner(node.src)))
+        elif isinstance(node, ops.Neg):
+            local[vid] = compute(backend.neg(inner(node.src)))
+        elif isinstance(node, ops.ScalarMul):
+            local[vid] = compute(backend.scalar_mul(inner(node.src), node.scalar))
+        elif isinstance(node, ops.Copy):
+            local[vid] = owned_rows(node.src).copy()
+        elif isinstance(node, ops.Concat):
+            # Source spans ascend with position, so stacking each source's
+            # (ascending) owned rows in order yields the output's owned rows
+            # in ascending global order — the layout the row sets describe.
+            local[vid] = np.concatenate(
+                [owned_rows(src) for src in node.srcs], axis=0
+            )
+        elif isinstance(node, ops.SliceRows):
+            source = owned_rows(node.src)
+            positions = [
+                pos
+                for pos, row in enumerate(owned_index(node.src))
+                if node.start <= row < node.stop
+            ]
+            local[vid] = source[positions]
+        elif isinstance(node, ops.DigitBroadcast):
+            # Cross-row: the staging rule guarantees the source is a
+            # materialised stage input, so the one needed row is readable
+            # directly from shared memory regardless of who owns it.
+            source_view = views[node.src]
+            shard_primes = (primes[node.src][node.index],) + owned_primes(vid)
+            data = np.zeros((len(shard_primes), n), dtype=np.uint64)
+            data[0] = source_view[node.index]
+            shard = _inner_tensor(backend, shard_primes, n, data, {})
+            local[vid] = compute(backend.digit_broadcast(shard, 0))[1:]
+        elif isinstance(node, ops.ModSwitchDropLast):
+            # Cross-row: every owned output row pairs its own source row
+            # with the source's (materialised) last row.
+            source_view = views[node.src]
+            last = len(primes[node.src]) - 1
+            rows = np.concatenate(
+                [source_view[lo:hi] for lo, hi in rowsets[vid]]
+                + [source_view[last : last + 1]],
+                axis=0,
+            )
+            shard_primes = owned_primes(vid) + (primes[node.src][last],)
+            shard = _inner_tensor(backend, shard_primes, n, rows, {})
+            local[vid] = compute(
+                backend.mod_switch_drop_last(shard, node.plaintext_modulus)
+            )
+        else:  # pragma: no cover - defensive
+            raise ValueError("unknown fused plan node %r" % type(node).__name__)
+
+    for vid, view in out_views.items():
+        data = local[vid]
+        offset = 0
+        for lo, hi in rowsets[vid]:
+            view[lo:hi] = data[offset : offset + (hi - lo)]
+            offset += hi - lo
+
+
 def _run_task(backend, task: dict, shms: list) -> dict[int, list[int]] | None:
     op = task["op"]
+    if op == "plan":
+        _run_plan_task(backend, task, shms)
+        return None
     n = task["n"]
     lo, hi = task["lo"], task["hi"]
     primes = task["primes"]

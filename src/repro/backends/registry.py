@@ -93,10 +93,15 @@ register_backend("parallel", _build_parallel)
 
 
 def _unknown_backend_error(name: str) -> KeyError:
+    from .ops import NODE_NAMES
+
     return KeyError(
         "unknown backend %r (registered: %s; selection also honours the "
-        "REPRO_BACKEND, REPRO_NTT_ENGINE and REPRO_SHARDS environment "
-        "overrides)" % (name, ", ".join(_factories))
+        "REPRO_BACKEND, REPRO_NTT_ENGINE, REPRO_SHARDS and REPRO_EXECUTION "
+        "environment overrides).  Every registered backend executes the same "
+        "plan nodes through ComputeBackend.execute: %s — run them fused "
+        "(default) or one op at a time with the experiments CLI's "
+        "--fused/--eager flags" % (name, ", ".join(_factories), ", ".join(NODE_NAMES))
     )
 
 

@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments --backend scalar      # pin the compute backend
     python -m repro.experiments --engine stockham     # pin the NTT engine
     python -m repro.experiments --backend parallel --shards 4   # sharded pool
+    python -m repro.experiments --eager               # per-op execution
+    python -m repro.experiments --fused               # plan execution (default)
     python -m repro.experiments --list                # keys + backend/shard info
 
 Exit status: 0 on full success, 1 when any experiment raised (the failure is
@@ -22,6 +24,11 @@ import sys
 import traceback
 
 from ..backends.engines import get_engine, set_default_engine
+from ..backends.ops import (
+    EXECUTION_ENV_VAR,
+    resolve_execution_mode,
+    set_default_execution_mode,
+)
 from ..backends.pool import SHARDS_ENV_VAR, resolve_shard_count, set_default_shards
 from ..backends.registry import BACKEND_ENV_VAR, available_backends, set_default_backend
 from .registry import EXPERIMENTS, run_experiment
@@ -58,11 +65,30 @@ def main(argv: list[str]) -> int:
         help="shard/worker count for the 'parallel' backend (default: "
         "%s env var, then cpu_count-1)" % SHARDS_ENV_VAR,
     )
+    execution = parser.add_mutually_exclusive_group()
+    execution.add_argument(
+        "--fused",
+        action="store_const",
+        const="fused",
+        dest="execution",
+        help="compile evaluator chains into plans executed in one backend "
+        "call (the default; one pool dispatch per op stage on the "
+        "parallel backend)",
+    )
+    execution.add_argument(
+        "--eager",
+        action="store_const",
+        const="eager",
+        dest="execution",
+        help="legacy per-operation execution (one backend method per step; "
+        "bit-for-bit identical to --fused)",
+    )
     parser.add_argument(
         "--list",
         action="store_true",
         help="list experiment keys plus backend/shard-worker info and exit",
     )
+    parser.set_defaults(execution=None)
     args = parser.parse_args(argv)
 
     if args.list:
@@ -79,6 +105,11 @@ def main(argv: list[str]) -> int:
             "parallel backend: %s on %s cpu(s) "
             "(--shards > set_default_shards > %s > cpu_count-1)"
             % (shard_info, os.cpu_count() or "?", SHARDS_ENV_VAR)
+        )
+        print(
+            "execution: %s (--fused/--eager > set_default_execution_mode > "
+            "%s > fused)"
+            % (resolve_execution_mode(args.execution), EXECUTION_ENV_VAR)
         )
         return 0
 
@@ -121,6 +152,10 @@ def main(argv: list[str]) -> int:
             set_default_engine(args.engine)
         if args.shards is not None:
             set_default_shards(args.shards)
+        if args.execution is not None:
+            # argparse constants are always valid, so this cannot fail after
+            # the defaults above were already mutated.
+            set_default_execution_mode(args.execution)
     except (KeyError, ValueError) as exc:
         # Unknown names raise KeyError, malformed engine parameters
         # (e.g. "high_radix:3") or shard counts raise ValueError — both are

@@ -160,6 +160,13 @@ def measured_ntt_share(
     with timers, so the share is *time actually spent inside the engines*
     over the wall-clock of the whole homomorphic operation — the measured
     companion of the paper's 50.04 % motivation claim.
+
+    The chain deliberately runs on an **eager-mode** evaluator: the share is
+    defined over interceptable per-operation transform calls, which fused
+    plan execution folds into opaque per-worker stage tasks (on the sharded
+    backend the transforms never pass through the coordinator's methods at
+    all).  Fused execution performs the same transforms bit-for-bit, so the
+    eager share remains representative.
     """
     from ..he.context import HeContext
     from ..he.params import HEParams
@@ -173,7 +180,7 @@ def measured_ntt_share(
     encoder = context.integer_encoder()
     ct_a = encryptor.encrypt(encoder.encode(3))
     ct_b = encryptor.encrypt(encoder.encode(5))
-    evaluator = context.evaluator()
+    evaluator = context.evaluator(mode="eager")
     relin_key = context.relinearization_key()
 
     evaluator.relinearize(evaluator.multiply(ct_a, ct_b), relin_key)  # warm

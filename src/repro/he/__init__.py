@@ -26,6 +26,7 @@ from .encoder import BatchEncoder, IntegerEncoder
 from .encryptor import Decryptor, Encryptor
 from .evaluator import Evaluator
 from .keys import KeyGenerator, PublicKey, RelinearizationKey, SecretKey
+from .pipeline import CiphertextExpr, Pipeline
 from .params import (
     HEParams,
     bootstrappable_params,
@@ -39,7 +40,9 @@ __all__ = [
     "BootstrapWorkloadModel",
     "NoiseRefresher",
     "Ciphertext",
+    "CiphertextExpr",
     "HeContext",
+    "Pipeline",
     "BatchEncoder",
     "IntegerEncoder",
     "Decryptor",

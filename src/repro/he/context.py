@@ -169,9 +169,32 @@ class HeContext:
         """A decryptor holding the session secret key."""
         return Decryptor(self.params, self.secret_key())
 
-    def evaluator(self) -> Evaluator:
-        """A homomorphic evaluator batching through the pinned backend."""
-        return Evaluator(self.params, backend=self.backend)
+    def evaluator(self, mode: str | None = None) -> Evaluator:
+        """A homomorphic evaluator batching through the pinned backend.
+
+        Args:
+            mode: ``"fused"`` (each operation compiles into one plan,
+                executed in a single backend call — the default) or
+                ``"eager"`` (one backend method per step); ``None`` applies
+                the documented precedence (``REPRO_EXECUTION``, the CLI's
+                ``--fused``/``--eager``).  Both modes are bit-for-bit
+                identical.
+        """
+        return Evaluator(self.params, backend=self.backend, mode=mode)
+
+    def pipeline(self) -> "Pipeline":
+        """A lazy ciphertext-expression pipeline over the pinned backend.
+
+        Expressions built from :meth:`Pipeline.load` leaves —
+        ``(a * b).relinearize(rk).mod_switch().run()`` — compile **once**
+        into a single fused plan and execute in one backend call; on the
+        ``parallel`` backend the whole chain runs in at most one pool
+        dispatch per cross-row stage (three for the canonical
+        multiply → relinearize → mod-switch chain).
+        """
+        from .pipeline import Pipeline
+
+        return Pipeline(self)
 
     def encoder(self) -> BatchEncoder:
         """The session's SIMD batch encoder (cached; requires NTT-prime ``t``)."""

@@ -3,30 +3,43 @@
 Every ciphertext multiplication performed here is, computationally, a batch
 of ``np`` negacyclic polynomial multiplications — each of which is the
 ``iNTT(NTT(a) ⊙ NTT(b))`` pipeline the paper accelerates.  Since the
-resident-tensor redesign the whole evaluator is a *handle pipeline*: a
-``multiply → relinearize → mod_switch_to_next`` chain moves
-:class:`~repro.backends.base.ResidueTensor` handles between backend calls
-and performs **zero** list ↔ ndarray conversions (asserted by the backend's
-conversion counter in the test-suite).  Even the two classically
-CRT-reconstructing steps stay in RNS:
+op-graph redesign the evaluator is a *plan emitter*: each homomorphic
+operation compiles (once — compiled plans are cached per operation shape)
+into a declarative :class:`repro.backends.ops.Plan` and hands it to
+:meth:`~repro.backends.base.ComputeBackend.execute` in a single call, so a
+sharding backend can fuse the whole operation into one task per worker per
+stage instead of one pool round trip per backend method — the CPU analogue
+of the wide-batch kernel launches the paper's GPU amortises.  The previous
+per-method path survives as **eager mode** (``mode="eager"``, the CLI's
+``--eager``, or ``REPRO_EXECUTION=eager``); both modes are bit-for-bit
+identical and both keep the whole chain resident:
 
 * relinearisation decomposes the quadratic component into per-prime digits
-  with :meth:`~repro.backends.base.ComputeBackend.digit_broadcast` (row ``i``
-  of the coefficient-domain residue matrix *is* the digit for prime ``i``);
+  with ``digit_broadcast`` nodes (row ``i`` of the coefficient-domain
+  residue matrix *is* the digit for prime ``i``);
 * modulus switching uses the exact RNS formula
-  ``(c_j + t*u_c) * q_last^{-1} mod p_j`` via
-  :meth:`~repro.backends.base.ComputeBackend.mod_switch_drop_last`, where the
-  correction ``u_c`` is read off the dropped residue row alone.
+  ``(c_j + t*u_c) * q_last^{-1} mod p_j`` via ``mod_switch_drop_last``
+  nodes, where the correction ``u_c`` is read off the dropped residue row
+  alone.
+
+A ``multiply → relinearize → mod_switch_to_next`` chain therefore performs
+**zero** list ↔ ndarray conversions in either mode (asserted by the
+backend's conversion counter in the test-suite) and, fused on the
+``parallel`` backend, at most one pool dispatch per operation (asserted by
+``dispatch_count``).
 
 The evaluator also exposes :meth:`Evaluator.ntt_invocations`, the running
 count of forward/inverse NTT calls it has triggered, which the examples use
-to connect the HE layer to the GPU performance model.
+to connect the HE layer to the GPU performance model.  The emission helpers
+(``_emit_*``) are shared with :mod:`repro.he.pipeline`, which strings the
+ops of a whole ciphertext expression into one plan.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..backends import ops
 from ..backends.base import ComputeBackend, ResidueTensor
 from ..backends.registry import resolve_backend
 from ..rns.basis import RnsBasis
@@ -36,6 +49,33 @@ from .keys import RelinearizationKey
 from .params import HEParams
 
 __all__ = ["Evaluator"]
+
+
+class _P:
+    """A symbolic polynomial during plan emission: value index + ring metadata."""
+
+    __slots__ = ("value", "domain", "basis")
+
+    def __init__(self, value: int, domain: Domain, basis: RnsBasis) -> None:
+        self.value = value
+        self.domain = domain
+        self.basis = basis
+
+
+class _Emitter:
+    """An :class:`~repro.backends.ops.OpGraph` plus emission bookkeeping."""
+
+    __slots__ = ("graph", "ntt_rows")
+
+    def __init__(self) -> None:
+        self.graph = ops.OpGraph()
+        #: Residue rows moved through forward/inverse NTT nodes — added to
+        #: :attr:`Evaluator.ntt_invocations` each time the plan executes.
+        self.ntt_rows = 0
+
+    def bind(self, name: str, poly: RnsPolynomial) -> _P:
+        """Declare a plan input carrying the polynomial's ring metadata."""
+        return _P(self.graph.input(name), poly.domain, poly.basis)
 
 
 class Evaluator:
@@ -49,20 +89,42 @@ class Evaluator:
             interchangeable across evaluators with different backends —
             ciphertexts resident on a foreign backend are materialised once
             at the boundary (visible in the conversion counters).
+        mode: ``"fused"`` (compile each operation into one plan and execute
+            it in a single backend call — the default) or ``"eager"`` (the
+            legacy one-backend-method-per-step path).  ``None`` resolves the
+            documented precedence
+            (:func:`repro.backends.ops.resolve_execution_mode`).  Both modes
+            are bit-for-bit identical.
     """
 
     def __init__(
-        self, params: HEParams, backend: ComputeBackend | str | None = None
+        self,
+        params: HEParams,
+        backend: ComputeBackend | str | None = None,
+        mode: str | None = None,
     ) -> None:
         self.params = params
         self.backend = resolve_backend(backend)
+        self.mode = ops.resolve_execution_mode(mode)
         self._ntt_invocations = 0
+        self._plan_cache: dict[tuple, tuple] = {}
+        self._plan_cache_hits = 0
 
     # -- bookkeeping -----------------------------------------------------------------
     @property
     def ntt_invocations(self) -> int:
         """Forward/inverse NTT invocations triggered so far (per RNS prime)."""
         return self._ntt_invocations
+
+    @property
+    def plans_compiled(self) -> int:
+        """Distinct operation plans compiled so far (fused mode)."""
+        return len(self._plan_cache)
+
+    @property
+    def plan_cache_hits(self) -> int:
+        """Fused executions that reused an already-compiled plan."""
+        return self._plan_cache_hits
 
     @staticmethod
     def _check_same_ring(a: Ciphertext, b: Ciphertext) -> None:
@@ -111,7 +173,279 @@ class Evaluator:
     def _poly_neg(self, x: RnsPolynomial) -> RnsPolynomial:
         return self._poly(self.backend.neg(self._adopt(x).tensor), x.basis, x.domain)
 
-    # -- batched NTT plumbing ---------------------------------------------------------
+    # -- plan plumbing (fused mode) ----------------------------------------------------
+    def _run_plan(self, key: tuple, build, bindings: dict) -> list[RnsPolynomial]:
+        """Fetch-or-compile the plan for ``key`` and execute it with ``bindings``.
+
+        ``build`` returns ``(plan, output specs, ntt rows)``; it only runs on
+        a cache miss, so repeated operations of the same shape — every
+        iteration of a loop over ciphertexts, for instance — compile once and
+        execute straight from the cache.
+        """
+        cached = self._plan_cache.get(key)
+        if cached is None:
+            cached = build()
+            self._plan_cache[key] = cached
+        else:
+            self._plan_cache_hits += 1
+        plan, specs, ntt_rows = cached
+        outputs = self.backend.execute(plan, bindings)
+        self._ntt_invocations += ntt_rows
+        return [
+            self._poly(outputs[name], basis, domain) for name, basis, domain in specs
+        ]
+
+    @staticmethod
+    def _finish(em: _Emitter, polys: Sequence[_P]) -> tuple:
+        specs = []
+        for index, poly in enumerate(polys):
+            name = "out%d" % index
+            em.graph.output(name, poly.value)
+            specs.append((name, poly.basis, poly.domain))
+        return em.graph.compile(), tuple(specs), em.ntt_rows
+
+    @staticmethod
+    def _domains(polys: Sequence[RnsPolynomial]) -> tuple:
+        return tuple(poly.domain for poly in polys)
+
+    # -- emission helpers (shared with repro.he.pipeline) ------------------------------
+    def _emit_ntt_batch(
+        self, em: _Emitter, polys: Sequence[_P], forward: bool
+    ) -> list[_P]:
+        """Emit one batched transform covering every pending polynomial.
+
+        The plan-level mirror of the eager batching path: values still in the
+        source domain are concatenated into one wide transform node and split
+        back; values already converted pass through untouched.
+        """
+        source = Domain.COEFFICIENT if forward else Domain.NTT
+        target = Domain.NTT if forward else Domain.COEFFICIENT
+        graph = em.graph
+        results = list(polys)
+        pending = [i for i, poly in enumerate(results) if poly.domain is source]
+        if not pending:
+            return results
+        transform = graph.forward_ntt if forward else graph.inverse_ntt
+        if len(pending) == 1:
+            pieces = [transform(results[pending[0]].value)]
+        else:
+            stacked = graph.concat([results[i].value for i in pending])
+            pieces = graph.split(
+                transform(stacked), [results[i].basis.count for i in pending]
+            )
+        for i, piece in zip(pending, pieces):
+            results[i] = _P(piece, target, results[i].basis)
+            em.ntt_rows += results[i].basis.count
+        return results
+
+    def _emit_poly_add(self, em: _Emitter, x: _P, y: _P) -> _P:
+        self._check_emit_compatible(x, y)
+        return _P(em.graph.add(x.value, y.value), x.domain, x.basis)
+
+    def _emit_poly_sub(self, em: _Emitter, x: _P, y: _P) -> _P:
+        self._check_emit_compatible(x, y)
+        return _P(em.graph.sub(x.value, y.value), x.domain, x.basis)
+
+    @staticmethod
+    def _check_emit_compatible(x: _P, y: _P) -> None:
+        # Mirrors RnsPolynomial._check_compatible for symbolic polynomials.
+        if x.basis.primes != y.basis.primes:
+            raise ValueError("polynomials live in different rings")
+        if x.domain is not y.domain:
+            raise ValueError(
+                "domain mismatch: %s vs %s — convert explicitly first"
+                % (x.domain.value, y.domain.value)
+            )
+
+    def _emit_tensor(
+        self, em: _Emitter, a_ntt: Sequence[_P], b_ntt: Sequence[_P]
+    ) -> list[_P]:
+        """NTT-domain tensor product, returned in the coefficient domain."""
+        graph = em.graph
+        basis = a_ntt[0].basis
+        result_size = len(a_ntt) + len(b_ntt) - 1
+        accumulators: list[int | None] = [None] * result_size
+        for i, poly_a in enumerate(a_ntt):
+            for j, poly_b in enumerate(b_ntt):
+                term = graph.mul(poly_a.value, poly_b.value)
+                k = i + j
+                accumulators[k] = (
+                    term
+                    if accumulators[k] is None
+                    else graph.add(accumulators[k], term)
+                )
+        products = [_P(value, Domain.NTT, basis) for value in accumulators]
+        return self._emit_ntt_batch(em, products, forward=False)
+
+    def _emit_multiply(self, em: _Emitter, sa: Sequence[_P], sb: Sequence[_P]) -> list[_P]:
+        if sa[0].basis.primes != sb[0].basis.primes:
+            raise ValueError("ciphertexts are at different levels; mod-switch first")
+        transformed = self._emit_ntt_batch(em, list(sa) + list(sb), forward=True)
+        return self._emit_tensor(em, transformed[: len(sa)], transformed[len(sa) :])
+
+    def _emit_square(self, em: _Emitter, sa: Sequence[_P]) -> list[_P]:
+        a_ntt = self._emit_ntt_batch(em, list(sa), forward=True)
+        return self._emit_tensor(em, a_ntt, a_ntt)
+
+    def _emit_linear(
+        self, em: _Emitter, sa: Sequence[_P], sb: Sequence[_P], subtract: bool
+    ) -> list[_P]:
+        graph = em.graph
+        combine = self._emit_poly_sub if subtract else self._emit_poly_add
+        size = max(len(sa), len(sb))
+        polys = []
+        for index in range(size):
+            if index < len(sa) and index < len(sb):
+                polys.append(combine(em, sa[index], sb[index]))
+            elif index < len(sa):
+                poly = sa[index]
+                polys.append(_P(graph.copy(poly.value), poly.domain, poly.basis))
+            elif subtract:
+                poly = sb[index]
+                polys.append(_P(graph.neg(poly.value), poly.domain, poly.basis))
+            else:
+                poly = sb[index]
+                polys.append(_P(graph.copy(poly.value), poly.domain, poly.basis))
+        return polys
+
+    def _emit_negate(self, em: _Emitter, sa: Sequence[_P]) -> list[_P]:
+        return [_P(em.graph.neg(p.value), p.domain, p.basis) for p in sa]
+
+    def _emit_relinearize(
+        self, em: _Emitter, sa: Sequence[_P], srk: Sequence[tuple[_P, _P]]
+    ) -> list[_P]:
+        graph = em.graph
+        if len(sa) == 2:
+            return [_P(graph.copy(p.value), p.domain, p.basis) for p in sa]
+        if len(sa) != 3:
+            raise ValueError("relinearisation supports size-3 ciphertexts only")
+        basis = sa[0].basis
+        if len(srk) != len(basis):
+            raise ValueError("relinearisation key was generated for a different basis")
+        c0, c1, c2 = sa
+        c2_coeff = self._emit_ntt_batch(em, [c2], forward=False)[0]
+        acc0: int | None = None
+        acc1: int | None = None
+        for index, (rk0, rk1) in enumerate(srk):
+            digit = _P(
+                graph.digit_broadcast(c2_coeff.value, index),
+                Domain.COEFFICIENT,
+                basis,
+            )
+            digit_ntt, rk0_ntt, rk1_ntt = self._emit_ntt_batch(
+                em, [digit, rk0, rk1], forward=True
+            )
+            term0 = graph.mul(digit_ntt.value, rk0_ntt.value)
+            term1 = graph.mul(digit_ntt.value, rk1_ntt.value)
+            acc0 = term0 if acc0 is None else graph.add(acc0, term0)
+            acc1 = term1 if acc1 is None else graph.add(acc1, term1)
+        sum0, sum1 = self._emit_ntt_batch(
+            em,
+            [_P(acc0, Domain.NTT, basis), _P(acc1, Domain.NTT, basis)],
+            forward=False,
+        )
+        return [
+            self._emit_poly_add(em, c0, sum0),
+            self._emit_poly_add(em, c1, sum1),
+        ]
+
+    def _emit_mod_switch(self, em: _Emitter, sa: Sequence[_P], t: int) -> list[_P]:
+        basis = sa[0].basis
+        if len(basis) < 2:
+            raise ValueError("cannot modulus-switch below a single prime")
+        if basis.primes[-1] % t != 1:
+            raise ValueError("modulus switching requires q_last ≡ 1 (mod t)")
+        coeffs = self._emit_ntt_batch(em, list(sa), forward=False)
+        new_basis = basis.drop_last(1)
+        return [
+            _P(
+                em.graph.mod_switch_drop_last(poly.value, t),
+                Domain.COEFFICIENT,
+                new_basis,
+            )
+            for poly in coeffs
+        ]
+
+    def _emit_add_plain(self, em: _Emitter, sa: Sequence[_P], pt: _P) -> list[_P]:
+        graph = em.graph
+        return [self._emit_poly_add(em, sa[0], pt)] + [
+            _P(graph.copy(p.value), p.domain, p.basis) for p in sa[1:]
+        ]
+
+    def _emit_multiply_plain(self, em: _Emitter, sa: Sequence[_P], pt: _P) -> list[_P]:
+        graph = em.graph
+        basis = sa[0].basis
+        transformed = self._emit_ntt_batch(em, list(sa) + [pt], forward=True)
+        plaintext_ntt = transformed[-1]
+        products = [
+            _P(graph.mul(poly.value, plaintext_ntt.value), Domain.NTT, basis)
+            for poly in transformed[:-1]
+        ]
+        return self._emit_ntt_batch(em, products, forward=False)
+
+    # -- fused dispatch ----------------------------------------------------------------
+    def _fused_unary(self, emit, a: Ciphertext, op: str, level: int | None = None):
+        polys = self._adopt_all(a.polys)
+        key = (op, a.basis.primes, self._domains(polys))
+
+        def build():
+            em = _Emitter()
+            sa = [
+                _P(em.graph.input("a%d" % i), poly.domain, poly.basis)
+                for i, poly in enumerate(polys)
+            ]
+            return self._finish(em, emit(em, sa))
+
+        bindings = {"a%d" % i: poly.tensor for i, poly in enumerate(polys)}
+        out = self._run_plan(key, build, bindings)
+        return Ciphertext(
+            polys=out, params=self.params, level=a.level if level is None else level
+        )
+
+    def _fused_binary(self, emit, op: str, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        polys_a = self._adopt_all(a.polys)
+        polys_b = self._adopt_all(b.polys)
+        key = (op, a.basis.primes, self._domains(polys_a), self._domains(polys_b))
+
+        def build():
+            em = _Emitter()
+            sa = [
+                _P(em.graph.input("a%d" % i), poly.domain, poly.basis)
+                for i, poly in enumerate(polys_a)
+            ]
+            sb = [
+                _P(em.graph.input("b%d" % i), poly.domain, poly.basis)
+                for i, poly in enumerate(polys_b)
+            ]
+            return self._finish(em, emit(em, sa, sb))
+
+        bindings = {"a%d" % i: poly.tensor for i, poly in enumerate(polys_a)}
+        bindings.update({"b%d" % i: poly.tensor for i, poly in enumerate(polys_b)})
+        out = self._run_plan(key, build, bindings)
+        return Ciphertext(polys=out, params=self.params, level=a.level)
+
+    def _fused_with_plain(
+        self, emit, op: str, a: Ciphertext, plaintext: RnsPolynomial
+    ) -> Ciphertext:
+        polys = self._adopt_all(a.polys)
+        plain = self._adopt(plaintext)
+        key = (op, a.basis.primes, self._domains(polys), plain.domain)
+
+        def build():
+            em = _Emitter()
+            sa = [
+                _P(em.graph.input("a%d" % i), poly.domain, poly.basis)
+                for i, poly in enumerate(polys)
+            ]
+            pt = em.bind("pt", plain)
+            return self._finish(em, emit(em, sa, pt))
+
+        bindings = {"a%d" % i: poly.tensor for i, poly in enumerate(polys)}
+        bindings["pt"] = plain.tensor
+        out = self._run_plan(key, build, bindings)
+        return Ciphertext(polys=out, params=self.params, level=a.level)
+
+    # -- batched NTT plumbing (eager mode) ---------------------------------------------
     def _forward_ntt_batch(
         self, polys: Sequence[RnsPolynomial]
     ) -> list[RnsPolynomial]:
@@ -182,46 +516,61 @@ class Evaluator:
     def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         """Homomorphic addition (component-wise)."""
         self._check_same_ring(a, b)
-        size = max(a.size, b.size)
-        polys = []
-        for index in range(size):
-            if index < a.size and index < b.size:
-                polys.append(self._poly_add(a.polys[index], b.polys[index]))
-            elif index < a.size:
-                polys.append(self._adopt(a.polys[index]).copy())
-            else:
-                polys.append(self._adopt(b.polys[index]).copy())
-        return Ciphertext(polys=polys, params=self.params, level=a.level)
+        if self.mode == "eager":
+            return self._eager_linear(a, b, subtract=False)
+        return self._fused_binary(
+            lambda em, sa, sb: self._emit_linear(em, sa, sb, subtract=False),
+            "add",
+            a,
+            b,
+        )
 
     def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         """Homomorphic subtraction."""
         self._check_same_ring(a, b)
+        if self.mode == "eager":
+            return self._eager_linear(a, b, subtract=True)
+        return self._fused_binary(
+            lambda em, sa, sb: self._emit_linear(em, sa, sb, subtract=True),
+            "sub",
+            a,
+            b,
+        )
+
+    def _eager_linear(self, a: Ciphertext, b: Ciphertext, subtract: bool) -> Ciphertext:
+        combine = self._poly_sub if subtract else self._poly_add
         size = max(a.size, b.size)
         polys = []
         for index in range(size):
             if index < a.size and index < b.size:
-                polys.append(self._poly_sub(a.polys[index], b.polys[index]))
+                polys.append(combine(a.polys[index], b.polys[index]))
             elif index < a.size:
                 polys.append(self._adopt(a.polys[index]).copy())
-            else:
+            elif subtract:
                 polys.append(self._poly_neg(b.polys[index]))
+            else:
+                polys.append(self._adopt(b.polys[index]).copy())
         return Ciphertext(polys=polys, params=self.params, level=a.level)
 
     def negate(self, a: Ciphertext) -> Ciphertext:
         """Homomorphic negation."""
-        return Ciphertext(
-            polys=[self._poly_neg(poly) for poly in a.polys],
-            params=self.params,
-            level=a.level,
-        )
+        if self.mode == "eager":
+            return Ciphertext(
+                polys=[self._poly_neg(poly) for poly in a.polys],
+                params=self.params,
+                level=a.level,
+            )
+        return self._fused_unary(self._emit_negate, a, "negate")
 
     def add_plain(self, a: Ciphertext, plaintext: RnsPolynomial) -> Ciphertext:
         """Add an (unencrypted) plaintext polynomial."""
         self._check_plain_ring(a, plaintext)
-        polys = [self._poly_add(a.polys[0], plaintext)] + [
-            self._adopt(poly).copy() for poly in a.polys[1:]
-        ]
-        return Ciphertext(polys=polys, params=self.params, level=a.level)
+        if self.mode == "eager":
+            polys = [self._poly_add(a.polys[0], plaintext)] + [
+                self._adopt(poly).copy() for poly in a.polys[1:]
+            ]
+            return Ciphertext(polys=polys, params=self.params, level=a.level)
+        return self._fused_with_plain(self._emit_add_plain, "add_plain", a, plaintext)
 
     def multiply_plain(self, a: Ciphertext, plaintext: RnsPolynomial) -> Ciphertext:
         """Multiply by an (unencrypted) plaintext polynomial.
@@ -230,18 +579,22 @@ class Evaluator:
         component), in the same batched forward call as the components.
         """
         self._check_plain_ring(a, plaintext)
-        transformed = self._forward_ntt_batch(list(a.polys) + [plaintext])
-        plaintext_ntt = transformed[-1]
-        products = [
-            self._poly(
-                self.backend.mul(poly.tensor, plaintext_ntt.tensor),
-                a.basis,
-                Domain.NTT,
-            )
-            for poly in transformed[:-1]
-        ]
-        polys = self._inverse_ntt_batch(products)
-        return Ciphertext(polys=polys, params=self.params, level=a.level)
+        if self.mode == "eager":
+            transformed = self._forward_ntt_batch(list(a.polys) + [plaintext])
+            plaintext_ntt = transformed[-1]
+            products = [
+                self._poly(
+                    self.backend.mul(poly.tensor, plaintext_ntt.tensor),
+                    a.basis,
+                    Domain.NTT,
+                )
+                for poly in transformed[:-1]
+            ]
+            polys = self._inverse_ntt_batch(products)
+            return Ciphertext(polys=polys, params=self.params, level=a.level)
+        return self._fused_with_plain(
+            self._emit_multiply_plain, "multiply_plain", a, plaintext
+        )
 
     # -- multiplication -------------------------------------------------------------------
     def multiply(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
@@ -252,14 +605,18 @@ class Evaluator:
         element-wise, accumulated, and inverse-transformed in one batch of
         ``(a.size + b.size - 1) * np`` rows — the double-CRT strategy every
         RNS HE library uses, executed at the batch width the paper shows the
-        hardware wants.
+        hardware wants.  In fused mode the whole operation is one compiled
+        plan: a single ``execute`` call, one pool dispatch on the sharded
+        backend.
         """
         self._check_same_ring(a, b)
-        transformed = self._forward_ntt_batch(list(a.polys) + list(b.polys))
-        a_ntt = transformed[: a.size]
-        b_ntt = transformed[a.size :]
-        polys = self._tensor(a_ntt, b_ntt, a.basis)
-        return Ciphertext(polys=polys, params=self.params, level=a.level)
+        if self.mode == "eager":
+            transformed = self._forward_ntt_batch(list(a.polys) + list(b.polys))
+            a_ntt = transformed[: a.size]
+            b_ntt = transformed[a.size :]
+            polys = self._tensor(a_ntt, b_ntt, a.basis)
+            return Ciphertext(polys=polys, params=self.params, level=a.level)
+        return self._fused_binary(self._emit_multiply, "multiply", a, b)
 
     def square(self, a: Ciphertext) -> Ciphertext:
         """Homomorphic squaring.
@@ -268,9 +625,11 @@ class Evaluator:
         half the forward NTTs of ``multiply(a, a)``, which
         :attr:`ntt_invocations` reflects.
         """
-        a_ntt = self._forward_ntt_batch(list(a.polys))
-        polys = self._tensor(a_ntt, a_ntt, a.basis)
-        return Ciphertext(polys=polys, params=self.params, level=a.level)
+        if self.mode == "eager":
+            a_ntt = self._forward_ntt_batch(list(a.polys))
+            polys = self._tensor(a_ntt, a_ntt, a.basis)
+            return Ciphertext(polys=polys, params=self.params, level=a.level)
+        return self._fused_unary(self._emit_square, a, "square")
 
     # -- relinearisation ---------------------------------------------------------------------
     def relinearize(self, a: Ciphertext, relin_key: RelinearizationKey) -> Ciphertext:
@@ -278,12 +637,14 @@ class Evaluator:
 
         The RNS digit decomposition never reconstructs big integers: row ``i``
         of the coefficient-domain residue matrix of ``c2`` *is* ``c2 mod q_i``
-        already reduced, so :meth:`ComputeBackend.digit_broadcast` re-reduces
-        that single resident row across the basis to form the digit paired
-        with key component ``i``.  The per-prime digit products are
-        accumulated in the NTT domain and inverse-transformed once at the end
-        (NTT linearity makes this bit-identical to per-product inverse
-        transforms, at ``np`` times fewer inverse NTTs).
+        already reduced, so the ``digit_broadcast`` node re-reduces that
+        single resident row across the basis to form the digit paired with
+        key component ``i``.  The per-prime digit products are accumulated in
+        the NTT domain and inverse-transformed once at the end (NTT linearity
+        makes this bit-identical to per-product inverse transforms, at ``np``
+        times fewer inverse NTTs).  In fused mode the whole key switch is one
+        plan — on the sharded backend one dispatch, with the digit rows read
+        straight out of shared memory by every worker.
         """
         if a.size == 2:
             return a.copy()
@@ -291,6 +652,42 @@ class Evaluator:
             raise ValueError("relinearisation supports size-3 ciphertexts only")
         if len(relin_key.components) != len(a.basis):
             raise ValueError("relinearisation key was generated for a different basis")
+        if self.mode == "eager":
+            return self._eager_relinearize(a, relin_key)
+        polys = self._adopt_all(a.polys)
+        rk = [
+            (self._adopt(rk0), self._adopt(rk1))
+            for rk0, rk1 in relin_key.components
+        ]
+        key = (
+            "relinearize",
+            a.basis.primes,
+            self._domains(polys),
+            tuple((rk0.domain, rk1.domain) for rk0, rk1 in rk),
+        )
+
+        def build():
+            em = _Emitter()
+            sa = [
+                _P(em.graph.input("c%d" % i), poly.domain, poly.basis)
+                for i, poly in enumerate(polys)
+            ]
+            srk = [
+                (em.bind("rk0_%d" % i, rk0), em.bind("rk1_%d" % i, rk1))
+                for i, (rk0, rk1) in enumerate(rk)
+            ]
+            return self._finish(em, self._emit_relinearize(em, sa, srk))
+
+        bindings = {"c%d" % i: poly.tensor for i, poly in enumerate(polys)}
+        for i, (rk0, rk1) in enumerate(rk):
+            bindings["rk0_%d" % i] = rk0.tensor
+            bindings["rk1_%d" % i] = rk1.tensor
+        out = self._run_plan(key, build, bindings)
+        return Ciphertext(polys=out, params=self.params, level=a.level)
+
+    def _eager_relinearize(
+        self, a: Ciphertext, relin_key: RelinearizationKey
+    ) -> Ciphertext:
         c0, c1, c2 = self._adopt_all(a.polys)
         basis = a.basis
         c2_coeff = c2.to_coefficient()
@@ -325,10 +722,11 @@ class Evaluator:
         :func:`repro.he.params.generate_bgv_primes`), which keeps the
         plaintext unchanged.  Each coefficient ``c`` is replaced by
         ``(c + δ) / q`` with ``δ ≡ -c (mod q)`` and ``δ ≡ 0 (mod t)`` —
-        computed entirely in RNS by the backend
-        (:meth:`~repro.backends.base.ComputeBackend.mod_switch_drop_last`),
-        since ``δ`` depends only on the dropped residue row and the division
-        becomes a per-prime multiplication by ``q^{-1} mod p_j``.
+        computed entirely in RNS by ``mod_switch_drop_last`` nodes, since
+        ``δ`` depends only on the dropped residue row and the division
+        becomes a per-prime multiplication by ``q^{-1} mod p_j``.  In fused
+        mode all components switch in one plan (one dispatch on the sharded
+        backend, each worker reading the dropped row from shared memory).
         """
         basis = a.basis
         if len(basis) < 2:
@@ -337,17 +735,23 @@ class Evaluator:
         q_last = basis.primes[-1]
         if q_last % t != 1:
             raise ValueError("modulus switching requires q_last ≡ 1 (mod t)")
-        new_basis = basis.drop_last(1)
-
-        new_polys = []
-        for poly in self._adopt_all(a.polys):
-            coeff = poly.to_coefficient()
-            new_polys.append(
-                RnsPolynomial(
-                    new_basis,
-                    self.params.n,
-                    self.backend.mod_switch_drop_last(coeff.tensor, t),
-                    Domain.COEFFICIENT,
+        if self.mode == "eager":
+            new_basis = basis.drop_last(1)
+            new_polys = []
+            for poly in self._adopt_all(a.polys):
+                coeff = poly.to_coefficient()
+                new_polys.append(
+                    RnsPolynomial(
+                        new_basis,
+                        self.params.n,
+                        self.backend.mod_switch_drop_last(coeff.tensor, t),
+                        Domain.COEFFICIENT,
+                    )
                 )
-            )
-        return Ciphertext(polys=new_polys, params=self.params, level=a.level + 1)
+            return Ciphertext(polys=new_polys, params=self.params, level=a.level + 1)
+        return self._fused_unary(
+            lambda em, sa: self._emit_mod_switch(em, sa, t),
+            a,
+            "mod_switch",
+            level=a.level + 1,
+        )

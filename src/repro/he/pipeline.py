@@ -1,0 +1,320 @@
+"""Lazy ciphertext expressions: whole evaluator chains compiled into one plan.
+
+Where :class:`repro.he.evaluator.Evaluator` compiles each homomorphic
+operation into its own plan, this module goes one level further — the way a
+GPU runtime captures a stream of kernels into a replayable graph.  A
+:class:`Pipeline` (built by :meth:`repro.he.context.HeContext.pipeline`)
+wraps ciphertexts into lazy :class:`CiphertextExpr` nodes; arithmetic on
+them records structure instead of computing, and :meth:`CiphertextExpr.run`
+lowers the whole expression into **one**
+:class:`~repro.backends.ops.Plan` executed in a single
+:meth:`~repro.backends.base.ComputeBackend.execute` call::
+
+    pipe = ctx.pipeline()
+    a, b = pipe.load(ct_a), pipe.load(ct_b)
+    result = (a * b).relinearize(ctx.relinearization_key()).mod_switch().run()
+
+On the ``parallel`` backend the plan executes as fused per-worker stages:
+the chain above costs **three** pool dispatches (the two cross-row steps —
+digit decomposition and modulus switching — each start a new stage) instead
+of the ten-plus round trips of the eager path, with every intermediate
+tensor staying in worker memory.  Compilation happens once per expression
+*shape*: re-running the same chain over fresh ciphertexts reuses the cached
+plan (see :attr:`Evaluator.plan_cache_hits`).
+
+Expressions are ordinary immutable DAG nodes — sharing a sub-expression
+(``x = a * b; (x + x).run()``) emits it once.
+"""
+
+from __future__ import annotations
+
+from .ciphertext import Ciphertext
+from .evaluator import _Emitter, Evaluator
+from .keys import RelinearizationKey
+
+__all__ = ["CiphertextExpr", "Pipeline"]
+
+
+class CiphertextExpr:
+    """One node of a lazy ciphertext expression.
+
+    Build leaves with :meth:`Pipeline.load`; combine with ``*``, ``+``,
+    ``-``, unary ``-``, :meth:`square`, :meth:`relinearize` and
+    :meth:`mod_switch`; execute with :meth:`run`.  Nodes are immutable and
+    freely shareable between expressions of the same pipeline.
+    """
+
+    __slots__ = ("pipeline", "kind", "children", "ciphertext", "key")
+
+    def __init__(
+        self,
+        pipeline: "Pipeline",
+        kind: str,
+        children: tuple["CiphertextExpr", ...] = (),
+        ciphertext: Ciphertext | None = None,
+        key: RelinearizationKey | None = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.kind = kind
+        self.children = children
+        self.ciphertext = ciphertext
+        self.key = key
+
+    def _combine(self, other: "CiphertextExpr", kind: str) -> "CiphertextExpr":
+        if not isinstance(other, CiphertextExpr):
+            return NotImplemented
+        if other.pipeline is not self.pipeline:
+            raise ValueError(
+                "cannot combine expressions from different pipelines — load "
+                "both ciphertexts through the same HeContext.pipeline()"
+            )
+        return CiphertextExpr(self.pipeline, kind, (self, other))
+
+    def __mul__(self, other: "CiphertextExpr") -> "CiphertextExpr":
+        return self._combine(other, "multiply")
+
+    def __add__(self, other: "CiphertextExpr") -> "CiphertextExpr":
+        return self._combine(other, "add")
+
+    def __sub__(self, other: "CiphertextExpr") -> "CiphertextExpr":
+        return self._combine(other, "sub")
+
+    def __neg__(self) -> "CiphertextExpr":
+        return CiphertextExpr(self.pipeline, "negate", (self,))
+
+    def square(self) -> "CiphertextExpr":
+        """Lazy homomorphic squaring (half the forward NTTs of ``x * x``)."""
+        return CiphertextExpr(self.pipeline, "square", (self,))
+
+    def relinearize(self, key: RelinearizationKey) -> "CiphertextExpr":
+        """Lazy relinearisation under ``key`` (size 3 back to size 2)."""
+        return CiphertextExpr(self.pipeline, "relinearize", (self,), key=key)
+
+    def mod_switch(self) -> "CiphertextExpr":
+        """Lazy modulus switch to the next level (drops the last RNS prime)."""
+        return CiphertextExpr(self.pipeline, "mod_switch", (self,))
+
+    # Evaluator-style spelling, for symmetry with eager call sites.
+    mod_switch_to_next = mod_switch
+
+    def run(self) -> Ciphertext:
+        """Compile (or fetch the cached plan for) this expression and execute it."""
+        return self.pipeline.run(self)
+
+
+class _SymCt:
+    """A symbolic ciphertext during lowering: symbolic polys + level."""
+
+    __slots__ = ("polys", "level")
+
+    def __init__(self, polys: list, level: int) -> None:
+        self.polys = polys
+        self.level = level
+
+
+class Pipeline:
+    """Compiles fluent ciphertext expressions into single fused plans.
+
+    One pipeline owns one :class:`~repro.he.evaluator.Evaluator` (and with
+    it one plan cache): every distinct expression shape compiles exactly
+    once per pipeline, and each :meth:`run` is exactly one backend
+    ``execute`` call.
+
+    Args:
+        context: The :class:`~repro.he.context.HeContext` whose pinned
+            backend and parameters the pipeline executes against.
+    """
+
+    def __init__(self, context) -> None:
+        self.context = context
+        self.evaluator: Evaluator = context.evaluator()
+
+    # -- building --------------------------------------------------------------
+    def load(self, ciphertext: Ciphertext) -> CiphertextExpr:
+        """Wrap a ciphertext as a lazy expression leaf."""
+        if not isinstance(ciphertext, Ciphertext):
+            raise TypeError(
+                "Pipeline.load expects a Ciphertext, got %r"
+                % type(ciphertext).__name__
+            )
+        return CiphertextExpr(self, "load", ciphertext=ciphertext)
+
+    # -- lowering --------------------------------------------------------------
+    def _collect(
+        self,
+        expr: CiphertextExpr,
+        leaf_ordinals: dict,
+        leaves: list,
+        key_ordinals: dict,
+        keys: list,
+    ) -> tuple:
+        """Assign identity ordinals to leaves/keys and build the cache key.
+
+        The signature captures everything that changes the compiled plan:
+        the expression structure, each leaf's size/domains/basis and each
+        relinearisation key's component count.  Two runs with the same
+        signature bind different tensors to the same plan.
+        """
+        if expr.kind == "load":
+            ordinal = leaf_ordinals.get(id(expr))
+            if ordinal is None:
+                ordinal = len(leaves)
+                leaf_ordinals[id(expr)] = ordinal
+                leaves.append(expr.ciphertext)
+            ct = expr.ciphertext
+            return (
+                "load",
+                ordinal,
+                ct.basis.primes,
+                tuple(poly.domain for poly in ct.polys),
+            )
+        if expr.kind == "relinearize":
+            ordinal = key_ordinals.get(id(expr.key))
+            if ordinal is None:
+                ordinal = len(keys)
+                key_ordinals[id(expr.key)] = ordinal
+                keys.append(expr.key)
+            child = self._collect(
+                expr.children[0], leaf_ordinals, leaves, key_ordinals, keys
+            )
+            # Component domains are part of the compiled plan (coefficient
+            # components get forward-NTT nodes, resident-NTT ones do not), so
+            # they must be part of the signature — exactly as in the per-op
+            # Evaluator.relinearize cache key.
+            return (
+                "relinearize",
+                ordinal,
+                len(expr.key.components),
+                tuple((rk0.domain, rk1.domain) for rk0, rk1 in expr.key.components),
+                child,
+            )
+        return (expr.kind,) + tuple(
+            self._collect(child, leaf_ordinals, leaves, key_ordinals, keys)
+            for child in expr.children
+        )
+
+    @staticmethod
+    def _result_level(expr: CiphertextExpr) -> int:
+        if expr.kind == "load":
+            return expr.ciphertext.level
+        level = Pipeline._result_level(expr.children[0])
+        return level + 1 if expr.kind == "mod_switch" else level
+
+    def run(self, expr: CiphertextExpr) -> Ciphertext:
+        """Lower, compile (cached) and execute an expression in one backend call."""
+        if expr.pipeline is not self:
+            raise ValueError("expression belongs to a different pipeline")
+        evaluator = self.evaluator
+        leaf_ordinals: dict = {}
+        leaves: list = []
+        key_ordinals: dict = {}
+        keys: list = []
+        signature = (
+            "pipeline",
+            self._collect(expr, leaf_ordinals, leaves, key_ordinals, keys),
+        )
+
+        # Adoption happens per run (bindings always carry tensors resident
+        # on the pinned backend), independent of whether the plan is cached.
+        adopted = {
+            ordinal: evaluator._adopt_all(ct.polys)
+            for ordinal, ct in enumerate(leaves)
+        }
+        adopted_keys = {
+            ordinal: [
+                (evaluator._adopt(rk0), evaluator._adopt(rk1))
+                for rk0, rk1 in key.components
+            ]
+            for ordinal, key in enumerate(keys)
+        }
+
+        bindings: dict = {}
+        for ordinal, polys in adopted.items():
+            for index, poly in enumerate(polys):
+                bindings["ct%d_%d" % (ordinal, index)] = poly.tensor
+        for ordinal, components in adopted_keys.items():
+            for index, (rk0, rk1) in enumerate(components):
+                bindings["key%d_rk0_%d" % (ordinal, index)] = rk0.tensor
+                bindings["key%d_rk1_%d" % (ordinal, index)] = rk1.tensor
+
+        def build():
+            em = _Emitter()
+            bound_keys = {
+                ordinal: [
+                    (
+                        em.bind("key%d_rk0_%d" % (ordinal, index), rk0),
+                        em.bind("key%d_rk1_%d" % (ordinal, index), rk1),
+                    )
+                    for index, (rk0, rk1) in enumerate(components)
+                ]
+                for ordinal, components in adopted_keys.items()
+            }
+            memo: dict[int, _SymCt] = {}
+
+            def lower(node: CiphertextExpr) -> _SymCt:
+                cached = memo.get(id(node))
+                if cached is not None:
+                    return cached
+                if node.kind == "load":
+                    ordinal = leaf_ordinals[id(node)]
+                    polys = [
+                        em.bind("ct%d_%d" % (ordinal, index), poly)
+                        for index, poly in enumerate(adopted[ordinal])
+                    ]
+                    result = _SymCt(polys, node.ciphertext.level)
+                elif node.kind == "multiply":
+                    left, right = (lower(child) for child in node.children)
+                    result = _SymCt(
+                        evaluator._emit_multiply(em, left.polys, right.polys),
+                        left.level,
+                    )
+                elif node.kind in ("add", "sub"):
+                    left, right = (lower(child) for child in node.children)
+                    if left.polys[0].basis.primes != right.polys[0].basis.primes:
+                        raise ValueError(
+                            "ciphertexts are at different levels; mod-switch first"
+                        )
+                    result = _SymCt(
+                        evaluator._emit_linear(
+                            em, left.polys, right.polys, subtract=node.kind == "sub"
+                        ),
+                        left.level,
+                    )
+                elif node.kind == "negate":
+                    child = lower(node.children[0])
+                    result = _SymCt(
+                        evaluator._emit_negate(em, child.polys), child.level
+                    )
+                elif node.kind == "square":
+                    child = lower(node.children[0])
+                    result = _SymCt(
+                        evaluator._emit_square(em, child.polys), child.level
+                    )
+                elif node.kind == "relinearize":
+                    child = lower(node.children[0])
+                    srk = bound_keys[key_ordinals[id(node.key)]]
+                    result = _SymCt(
+                        evaluator._emit_relinearize(em, child.polys, srk),
+                        child.level,
+                    )
+                elif node.kind == "mod_switch":
+                    child = lower(node.children[0])
+                    result = _SymCt(
+                        evaluator._emit_mod_switch(
+                            em, child.polys, evaluator.params.plaintext_modulus
+                        ),
+                        child.level + 1,
+                    )
+                else:  # pragma: no cover - defensive
+                    raise ValueError("unknown expression kind %r" % node.kind)
+                memo[id(node)] = result
+                return result
+
+            return evaluator._finish(em, lower(expr).polys)
+
+        polys = evaluator._run_plan(signature, build, bindings)
+        return Ciphertext(
+            polys=polys,
+            params=evaluator.params,
+            level=self._result_level(expr),
+        )

@@ -31,11 +31,31 @@ import random
 from collections.abc import Sequence
 from enum import Enum
 
+from ..backends import ops
 from ..backends.base import ComputeBackend, ResidueTensor
 from ..backends.registry import resolve_backend
 from .basis import RnsBasis
 
 __all__ = ["Domain", "RnsPolynomial"]
+
+#: Compiled ``iNTT(NTT(a) ⊙ NTT(b))`` product plans, keyed by row count.
+#: The plan is shape-generic (counts bind at execution), so one compilation
+#: serves every polynomial pair with the same number of RNS primes.
+_PRODUCT_PLANS: dict[int, ops.Plan] = {}
+
+
+def _product_plan(count: int) -> ops.Plan:
+    plan = _PRODUCT_PLANS.get(count)
+    if plan is None:
+        graph = ops.OpGraph()
+        a = graph.input("a")
+        b = graph.input("b")
+        stacked = graph.forward_ntt(graph.concat([a, b]))
+        fa, fb = graph.split(stacked, [count, count])
+        graph.output("product", graph.inverse_ntt(graph.mul(fa, fb)))
+        plan = graph.compile()
+        _PRODUCT_PLANS[count] = plan
+    return plan
 
 
 class Domain(str, Enum):
@@ -251,14 +271,25 @@ class RnsPolynomial:
 
         In the NTT domain this is element-wise; in the coefficient domain the
         operands are transformed, multiplied element-wise and transformed
-        back (the ``iNTT(NTT(a) ⊙ NTT(b))`` pipeline of Section III-A).
+        back (the ``iNTT(NTT(a) ⊙ NTT(b))`` pipeline of Section III-A) — by
+        default as **one** compiled plan handed to
+        :meth:`~repro.backends.base.ComputeBackend.execute`, so both forward
+        transforms run as a single wide batch and a sharding backend fuses
+        the whole product into one dispatch.  ``REPRO_EXECUTION=eager``
+        restores the per-call path; both are bit-for-bit identical.
         """
         if self.domain is Domain.NTT:
             return self._wrap(
                 self.backend.mul(self.tensor, self._operand(other)), Domain.NTT
             )
         self._check_compatible(other)
-        return (self.to_ntt() * other.to_ntt()).to_coefficient()
+        if ops.resolve_execution_mode() == "eager":
+            return (self.to_ntt() * other.to_ntt()).to_coefficient()
+        product = self.backend.execute(
+            _product_plan(self.basis.count),
+            {"a": self.tensor, "b": self._operand(other)},
+        )["product"]
+        return self._wrap(product, Domain.COEFFICIENT)
 
     def scalar_mul(self, scalar: int) -> "RnsPolynomial":
         """Multiply every coefficient by an integer scalar (domain-independent)."""

@@ -210,6 +210,56 @@ def test_forced_pool_chain_performs_zero_conversions():
         backend.close()
 
 
+def test_dispatch_count_accounts_every_pool_round_trip():
+    """`dispatch_count` is the pool round-trip odometer: one per eager op
+    above the crossover, one per fused plan stage, zero inline — and the
+    fused multiply → relinearize → mod_switch chain reads ≤ 3 (satellite
+    acceptance of the op-graph redesign)."""
+    backend = forced_backend()
+    try:
+        primes = generate_ntt_primes(30, 2, N)
+        batch = [p for p in primes for _ in range(2)]
+        tensor = backend.from_rows(random_rows(batch, N, seed=21), batch)
+        assert backend.dispatch_count == 0
+        assert backend.pool_dispatch_count == 0  # compatibility alias
+        forward = backend.forward_ntt_batch(tensor)  # eager: 1 round trip
+        assert backend.dispatch_count == 1
+        backend.add(forward, forward)  # eager: 1 more
+        assert backend.dispatch_count == 2
+        assert backend.pool_dispatch_count == backend.dispatch_count
+        backend.reset_dispatch_count()
+        assert backend.dispatch_count == 0
+
+        params = HEParams(n=64, plaintext_modulus=257, prime_bits=30, prime_count=3)
+        ctx = HeContext.create(params, backend=backend)
+        encryptor = ctx.encryptor()
+        evaluator = ctx.evaluator(mode="fused")
+        relin = ctx.relinearization_key()
+        ct_a = encryptor.encrypt(ctx.encoder().encode([1, 2, 3]))
+        ct_b = encryptor.encrypt(ctx.encoder().encode([4, 5, 6]))
+        backend.reset_dispatch_count()
+        backend.reset_conversion_count()
+        evaluator.mod_switch_to_next(
+            evaluator.relinearize(evaluator.multiply(ct_a, ct_b), relin)
+        )
+        # One fused plan per op; relinearize costs one extra stage when its
+        # digit source arrives as a plan input (single stage) — the chain
+        # budget is one dispatch per homomorphic operation.
+        assert 1 <= backend.dispatch_count <= 3, backend.dispatch_count
+        assert backend.conversion_count == 0
+        # Worker-side work never dispatches again: the counter is already
+        # complete across the process boundary (mirroring, like the
+        # conversion counter, happens per round trip).
+        eager = ctx.evaluator(mode="eager")
+        backend.reset_dispatch_count()
+        eager.mod_switch_to_next(
+            eager.relinearize(eager.multiply(ct_a, ct_b), relin)
+        )
+        assert backend.dispatch_count > 3  # one per backend method call
+    finally:
+        backend.close()
+
+
 def test_chain_bit_identical_across_all_three_backends():
     params = HEParams(n=64, plaintext_modulus=257, prime_bits=30, prime_count=3)
     results = {}

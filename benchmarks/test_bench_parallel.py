@@ -161,7 +161,7 @@ def test_bench_parallel_he_chain_stays_resident(benchmark):
                 evaluator.relinearize(evaluator.multiply(ct_a, ct_b), relin)
             )
 
-        backend.reset_conversion_count()
+        context.reset_metrics()
         switched = chain()
         assert backend.conversion_count == 0
         assert backend.pool_dispatch_count == 0  # toy shapes stay inline

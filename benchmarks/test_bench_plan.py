@@ -97,7 +97,7 @@ def test_bench_plan_fused_vs_eager_chain(benchmark):
         # Warm both sides (pool workers, twiddle tables, compiled plan) and
         # pin bit-for-bit equality plus the dispatch budget before timing.
         expected = run_eager()
-        backend.reset_dispatch_count()
+        context.reset_metrics()
         produced = run_fused()
         fused_dispatches = backend.dispatch_count
         assert fused_dispatches <= 3, fused_dispatches

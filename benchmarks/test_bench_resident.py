@@ -123,7 +123,7 @@ def test_bench_resident_he_multiply_chain(benchmark):
             evaluator.relinearize(evaluator.multiply(ct_a, ct_b), relin)
         )
 
-    context.backend.reset_conversion_count()
+    context.reset_metrics()
     switched = chain()
     assert context.backend.conversion_count == 0
     decoded = context.encoder().decode(context.decryptor().decrypt(switched))

@@ -1,0 +1,108 @@
+"""Benchmark: telemetry overhead with tracing disabled.
+
+The tracing seam wraps every hot kernel (`forward_ntt_batch`, `mul`, ...)
+and the plan executor, so the subsystem's contract is that the *disabled*
+path costs nothing a workload can notice: one attribute check per call.
+This module pins that contract on the fused multiply → relinearize →
+mod_switch chain by timing the instrumented stack (tracing off) against
+the same stack with the span wrappers stripped (``uninstrumented()``),
+and asserting the overhead stays under 5%.
+
+The chain runs at ``N = 2048, np = 4`` on the numpy backend with a pinned
+engine — large enough that real arithmetic dominates, small enough that
+best-of-N timing is cheap.  Results are checked bit-identical across the
+two configurations before anything is timed.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.backends.base import uninstrumented
+from repro.backends.numpy_backend import NumpyBackend
+from repro.he import HeContext, HEParams
+
+N = 2048
+PRIME_COUNT = 4
+ENGINE = "high_radix"  # pin one engine: isolate the instrumentation
+MAX_OVERHEAD = 1.05  # the <5% acceptance criterion
+BEST_OF = 9
+ATTEMPTS = 3  # re-measure on a noisy-runner miss before failing
+
+
+def _interleaved_best_of(a, b, repeats=BEST_OF):
+    """Best-of timings for two callables with alternating samples, so a
+    load spike on a shared runner hits both sides instead of biasing one."""
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        a()
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        b()
+        best_b = min(best_b, time.perf_counter() - start)
+    return best_a, best_b
+
+
+def _build_chain():
+    params = HEParams(
+        n=N, plaintext_modulus=17, prime_bits=30, prime_count=PRIME_COUNT
+    )
+    context = HeContext.create(
+        params, backend=NumpyBackend(engine=ENGINE), seed=7
+    )
+    encryptor = context.encryptor(seed=11)
+    evaluator = context.evaluator(mode="fused")
+    relin = context.relinearization_key()
+    ct_a = encryptor.encrypt(context.integer_encoder().encode(3))
+    ct_b = encryptor.encrypt(context.integer_encoder().encode(5))
+
+    def chain():
+        return evaluator.mod_switch_to_next(
+            evaluator.relinearize(evaluator.multiply(ct_a, ct_b), relin)
+        )
+
+    return chain
+
+
+def test_bench_telemetry_disabled_overhead(benchmark):
+    as_rows = lambda ct: [p.to_coeff_lists() for p in ct.polys]
+
+    # Instrumented stack, tracing off — the production configuration.
+    chain = _build_chain()
+    wrapped_result = as_rows(chain())  # warm: plan compile, twiddle tables
+
+    # Same stack with the span wrappers stripped off the backend methods.
+    # uninstrumented() rebinds *class* attributes and method lookup is
+    # dynamic, so which variant runs is decided per call by whether the
+    # chain executes inside the context — the same warm backend serves
+    # both timings.
+    bare_chain = _build_chain()
+    with uninstrumented():
+        bare_result = as_rows(bare_chain())
+    assert bare_result == wrapped_result
+
+    def run_bare():
+        with uninstrumented():
+            bare_chain()
+
+    ratio = float("inf")
+    for attempt in range(ATTEMPTS):
+        wrapped_s, bare_s = _interleaved_best_of(chain, run_bare)
+        ratio = min(ratio, wrapped_s / bare_s)
+        if ratio <= MAX_OVERHEAD:
+            break
+
+    print()
+    print(
+        "multiply -> relinearize -> mod_switch, N=%d, np=%d, numpy, "
+        "engine=%s" % (N, PRIME_COUNT, ENGINE)
+    )
+    print("  uninstrumented        : %8.2f ms" % (bare_s * 1e3))
+    print("  instrumented (off)    : %8.2f ms" % (wrapped_s * 1e3))
+    print("  overhead              : %8.2f%%" % ((ratio - 1.0) * 100.0))
+    benchmark(chain)
+    assert ratio <= MAX_OVERHEAD, (
+        "disabled telemetry costs %.1f%% (budget is %.0f%%)"
+        % ((ratio - 1.0) * 100.0, (MAX_OVERHEAD - 1.0) * 100.0)
+    )

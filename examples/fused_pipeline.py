@@ -47,8 +47,9 @@ def main() -> None:
     ct_y = encryptor.encrypt(encoder.encode(y))
 
     def report(label, run):
-        backend.reset_dispatch_count()
-        backend.reset_conversion_count()
+        # One call zeroes every counter — the backend's dispatch/conversion
+        # tallies and (cascading) each evaluator's plan counters.
+        context.reset_metrics()
         result = run()
         print("%-22s: %2d pool dispatches, %d conversions"
               % (label, backend.dispatch_count, backend.conversion_count))
@@ -82,9 +83,20 @@ def main() -> None:
     chain_pipeline = report("pipeline (one plan)", run_pipeline)
 
     # Same shape again: the compiled plan is reused, only execution runs.
+    # (reset_metrics above also zeroed the pipeline evaluator's plan
+    # counters, so these read as "since the last reset": no new compile,
+    # one cache hit.)
     report("pipeline (cached)", run_pipeline)
-    print("plan cache     : %d compiled, %d hit(s)"
+    print("plan cache     : %d newly compiled, %d hit(s) since reset"
           % (pipe.evaluator.plans_compiled, pipe.evaluator.plan_cache_hits))
+
+    # -- one flat snapshot of every counter the session touched -----------------------
+    snapshot = context.metrics()
+    print("metrics        : " + ", ".join(
+        "%s=%s" % (key, snapshot[key])
+        for key in ("pool.dispatches", "conversions.rows", "ntt.invocations",
+                    "plan.cache_hits", "shm.bytes_in_use")
+    ))
 
     # -- all three execution models are bit-for-bit identical -------------------------
     rows = lambda ct: [poly.to_coeff_lists() for poly in ct.polys]

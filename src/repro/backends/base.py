@@ -66,11 +66,15 @@ Backends are interchangeable bit-for-bit: the cross-check suite in
 from __future__ import annotations
 
 import abc
+import contextlib
+import functools
 from collections.abc import Mapping, Sequence
 
+from ..telemetry import TRACER
+from ..telemetry.metrics import MetricsRegistry
 from . import ops
 
-__all__ = ["ComputeBackend", "ResidueTensor", "ResidueRows"]
+__all__ = ["ComputeBackend", "ResidueTensor", "ResidueRows", "uninstrumented"]
 
 #: A batch of residue rows in boundary (Python list) form: ``rows[i]`` holds
 #: integers reduced mod ``primes[i]``.  Only :meth:`ComputeBackend.from_rows`
@@ -136,6 +140,61 @@ class ResidueTensor:
         )
 
 
+#: Kernel methods auto-wrapped with tracing spans on every concrete backend
+#: subclass (see :meth:`ComputeBackend.__init_subclass__`).  Mapping is
+#: method name → span name; boundary crossings get their own ``boundary.*``
+#: namespace so the summary separates data movement from compute.
+_TRACED_KERNELS = {
+    "forward_ntt_batch": "op.forward_ntt",
+    "inverse_ntt_batch": "op.inverse_ntt",
+    "add": "op.add",
+    "sub": "op.sub",
+    "neg": "op.neg",
+    "mul": "op.mul",
+    "scalar_mul": "op.scalar_mul",
+    "digit_broadcast": "op.digit_broadcast",
+    "mod_switch_drop_last": "op.mod_switch",
+    "from_rows": "boundary.from_rows",
+    "to_rows": "boundary.to_rows",
+}
+
+#: Every wrap applied by ``__init_subclass__``: ``(cls, attr, original,
+#: wrapper)`` — consumed by :func:`uninstrumented` to restore the pristine
+#: methods for overhead baselines.
+_INSTRUMENTED: list[tuple] = []
+
+
+def _traced(method, span_name: str):
+    """Wrap a kernel method with a tracing span (single-check fast path)."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        if not TRACER.enabled:
+            return method(self, *args, **kwargs)
+        with TRACER.span(span_name, backend=self.name):
+            return method(self, *args, **kwargs)
+
+    wrapper._repro_traced = True
+    return wrapper
+
+
+@contextlib.contextmanager
+def uninstrumented():
+    """Temporarily restore every auto-wrapped kernel to its original.
+
+    The telemetry overhead benchmark uses this as its baseline: comparing
+    the (tracing-off) wrapped stack against the never-wrapped stack pins
+    the cost of the disabled fast path itself.
+    """
+    for cls, attr, original, _wrapper in _INSTRUMENTED:
+        setattr(cls, attr, original)
+    try:
+        yield
+    finally:
+        for cls, attr, _original, wrapper in _INSTRUMENTED:
+            setattr(cls, attr, wrapper)
+
+
 class ComputeBackend(abc.ABC):
     """Abstract batched compute backend over resident residue tensors.
 
@@ -165,7 +224,30 @@ class ComputeBackend(abc.ABC):
     name: str = "abstract"
 
     def __init__(self) -> None:
-        self._conversions = 0
+        #: The backend's metrics namespace.  Counters live here; the legacy
+        #: per-concern properties below are thin shims over it.
+        self.metrics = MetricsRegistry()
+        self.metrics.declare("conversions.rows", "pool.dispatches")
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Auto-instrument every concrete kernel a subclass defines.
+
+        Each method named in :data:`_TRACED_KERNELS` that the subclass
+        itself implements is wrapped with a tracing span.  Only
+        ``cls.__dict__`` entries are wrapped (inherited methods were
+        already wrapped on the class that defined them), and re-wrapping
+        is guarded so reloads stay idempotent.  This keeps every backend
+        — including the pool's worker-side instances — instrumented
+        without a single hand-written span in the implementations.
+        """
+        super().__init_subclass__(**kwargs)
+        for attr, span_name in _TRACED_KERNELS.items():
+            method = cls.__dict__.get(attr)
+            if method is None or getattr(method, "_repro_traced", False):
+                continue
+            wrapper = _traced(method, span_name)
+            setattr(cls, attr, wrapper)
+            _INSTRUMENTED.append((cls, attr, method, wrapper))
 
     # -- boundary conversions (the only list <-> native crossings) -------------
     @property
@@ -175,16 +257,17 @@ class ComputeBackend(abc.ABC):
         Incremented by :meth:`from_rows`, :meth:`to_rows` and (for vectorised
         backends) the per-prime scalar fallback.  A chain of operations that
         stayed fully resident leaves this counter unchanged — the acceptance
-        test of the resident data plane.
+        test of the resident data plane.  Shim over
+        ``metrics.value("conversions.rows")``.
         """
-        return self._conversions
+        return self.metrics.value("conversions.rows")
 
     def reset_conversion_count(self) -> None:
         """Zero the boundary-conversion counter (test/benchmark helper)."""
-        self._conversions = 0
+        self.metrics.zero("conversions.rows")
 
     def _count_conversion(self, rows: int) -> None:
-        self._conversions += rows
+        self.metrics.inc("conversions.rows", rows)
 
     @abc.abstractmethod
     def from_rows(self, rows: ResidueRows, primes: Sequence[int]) -> ResidueTensor:
@@ -216,7 +299,10 @@ class ComputeBackend(abc.ABC):
         handle (no defensive copy — insert an explicit ``copy`` node when
         fresh storage is required).
         """
-        return ops.interpret(self, plan, inputs)
+        if not TRACER.enabled:
+            return ops.interpret(self, plan, inputs)
+        with TRACER.span("plan.execute", backend=self.name, nodes=len(plan.nodes)):
+            return ops.interpret(self, plan, inputs)
 
     # -- transforms (eager compatibility layer: one-node plans) ----------------
     @abc.abstractmethod

@@ -48,6 +48,7 @@ except ImportError:  # pragma: no cover - exercised only without numpy
     np = None
 
 from ..modarith.modops import inv_mod, mul_mod, pow_mod
+from ..telemetry import TRACER
 from ..modarith.roots import primitive_root_of_unity
 from ..transforms.bitrev import (
     bit_reverse_index_array,
@@ -730,11 +731,17 @@ class EngineSelectionMixin:
         key = (n, p.bit_length(), batch)
         choice = self._engine_choices.get(key)
         if choice is None:
-            choice, timings = self._tuner.pick(
-                lambda engine: self._autotune_run(engine, n, p, batch)
-            )
+            with TRACER.span(
+                "ntt.autotune", n=n, p_bits=key[1], batch=batch
+            ):
+                choice, timings = self._tuner.pick(
+                    lambda engine: self._autotune_run(engine, n, p, batch)
+                )
             self._engine_choices[key] = choice
             self._engine_timings[key] = timings
+            metrics = getattr(self, "metrics", None)
+            if metrics is not None:
+                metrics.observe("ntt.autotune_seconds", timings.get(choice, 0.0))
         return get_engine(choice)
 
     def _autotune_run(self, engine: NttEngine, n: int, p: int, batch: int) -> None:

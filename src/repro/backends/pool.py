@@ -47,6 +47,8 @@ try:  # Only the worker/arena payload paths need NumPy; resolution does not.
 except ImportError:  # pragma: no cover - exercised only without numpy
     np = None
 
+from ..telemetry import TRACER
+
 __all__ = [
     "SHARDS_ENV_VAR",
     "SharedArena",
@@ -166,11 +168,17 @@ class SharedArena:
         self._segments: dict[str, SharedSegment] = {}
         self._deferred: list[shared_memory.SharedMemory] = []
         self._owner_pid = os.getpid()
+        self._bytes_in_use = 0
 
     @property
     def live_segments(self) -> int:
         """Number of segments currently allocated (test/diagnostic helper)."""
         return len(self._segments)
+
+    @property
+    def bytes_in_use(self) -> int:
+        """Bytes of live shared memory (the ``shm.bytes_in_use`` gauge)."""
+        return self._bytes_in_use
 
     def allocate(self, nbytes: int) -> SharedSegment:
         """Create a zero-initialised segment of at least ``nbytes`` bytes."""
@@ -179,6 +187,9 @@ class SharedArena:
         shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
         segment = SharedSegment(self, shm)
         self._segments[shm.name] = segment
+        # shm.size is the mapped size (page-rounded), so the gauge reports
+        # actual occupancy, not the requested byte count.
+        self._bytes_in_use += shm.size
         return segment
 
     def release(self, segment: SharedSegment) -> None:
@@ -192,7 +203,8 @@ class SharedArena:
         the name disappears and the pages are freed as soon as the last
         mapping closes.
         """
-        self._segments.pop(segment.name, None)
+        if self._segments.pop(segment.name, None) is not None:
+            self._bytes_in_use -= segment.shm.size
         try:
             segment.shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already unlinked
@@ -246,6 +258,7 @@ class SharedArena:
             except BufferError:
                 self._disarm(shm)
         self._deferred = []
+        self._bytes_in_use = 0
 
 
 _ARENA = SharedArena()
@@ -318,6 +331,10 @@ def _init_worker(inner_name: str, engine_spec: str | None) -> None:
     from .registry import get_backend
 
     _disarm_inherited_segments()
+    # The fork copied the parent's tracer (enabled flag, captured events,
+    # span stack); a worker must start clean or it would re-ship parent
+    # spans with every shard result.
+    TRACER.reset_after_fork()
     global _WORKER_BACKEND
     backend = get_backend(inner_name)
     if engine_spec is not None:
@@ -540,24 +557,45 @@ def _run_task(backend, task: dict, shms: list) -> dict[int, list[int]] | None:
 def _exec_shard(task: dict) -> dict:
     """Worker entry point: run one shard task against the inner backend.
 
-    Returns ``{"conversions": rows, "big": {...} | None}``: ``big`` holds
-    the shard's big-row results (exact Python lists for rows whose prime
-    exceeds the uint64 storage window — the documented chunked-pickle
-    fallback; the uint64 payload is written straight into the output
-    segment's pages), and ``conversions`` is the number of list/native
-    boundary crossings the inner backend charged while computing the shard
-    (its per-prime fallback), which the parent mirrors onto the parallel
-    backend's own counter so the accounting contract of ``base.py`` holds
-    across process boundaries.
+    Returns ``{"conversions": rows, "big": {...} | None, "spans": [...]}``:
+    ``big`` holds the shard's big-row results (exact Python lists for rows
+    whose prime exceeds the uint64 storage window — the documented
+    chunked-pickle fallback; the uint64 payload is written straight into
+    the output segment's pages), and ``conversions`` is the number of
+    list/native boundary crossings the inner backend charged while
+    computing the shard (its per-prime fallback), which the parent mirrors
+    onto the parallel backend's own counter so the accounting contract of
+    ``base.py`` holds across process boundaries.  When the coordinator set
+    ``task["trace"]``, ``spans`` carries the events this worker recorded
+    under a ``pool.task`` root span; the coordinator ingests them under
+    its dispatch span (:meth:`repro.telemetry.Tracer.ingest`), which is
+    how pool work shows up in traces with per-worker attribution.
     """
     backend = _WORKER_BACKEND
     if backend is None:  # pragma: no cover - defensive
         raise RuntimeError("worker pool used before initialisation")
     shms: list[shared_memory.SharedMemory] = []
     before = backend.conversion_count
+    trace = task.get("trace", False)
+    spans: list[tuple] = []
     try:
-        big = _run_task(backend, task, shms)
-        return {"conversions": backend.conversion_count - before, "big": big}
+        if trace:
+            TRACER.start()
+            mark = TRACER.mark()
+            try:
+                with TRACER.span("pool.task", worker=os.getpid(), op=task["op"]):
+                    big = _run_task(backend, task, shms)
+                spans = TRACER.events_since(mark)
+            finally:
+                TRACER.stop()
+                TRACER.clear()
+        else:
+            big = _run_task(backend, task, shms)
+        return {
+            "conversions": backend.conversion_count - before,
+            "big": big,
+            "spans": spans,
+        }
     finally:
         for shm in shms:
             try:

@@ -22,6 +22,7 @@ import random
 from collections.abc import Sequence
 
 from ..modarith.modops import add_mod, mul_mod, neg_mod, sub_mod
+from ..telemetry import TRACER
 from ..transforms.cooley_tukey import NegacyclicTransformer
 from .base import ComputeBackend, ResidueRows, ResidueTensor
 from .engines import EngineSelectionMixin, NttEngine
@@ -63,6 +64,8 @@ class ScalarBackend(EngineSelectionMixin, ComputeBackend):
         self._transformers: dict[tuple[int, int], NegacyclicTransformer] = {}
         self._tune_rows: dict[tuple[int, int], list[int]] = {}
         self._init_engine_selection(engine)
+        self.metrics.set_gauge("ntt.engine_choices", lambda: self.engine_choices)
+        self.metrics.set_gauge("ntt.engine_timings", lambda: self.engine_timings)
 
     @property
     def resident_contexts(self) -> int:
@@ -128,8 +131,11 @@ class ScalarBackend(EngineSelectionMixin, ComputeBackend):
             engine = self._select_engine(n, p, len(indices))
             transformer = self.transformer(n, p)
             method = engine.forward_row if forward else engine.inverse_row
-            for index in indices:
-                out[index] = method(rows[index], transformer)
+            with TRACER.span(
+                "ntt.engine", engine=engine.spec, n=n, rows=len(indices)
+            ):
+                for index in indices:
+                    out[index] = method(rows[index], transformer)
         return out
 
     def _forward_rows(

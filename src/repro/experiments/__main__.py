@@ -23,16 +23,75 @@ import os
 import sys
 import traceback
 
-from ..backends.engines import get_engine, set_default_engine
+from ..backends.engines import default_engine_spec, get_engine, set_default_engine
 from ..backends.ops import (
     EXECUTION_ENV_VAR,
     resolve_execution_mode,
     set_default_execution_mode,
 )
 from ..backends.pool import SHARDS_ENV_VAR, resolve_shard_count, set_default_shards
-from ..backends.registry import BACKEND_ENV_VAR, available_backends, set_default_backend
+from ..backends.registry import (
+    BACKEND_ENV_VAR,
+    available_backends,
+    resolve_backend,
+    set_default_backend,
+)
+from ..telemetry import (
+    TRACER,
+    enable_tracing,
+    format_summary,
+    summarize,
+    write_chrome_trace,
+)
 from .registry import EXPERIMENTS, run_experiment
 from .report import format_experiment
+
+
+def _print_engine_verdicts(args) -> None:
+    """Print the per-shape auto-tuner verdicts for the selected backend.
+
+    When nothing has been tuned yet (fresh process) and no engine pin is in
+    force, one representative shape is probed so ``--list`` shows a real
+    verdict instead of an empty table — no debugger required.
+    """
+    try:
+        backend = resolve_backend(args.backend)
+    except (KeyError, ValueError) as exc:
+        print("engine verdicts unavailable (%s)" % exc)
+        return
+    if not hasattr(backend, "engine_choices"):
+        print("engine verdicts: backend %r has no NTT-engine seam" % backend.name)
+        return
+    probed = False
+    pinned = (
+        backend.engine is not None
+        or args.engine is not None
+        or default_engine_spec() is not None
+    )
+    if not backend.engine_choices and not pinned:
+        from ..modarith.primes import generate_ntt_primes
+
+        [p] = generate_ntt_primes(30, 1, 256)
+        rows = [[(i * 31 + j) % p for j in range(256)] for i in range(4)]
+        backend.forward_ntt_batch(backend.from_rows(rows, [p] * 4))
+        probed = True
+    choices = backend.engine_choices
+    timings = backend.engine_timings
+    if not choices:
+        reason = "an engine pin is in force" if pinned else "nothing tuned yet"
+        print("engine auto-tuner verdicts: none (%s)" % reason)
+        return
+    print(
+        "engine auto-tuner verdicts (%s backend%s):"
+        % (backend.name, ", probed with one representative shape" if probed else "")
+    )
+    for (n, p_bits, batch), spec in sorted(choices.items()):
+        best = timings.get((n, p_bits, batch), {}).get(spec)
+        timing = " [%.3f ms]" % (best * 1e3) if best is not None else ""
+        print(
+            "  n=%-6d p_bits=%-3d batch=%-4d -> %s%s"
+            % (n, p_bits, batch, spec, timing)
+        )
 
 
 def main(argv: list[str]) -> int:
@@ -84,9 +143,18 @@ def main(argv: list[str]) -> int:
         "bit-for-bit identical to --fused)",
     )
     parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="capture a Chrome-trace JSON of the run to PATH (load in "
+        "Perfetto / chrome://tracing) and print the span-time summary "
+        "table (equivalent: the REPRO_TRACE env var)",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
-        help="list experiment keys plus backend/shard-worker info and exit",
+        help="list experiment keys plus backend/shard-worker info, NTT "
+        "engine auto-tuner verdicts, and exit",
     )
     parser.set_defaults(execution=None)
     args = parser.parse_args(argv)
@@ -111,6 +179,7 @@ def main(argv: list[str]) -> int:
             "%s > fused)"
             % (resolve_execution_mode(args.execution), EXECUTION_ENV_VAR)
         )
+        _print_engine_verdicts(args)
         return 0
 
     keys = args.keys if args.keys else list(EXPERIMENTS)
@@ -163,6 +232,11 @@ def main(argv: list[str]) -> int:
         print("error: %s" % exc, file=sys.stderr)
         return 2
 
+    trace_mark = None
+    if args.trace is not None:
+        enable_tracing(args.trace)
+        trace_mark = TRACER.mark()
+
     failures: list[str] = []
     for key in keys:
         try:
@@ -175,6 +249,13 @@ def main(argv: list[str]) -> int:
             traceback.print_exc()
             continue
         print(format_experiment(result))
+        print()
+    if trace_mark is not None:
+        # Written here as well as at interpreter exit so in-process callers
+        # (tests driving main() directly) see the file immediately.
+        write_chrome_trace(args.trace, TRACER.events())
+        print(format_summary(summarize(TRACER.events_since(trace_mark))))
+        print("chrome trace written to %s" % args.trace)
         print()
     if failures:
         print("%d experiment(s) failed: %s" % (len(failures), ", ".join(failures)),

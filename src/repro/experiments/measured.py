@@ -36,6 +36,7 @@ __all__ = [
     "measured_forward_ms",
     "measured_fft_ms",
     "measured_ntt_share",
+    "traced_ntt_share",
 ]
 
 #: Default ``(log_n, batch)`` measurement shape per backend name.
@@ -215,3 +216,63 @@ def measured_ntt_share(
         "total_ms": total_seconds * 1e3,
         "share": ntt_seconds / total_seconds if total_seconds else float("nan"),
     }
+
+
+def traced_ntt_share(
+    backend: ComputeBackend | str | None = None, engine: str | None = None
+) -> dict[str, object]:
+    """The NTT share of the same chain, measured from telemetry spans.
+
+    Where :func:`measured_ntt_share` intercepts the two transform methods
+    with hand-written timers (and therefore must run eager), this variant
+    runs the **fused** production path under the
+    :mod:`repro.telemetry` tracer and derives the share from span *self
+    time* (:func:`repro.telemetry.summarize`) — the same arithmetic the
+    ``--trace`` summary table prints.  Self-time accounting keeps the
+    share honest under fusion: a ``plan.execute`` span contains its
+    ``op.*`` spans, so inclusive sums would double-count.
+    """
+    from ..he.context import HeContext
+    from ..he.params import HEParams
+    from ..telemetry import TRACER, summarize
+
+    instance = measurement_backend(backend, engine)
+    key = ("traced_share", instance.name, engine)
+    cached = _result_cache.get(key)
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    n, prime_count = (1024, 6) if instance.name == "numpy" else (256, 3)
+    params = HEParams(n=n, plaintext_modulus=17, prime_bits=MEASURE_PRIME_BITS,
+                      prime_count=prime_count)
+    context = HeContext.create(params, backend=instance, seed=7)
+    encryptor = context.encryptor(seed=11)
+    encoder = context.integer_encoder()
+    ct_a = encryptor.encrypt(encoder.encode(3))
+    ct_b = encryptor.encrypt(encoder.encode(5))
+    evaluator = context.evaluator(mode="fused")
+    relin_key = context.relinearization_key()
+
+    # Warm run: plan compilation and twiddle tables stay off the trace.
+    evaluator.relinearize(evaluator.multiply(ct_a, ct_b), relin_key)
+
+    was_enabled = TRACER.enabled
+    if not was_enabled:
+        TRACER.start()
+    mark = TRACER.mark()
+    try:
+        evaluator.relinearize(evaluator.multiply(ct_a, ct_b), relin_key)
+        events = TRACER.events_since(mark)
+    finally:
+        if not was_enabled:
+            TRACER.stop()
+    stats = summarize(events)
+    result: dict[str, object] = {
+        "backend": instance.name,
+        "n": n,
+        "np": prime_count,
+        "ntt_ms": stats["ntt_self_seconds"] * 1e3,
+        "total_ms": stats["total_self_seconds"] * 1e3,
+        "share": stats["ntt_share"],
+    }
+    _result_cache[key] = result  # type: ignore[assignment]
+    return result

@@ -32,6 +32,8 @@ from __future__ import annotations
 from ..backends.base import ComputeBackend
 from ..backends.registry import build_backend, resolve_backend
 from ..rns.basis import RnsBasis
+from ..telemetry import enable_tracing, maybe_enable_from_env
+from ..telemetry.metrics import MetricsRegistry
 from .encoder import BatchEncoder, IntegerEncoder
 from .encryptor import Decryptor, Encryptor
 from .evaluator import Evaluator
@@ -65,6 +67,10 @@ class HeContext:
         self._keygen = keygen
         self._relin_key: RelinearizationKey | None = None
         self._batch_encoder: BatchEncoder | None = None
+        # Aggregates the counters of every evaluator this context hands out
+        # (each evaluator registry is created with this one as its parent).
+        self._metrics = MetricsRegistry()
+        self._metrics.declare("plan.compiled", "plan.cache_hits", "ntt.invocations")
 
     @classmethod
     def create(
@@ -75,6 +81,7 @@ class HeContext:
         warm: bool = True,
         engine: str | None = None,
         shards: int | None = None,
+        trace: str | None = None,
     ) -> "HeContext":
         """Build a context: resolve the backend once, generate the basis, warm caches.
 
@@ -105,7 +112,17 @@ class HeContext:
                 ``None`` keeps the backend's own resolution
                 (``set_default_shards`` > ``REPRO_SHARDS`` >
                 ``cpu_count - 1``).
+            trace: Path for a Chrome-trace JSON capture of this process
+                (written at interpreter exit; load it in Perfetto or
+                ``chrome://tracing``).  Tracing is process-wide — it starts
+                here, before key generation, so the warm-up work is in the
+                trace too.  ``None`` falls back to the ``REPRO_TRACE``
+                environment variable; see :mod:`repro.telemetry`.
         """
+        if trace is not None:
+            enable_tracing(trace)
+        else:
+            maybe_enable_from_env()
         caller_owned = isinstance(backend, ComputeBackend)
         if (engine is not None or shards is not None) and not caller_owned:
             # Fresh factory-built instance so the pin cannot leak into the
@@ -180,7 +197,35 @@ class HeContext:
                 ``--fused``/``--eager``).  Both modes are bit-for-bit
                 identical.
         """
-        return Evaluator(self.params, backend=self.backend, mode=mode)
+        return Evaluator(
+            self.params, backend=self.backend, mode=mode, metrics=self._metrics
+        )
+
+    # -- telemetry -------------------------------------------------------------
+    def metrics(self) -> dict:
+        """One flat snapshot of every counter/gauge the session touches.
+
+        Merges the pinned backend's registry (``conversions.rows``,
+        ``pool.dispatches``, ``shm.bytes_in_use``, the autotuner's
+        ``ntt.engine_choices`` / ``ntt.engine_timings`` and
+        ``ntt.autotune_seconds``) with the context's own aggregate of every
+        evaluator it handed out (``plan.compiled``, ``plan.cache_hits``,
+        ``ntt.invocations``).  The two registries use disjoint key
+        namespaces, so the merge loses nothing.
+        """
+        snapshot = self.backend.metrics.snapshot()
+        snapshot.update(self._metrics.snapshot())
+        return snapshot
+
+    def reset_metrics(self) -> None:
+        """Zero every counter in one call: the backend's (conversions,
+        dispatches) and — cascading through the registry parent links —
+        those of every evaluator/pipeline this context created.  Replaces
+        the piecemeal ``reset_conversion_count()`` /
+        ``reset_dispatch_count()`` dance; gauges report live state and are
+        unaffected."""
+        self.backend.metrics.reset()
+        self._metrics.reset()
 
     def pipeline(self) -> "Pipeline":
         """A lazy ciphertext-expression pipeline over the pinned backend.

@@ -42,6 +42,8 @@ from collections.abc import Sequence
 from ..backends import ops
 from ..backends.base import ComputeBackend, ResidueTensor
 from ..backends.registry import resolve_backend
+from ..telemetry import TRACER
+from ..telemetry.metrics import MetricsRegistry
 from ..rns.basis import RnsBasis
 from ..rns.poly import Domain, RnsPolynomial
 from .ciphertext import Ciphertext
@@ -102,29 +104,36 @@ class Evaluator:
         params: HEParams,
         backend: ComputeBackend | str | None = None,
         mode: str | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.params = params
         self.backend = resolve_backend(backend)
         self.mode = ops.resolve_execution_mode(mode)
-        self._ntt_invocations = 0
+        #: The evaluator's metrics namespace.  When an ``HeContext`` builds
+        #: the evaluator it passes its own registry as the parent, so the
+        #: context's snapshot aggregates every evaluator it handed out.
+        self.metrics = MetricsRegistry(parent=metrics)
+        self.metrics.declare("plan.compiled", "plan.cache_hits", "ntt.invocations")
         self._plan_cache: dict[tuple, tuple] = {}
-        self._plan_cache_hits = 0
 
     # -- bookkeeping -----------------------------------------------------------------
     @property
     def ntt_invocations(self) -> int:
-        """Forward/inverse NTT invocations triggered so far (per RNS prime)."""
-        return self._ntt_invocations
+        """Forward/inverse NTT invocations triggered so far (per RNS prime).
+
+        Shim over ``metrics.value("ntt.invocations")``.
+        """
+        return self.metrics.value("ntt.invocations")
 
     @property
     def plans_compiled(self) -> int:
         """Distinct operation plans compiled so far (fused mode)."""
-        return len(self._plan_cache)
+        return self.metrics.value("plan.compiled")
 
     @property
     def plan_cache_hits(self) -> int:
         """Fused executions that reused an already-compiled plan."""
-        return self._plan_cache_hits
+        return self.metrics.value("plan.cache_hits")
 
     @staticmethod
     def _check_same_ring(a: Ciphertext, b: Ciphertext) -> None:
@@ -184,13 +193,18 @@ class Evaluator:
         """
         cached = self._plan_cache.get(key)
         if cached is None:
-            cached = build()
+            if TRACER.enabled:
+                with TRACER.span("plan.compile", op=str(key[0])):
+                    cached = build()
+            else:
+                cached = build()
             self._plan_cache[key] = cached
+            self.metrics.inc("plan.compiled")
         else:
-            self._plan_cache_hits += 1
+            self.metrics.inc("plan.cache_hits")
         plan, specs, ntt_rows = cached
         outputs = self.backend.execute(plan, bindings)
-        self._ntt_invocations += ntt_rows
+        self.metrics.inc("ntt.invocations", ntt_rows)
         return [
             self._poly(outputs[name], basis, domain) for name, basis, domain in specs
         ]
@@ -486,7 +500,7 @@ class Evaluator:
         )
         for i, piece in zip(pending, pieces):
             results[i] = self._poly(piece, results[i].basis, target)
-            self._ntt_invocations += piece.count
+            self.metrics.inc("ntt.invocations", piece.count)
         return results
 
     def _tensor(

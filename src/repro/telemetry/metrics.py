@@ -1,0 +1,123 @@
+"""The metrics half of the telemetry subsystem: named counters/gauges/histograms.
+
+Before this module the repo's accounting was an ad-hoc scatter — a
+``_conversions`` int on each backend, ``_pool_dispatches`` on the parallel
+coordinator, plan-cache tallies on each evaluator — each with its own
+reset method that had to be called on exactly the right object.
+:class:`MetricsRegistry` promotes them into one namespace:
+
+* **Counters** — monotonically increasing ints (``conversions.rows``,
+  ``pool.dispatches``, ``plan.cache_hits``, ``ntt.invocations``).
+  :meth:`MetricsRegistry.inc` walks the parent chain, so an evaluator's
+  increments also land in its owning context's registry — the basis of
+  the per-tenant accounting the ROADMAP's service direction needs.
+* **Gauges** — zero-argument callables evaluated at snapshot time
+  (``shm.bytes_in_use``, the autotuner's per-shape ``ntt.engine_choices``
+  / ``ntt.engine_timings``).  A gauge reports current state; it is never
+  reset.
+* **Histograms** — ``{count, total, min, max}`` summaries fed by
+  :meth:`MetricsRegistry.observe` (``ntt.autotune_seconds``).
+
+:meth:`HeContext.metrics() <repro.he.context.HeContext.metrics>` merges
+the pinned backend's registry with the context's own into one flat
+snapshot, and ``reset_metrics()`` clears both — including, via the
+weak-ref child set, every evaluator registry the context handed out.
+Counter mutation costs one dict update per chain link and no allocation,
+so the registry is cheap enough to stay on even in benchmarks.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """One namespace of counters, gauges and histograms.
+
+    Args:
+        parent: Optional registry that also receives every :meth:`inc` /
+            :meth:`observe` recorded here (aggregation without double
+            bookkeeping at call sites).  The parent tracks this registry
+            through a weak reference so :meth:`reset` can cascade down
+            without keeping dropped children alive.
+    """
+
+    def __init__(self, parent: "MetricsRegistry | None" = None) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, object] = {}
+        self._hists: dict[str, dict] = {}
+        self._parent = parent
+        self._children: "weakref.WeakSet[MetricsRegistry]" = weakref.WeakSet()
+        if parent is not None:
+            parent._children.add(self)
+
+    # -- counters --------------------------------------------------------------
+    def declare(self, *names: str) -> None:
+        """Pre-register counters at zero so snapshots always carry them."""
+        for name in names:
+            self._counters.setdefault(name, 0)
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add to a counter here and in every ancestor registry."""
+        node: MetricsRegistry | None = self
+        while node is not None:
+            node._counters[name] = node._counters.get(name, 0) + amount
+            node = node._parent
+
+    def value(self, name: str) -> int:
+        """Current value of a counter (0 if never touched)."""
+        return self._counters.get(name, 0)
+
+    def zero(self, name: str) -> None:
+        """Reset one counter in **this** registry only — the compatibility
+        shim for the old per-object ``reset_*_count`` methods, which never
+        touched anyone else's tally either."""
+        self._counters[name] = 0
+
+    # -- gauges ----------------------------------------------------------------
+    def set_gauge(self, name: str, fn) -> None:
+        """Register a zero-argument callable evaluated at snapshot time."""
+        self._gauges[name] = fn
+
+    # -- histograms ------------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into a histogram here and in every ancestor."""
+        node: MetricsRegistry | None = self
+        while node is not None:
+            hist = node._hists.get(name)
+            if hist is None:
+                node._hists[name] = {
+                    "count": 1, "total": value, "min": value, "max": value,
+                }
+            else:
+                hist["count"] += 1
+                hist["total"] += value
+                if value < hist["min"]:
+                    hist["min"] = value
+                if value > hist["max"]:
+                    hist["max"] = value
+            node = node._parent
+
+    # -- snapshot / reset ------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One flat dict: counters, evaluated gauges, histogram summaries."""
+        snap: dict = dict(self._counters)
+        for name, hist in self._hists.items():
+            snap[name] = dict(hist)
+        for name, fn in self._gauges.items():
+            try:
+                snap[name] = fn()
+            except Exception:  # pragma: no cover - defensive (closed pools)
+                snap[name] = None
+        return snap
+
+    def reset(self) -> None:
+        """Zero every counter and drop every histogram, here and in every
+        live child registry.  Gauges report live state and are untouched."""
+        for name in self._counters:
+            self._counters[name] = 0
+        self._hists.clear()
+        for child in list(self._children):
+            child.reset()

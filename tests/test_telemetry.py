@@ -1,0 +1,462 @@
+"""Telemetry subsystem tests: tracer, metrics registry, exporters, and the
+cross-layer/cross-process integration the ISSUE's acceptance criteria pin.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.backends.base import uninstrumented
+from repro.backends.numpy_backend import NumpyBackend
+from repro.backends.parallel import ParallelBackend
+from repro.backends.scalar import ScalarBackend
+from repro.he import HeContext, HEParams
+from repro.telemetry import (
+    NULL_SPAN,
+    TRACER,
+    MetricsRegistry,
+    chrome_trace,
+    format_summary,
+    summarize,
+    write_chrome_trace,
+)
+from repro.telemetry.tracer import NAME, PARENT, PHASE, PID, SID, TS
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    """Every test starts and ends with a disabled, empty tracer."""
+    TRACER.stop()
+    TRACER.clear()
+    yield
+    TRACER.stop()
+    TRACER.clear()
+
+
+def _params(n=64, prime_count=3):
+    return HEParams(
+        n=n, plaintext_modulus=257, prime_bits=30, prime_count=prime_count
+    )
+
+
+def _chain(ctx, evaluator=None):
+    """The canonical multiply → relinearize → mod-switch chain."""
+    evaluator = evaluator if evaluator is not None else ctx.evaluator()
+    enc = ctx.encryptor()
+    ct = enc.encrypt(ctx.integer_encoder().encode(7))
+    return evaluator.mod_switch_to_next(
+        evaluator.relinearize(
+            evaluator.multiply(ct, ct), ctx.relinearization_key()
+        )
+    )
+
+
+# ------------------------------------------------------------------ tracer
+
+
+def test_disabled_span_is_the_null_singleton():
+    assert TRACER.span("anything", attr=1) is NULL_SPAN
+    with TRACER.span("anything") as span:
+        assert span is NULL_SPAN
+        assert span.sid is None
+    assert TRACER.events() == []
+
+
+def test_spans_nest_and_balance():
+    TRACER.start()
+    with TRACER.span("outer", k=1) as outer:
+        with TRACER.span("inner") as inner:
+            pass
+        with TRACER.span("inner2") as inner2:
+            pass
+    TRACER.stop()
+    events = TRACER.events()
+    assert [e[PHASE] for e in events] == ["B", "B", "E", "B", "E", "E"]
+    # Both children link to the outer span; the outer span is a root.
+    assert inner.parent == outer.sid
+    assert inner2.parent == outer.sid
+    assert outer.parent is None
+    begins = sorted(e[SID] for e in events if e[PHASE] == "B")
+    ends = sorted(e[SID] for e in events if e[PHASE] == "E")
+    assert begins == ends
+    # End timestamps never precede their begin.
+    opened = {e[SID]: e[TS] for e in events if e[PHASE] == "B"}
+    for e in events:
+        if e[PHASE] == "E":
+            assert e[TS] >= opened[e[SID]]
+
+
+def test_span_parents_are_per_thread():
+    TRACER.start()
+    seen = {}
+
+    def record(tag):
+        with TRACER.span("worker-root") as root:
+            seen[tag] = root.parent
+
+    with TRACER.span("main-root"):
+        threads = [
+            threading.Thread(target=record, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    TRACER.stop()
+    # The other threads never see the main thread's open span as a parent.
+    assert seen == {0: None, 1: None}
+
+
+def test_ingest_reparents_and_clamps():
+    TRACER.start()
+    with TRACER.span("dispatch") as dispatch:
+        pass
+    foreign = [
+        ("B", "pool.task", 0.0, 4242, 1, "4242.1", None, None),
+        ("B", "op.mul", 0.5, 4242, 1, "4242.2", "4242.1", None),
+        ("E", "op.mul", 1.5, 4242, 1, "4242.2", "4242.1", None),
+        ("E", "pool.task", 99.0, 4242, 1, "4242.1", None, None),
+    ]
+    TRACER.ingest(foreign, dispatch.sid, lo=10.0, hi=11.0)
+    TRACER.stop()
+    ingested = TRACER.events()[2:]
+    roots = [e for e in ingested if e[NAME] == "pool.task"]
+    assert all(e[PARENT] == dispatch.sid for e in roots)
+    # Nested parents are preserved; timestamps are clamped into [lo, hi].
+    assert all(e[PARENT] == "4242.1" for e in ingested if e[NAME] == "op.mul")
+    assert all(10.0 <= e[TS] <= 11.0 for e in ingested)
+
+
+# ----------------------------------------------------------------- metrics
+
+
+def test_metrics_counters_cascade_to_parent():
+    parent = MetricsRegistry()
+    child = MetricsRegistry(parent=parent)
+    child.inc("x", 3)
+    child.inc("x")
+    assert child.value("x") == 4
+    assert parent.value("x") == 4
+    # zero() is the local-only compatibility shim.
+    child.zero("x")
+    assert child.value("x") == 0
+    assert parent.value("x") == 4
+    # reset() cascades down through the weak child links.
+    parent.inc("y")
+    parent.reset()
+    assert parent.value("x") == parent.value("y") == 0
+    assert child.value("x") == 0
+
+
+def test_metrics_gauges_and_histograms():
+    reg = MetricsRegistry()
+    state = {"v": 5}
+    reg.set_gauge("g", lambda: state["v"])
+    reg.observe("h", 2.0)
+    reg.observe("h", 4.0)
+    snap = reg.snapshot()
+    assert snap["g"] == 5
+    assert snap["h"] == {"count": 2, "total": 6.0, "min": 2.0, "max": 4.0}
+    state["v"] = 9
+    assert reg.snapshot()["g"] == 9
+    reg.reset()
+    snap = reg.snapshot()
+    assert "h" not in snap
+    assert snap["g"] == 9  # gauges report live state; reset leaves them
+
+
+def test_declared_counters_appear_in_snapshot_at_zero():
+    reg = MetricsRegistry()
+    reg.declare("a.b", "c.d")
+    assert reg.snapshot() == {"a.b": 0, "c.d": 0}
+
+
+# ------------------------------------------------- backend counter shims
+
+
+def test_backend_shims_match_registry():
+    backend = ScalarBackend(engine="radix2")
+    tensor = backend.from_rows([[1, 2, 3, 4]], [97])
+    backend.to_rows(tensor)
+    assert backend.conversion_count == 2
+    assert backend.metrics.value("conversions.rows") == 2
+    backend.reset_conversion_count()
+    assert backend.conversion_count == 0
+    assert backend.metrics.value("conversions.rows") == 0
+
+
+@pytest.mark.parametrize("backend_name", ["scalar", "numpy", "parallel"])
+def test_context_metrics_snapshot_covers_every_surface(backend_name):
+    if backend_name == "parallel":
+        backend = ParallelBackend(shards=2)
+    elif backend_name == "numpy":
+        backend = NumpyBackend()
+    else:
+        backend = ScalarBackend()
+    try:
+        ctx = HeContext.create(_params(), backend=backend, engine="radix2")
+        _chain(ctx)
+        snap = ctx.metrics()
+        for key in (
+            "conversions.rows",
+            "pool.dispatches",
+            "plan.compiled",
+            "plan.cache_hits",
+            "ntt.invocations",
+            "ntt.engine_choices",
+            "ntt.engine_timings",
+        ):
+            assert key in snap, key
+        assert snap["ntt.invocations"] > 0
+        assert snap["plan.compiled"] > 0
+        if backend_name == "parallel":
+            assert "shm.bytes_in_use" in snap
+    finally:
+        if backend_name == "parallel":
+            backend.close()
+
+
+def test_reset_metrics_zeroes_every_counter_in_one_call():
+    ctx = HeContext.create(_params(), backend=NumpyBackend(), engine="radix2")
+    evaluator = ctx.evaluator()
+    _chain(ctx, evaluator)
+    assert ctx.metrics()["ntt.invocations"] > 0
+    assert ctx.backend.conversion_count > 0
+    ctx.reset_metrics()
+    snap = ctx.metrics()
+    assert snap["conversions.rows"] == 0
+    assert snap["ntt.invocations"] == 0
+    assert snap["plan.compiled"] == 0
+    assert snap["plan.cache_hits"] == 0
+    # The cascade reached the evaluator the context handed out earlier.
+    assert evaluator.ntt_invocations == 0
+    assert evaluator.plans_compiled == 0
+    # A second run through the *same* evaluator re-registers cache hits
+    # (the plan cache itself is untouched by a metrics reset).
+    _chain(ctx, evaluator)
+    assert evaluator.plan_cache_hits > 0
+    assert evaluator.plans_compiled == 0
+
+
+def test_autotune_histogram_lands_in_backend_metrics():
+    from repro.modarith.primes import generate_ntt_primes
+
+    backend = ScalarBackend()  # no pin: first transform races the tuner
+    [p] = generate_ntt_primes(30, 1, 64)
+    tensor = backend.from_rows([[i % p for i in range(64)]] * 2, [p, p])
+    backend.forward_ntt_batch(tensor)
+    snap = backend.metrics.snapshot()
+    assert snap["ntt.autotune_seconds"]["count"] >= 1
+    assert backend.engine_choices  # the verdict surfaced on the gauge too
+    assert snap["ntt.engine_choices"] == backend.engine_choices
+
+
+# --------------------------------------------------- instrumented tracing
+
+
+def test_traced_chain_records_op_and_plan_spans():
+    ctx = HeContext.create(_params(), backend=NumpyBackend(), engine="radix2")
+    TRACER.start()
+    _chain(ctx)
+    TRACER.stop()
+    names = {e[NAME] for e in TRACER.events() if e[PHASE] == "B"}
+    for expected in (
+        "plan.compile",
+        "plan.execute",
+        "op.forward_ntt",
+        "op.inverse_ntt",
+        "op.mul",
+        "ntt.engine",
+        "op.mod_switch",
+    ):
+        assert expected in names, expected
+
+
+def test_disabled_tracing_adds_no_events_and_no_counter_drift():
+    """The overhead guard: with tracing off, the instrumented stack does
+    exactly the work the uninstrumented stack does — same conversions,
+    same dispatch count, zero events."""
+    ctx = HeContext.create(_params(), backend=NumpyBackend(), engine="radix2")
+    ctx.reset_metrics()
+    _chain(ctx)
+    instrumented = ctx.metrics()
+    assert TRACER.events() == []
+
+    with uninstrumented():
+        ctx2 = HeContext.create(
+            _params(), backend=NumpyBackend(), engine="radix2"
+        )
+        ctx2.reset_metrics()
+        _chain(ctx2)
+        baseline = ctx2.metrics()
+    assert instrumented["conversions.rows"] == baseline["conversions.rows"]
+    assert instrumented["pool.dispatches"] == baseline["pool.dispatches"]
+    assert instrumented["ntt.invocations"] == baseline["ntt.invocations"]
+
+
+def test_pool_worker_spans_nest_under_their_stage():
+    """Trace integrity across the process boundary: worker spans ship back
+    with shard results and appear as children of the dispatch that
+    submitted them, inside the stage and plan spans, with worker PIDs."""
+    backend = ParallelBackend(
+        shards=2, transform_threshold=1, pointwise_threshold=1
+    )
+    try:
+        ctx = HeContext.create(_params(), backend=backend, engine="radix2")
+        pipe = ctx.pipeline()
+        enc = ctx.encryptor()
+        ct = enc.encrypt(ctx.integer_encoder().encode(7))
+
+        def run():
+            x = pipe.load(ct)
+            return (
+                (x * x)
+                .relinearize(ctx.relinearization_key())
+                .mod_switch()
+                .run()
+            )
+
+        run()  # warm: pool spin-up and plan compile stay off the trace
+        TRACER.start()
+        run()
+        TRACER.stop()
+        events = TRACER.events()
+
+        begins = {e[SID]: e for e in events if e[PHASE] == "B"}
+        by_name = {}
+        for e in begins.values():
+            by_name.setdefault(e[NAME], []).append(e)
+        assert by_name.get("pool.task"), "no worker spans were ingested"
+
+        # Every begin has exactly one end (pairs balance).
+        assert sorted(e[SID] for e in events if e[PHASE] == "B") == sorted(
+            e[SID] for e in events if e[PHASE] == "E"
+        )
+
+        main_pid = os.getpid()
+        for task in by_name["pool.task"]:
+            assert task[PID] != main_pid  # recorded in the worker
+            dispatch = begins[task[PARENT]]
+            assert dispatch[NAME] == "pool.dispatch"
+            stage = begins[dispatch[PARENT]]
+            assert stage[NAME] == "plan.stage"
+            plan = begins[stage[PARENT]]
+            assert plan[NAME] == "plan.execute"
+            # Clamped into the dispatch interval.
+            dispatch_end = next(
+                e
+                for e in events
+                if e[PHASE] == "E" and e[SID] == dispatch[SID]
+            )
+            assert dispatch[TS] <= task[TS] <= dispatch_end[TS]
+        # Worker-side kernel spans arrive nested under their pool.task.
+        task_sids = {e[SID] for e in by_name["pool.task"]}
+        worker_ops = [
+            e
+            for e in begins.values()
+            if e[NAME].startswith("op.") and e[PID] != main_pid
+        ]
+        assert worker_ops
+        for op in worker_ops:
+            node = op
+            while node[PARENT] is not None and node[SID] not in task_sids:
+                node = begins[node[PARENT]]
+            assert node[SID] in task_sids
+    finally:
+        backend.close()
+
+
+# --------------------------------------------------------------- exporters
+
+
+def test_chrome_trace_round_trips_with_required_fields(tmp_path):
+    ctx = HeContext.create(_params(), backend=NumpyBackend(), engine="radix2")
+    TRACER.start()
+    _chain(ctx)
+    TRACER.stop()
+    path = tmp_path / "trace.json"
+    write_chrome_trace(str(path), TRACER.events())
+    loaded = json.loads(path.read_text())
+    events = loaded["traceEvents"]
+    assert events
+    for entry in events:
+        for field in ("ph", "pid", "tid"):
+            assert field in entry, field
+        if entry["ph"] in ("B", "E"):
+            assert "ts" in entry and entry["ts"] >= 0
+    # Begin/end counts balance in the export too.
+    assert sum(1 for e in events if e["ph"] == "B") == sum(
+        1 for e in events if e["ph"] == "E"
+    )
+    # A metadata event names the (single) process.
+    assert any(e["ph"] == "M" and e["name"] == "process_name" for e in events)
+
+
+def test_summarize_self_time_partitions_and_ntt_share():
+    ctx = HeContext.create(_params(), backend=NumpyBackend(), engine="radix2")
+    TRACER.start()
+    _chain(ctx)
+    TRACER.stop()
+    stats = summarize(TRACER.events())
+    assert 0.0 < stats["ntt_share"] <= 1.0
+    # Self time partitions: per-name self sums to the reported total.
+    total = sum(entry["self"] for entry in stats["names"].values())
+    assert total == pytest.approx(stats["total_self_seconds"])
+    # And never exceeds inclusive time.
+    for entry in stats["names"].values():
+        assert entry["self"] <= entry["total"] + 1e-12
+    text = format_summary(stats)
+    assert "measured NTT time share" in text
+    assert "op.forward_ntt" in text
+
+
+def test_summarize_drops_unbalanced_spans():
+    TRACER.start()
+    with TRACER.span("closed"):
+        pass
+    # Forge a begin whose end was never captured.
+    TRACER._events.append(("B", "dangling", 0.0, 1, 1, "1.999", None, None))
+    TRACER.stop()
+    stats = summarize(TRACER.events())
+    assert "dangling" not in stats["names"]
+    assert "closed" in stats["names"]
+
+
+def test_traced_ntt_share_reports_a_real_share():
+    from repro.experiments.measured import traced_ntt_share
+
+    result = traced_ntt_share(backend="numpy", engine="high_radix")
+    assert 0.0 < result["share"] <= 1.0
+    assert result["ntt_ms"] > 0.0
+    assert result["total_ms"] >= result["ntt_ms"]
+
+
+# -------------------------------------------------------------------- CLI
+
+
+def test_experiments_list_shows_engine_verdicts(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "engine" in out
+    assert ("auto-tuner verdicts" in out) or ("engine pin is in force" in out)
+
+
+def test_experiments_trace_flag_writes_chrome_trace(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+
+    path = tmp_path / "cli_trace.json"
+    try:
+        assert main(["ntt_share", "--trace", str(path)]) == 0
+    finally:
+        TRACER.stop()
+        TRACER.clear()
+    out = capsys.readouterr().out
+    assert "measured NTT time share" in out
+    loaded = json.loads(path.read_text())
+    assert loaded["traceEvents"]

@@ -1,0 +1,192 @@
+"""Benchmark: cross-request batching in the serving layer vs serial execution.
+
+The serving layer's claim is the paper's throughput argument applied to
+traffic: ``k`` concurrent requests for the same tenant and op chain lower
+into ONE fused plan whose NTT nodes are ``k`` times wider, instead of ``k``
+separate plan executions.  This module pins the acceptance criteria:
+
+* **throughput** — at the paper-adjacent shape ``N = 4096`` with 3 primes,
+  executing one batched group of 8 concurrent requests (the 8-client load)
+  must beat running the same 8 requests serially by ≥ 1.3x on a machine
+  with at least 4 cores (skipped below that, where the wide batch has no
+  extra hardware to spread onto; the bit-for-bit and plan-count checks
+  still run);
+* **fewer plans than requests** — structurally, via the tenant's
+  ``plan.compiled``/``plan.cache_hits`` counters: the batched run executes
+  1 plan for 8 requests where the serial run executes 8;
+* **bit-for-bit** — every batched result equals its serial counterpart,
+  always, on every machine.
+
+An end-to-end variant drives a live ``ServerThread`` with concurrent
+asyncio clients at toy parameters and asserts the same fewer-plans
+structure through the HTTP surface.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+from repro.he import HeContext
+from repro.he.params import HEParams, toy_params
+from repro.service import (
+    AsyncServiceClient,
+    ServerThread,
+    TenantCache,
+    execute_group,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+N = 4096
+PRIME_COUNT = 3
+REQUESTS = 8  # concurrent same-chain clients coalesced into one group
+OPS = ("multiply", "relinearize", "mod_switch")
+MIN_SPEEDUP = 1.3
+MIN_CORES = 4
+SEED = 77
+
+
+def _speedup_assertion_applies() -> bool:
+    """Whether this run should enforce the ≥ 1.3x batching criterion.
+
+    Needs enough cores for the wide batch to spread onto, and — because the
+    tier-1 suite runs this module on every CI matrix leg — the assertion is
+    owned by the ``REPRO_BACKEND=parallel`` leg (and plain local runs); the
+    other legs still run the bit-for-bit and plan-count checks.
+    """
+    if (os.cpu_count() or 1) < MIN_CORES:
+        return False
+    return os.environ.get("REPRO_BACKEND") in (None, "", "parallel")
+
+
+def _best_of(callable_, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _plan_executions(tenant) -> int:
+    snapshot = tenant.metrics()
+    return snapshot["plan.compiled"] + snapshot["plan.cache_hits"]
+
+
+def test_bench_service_cross_request_batching_speedup(benchmark):
+    cores = os.cpu_count() or 1
+    params = HEParams(
+        n=N, plaintext_modulus=65537, prime_bits=40, prime_count=PRIME_COUNT
+    )
+    cache = TenantCache(MetricsRegistry(), backend="parallel", shards=max(2, cores - 1))
+    try:
+        tenant = cache.get(params, SEED)
+        encryptor = tenant.context.encryptor()
+        encoder = tenant.context.encoder()
+        requests = [
+            [
+                encryptor.encrypt(encoder.encode([r + 1, 2, 3])),
+                encryptor.encrypt(encoder.encode([4, r + 5, 6])),
+            ]
+            for r in range(REQUESTS)
+        ]
+
+        def serial():
+            return [execute_group(tenant, OPS, [request])[0] for request in requests]
+
+        def batched():
+            return execute_group(tenant, OPS, requests)
+
+        # Warm both paths: compile the k=1 and k=8 plans, spawn the pool.
+        expected = serial()
+        before = _plan_executions(tenant)
+        produced = batched()
+        batched_plans = _plan_executions(tenant) - before
+
+        # The structural half of the throughput claim: one plan execution
+        # serviced all eight requests, where serial took eight.
+        assert batched_plans == 1
+        before = _plan_executions(tenant)
+        serial()
+        assert _plan_executions(tenant) - before == REQUESTS
+
+        # Bit-for-bit: batching must be invisible to every client.
+        for want, got in zip(expected, produced):
+            assert got.level == want.level
+            assert [p.to_coeff_lists() for p in got.polys] == [
+                p.to_coeff_lists() for p in want.polys
+            ]
+
+        serial_s = _best_of(serial, repeats=2)
+        batched_s = _best_of(batched, repeats=2)
+        speedup = serial_s / batched_s
+        print()
+        print(
+            "Cross-request batching, N=%d, %d primes, %d requests, chain=%s"
+            % (N, PRIME_COUNT, REQUESTS, "+".join(OPS))
+        )
+        print("  serial (8 x k=1 plans): %8.2f ms" % (serial_s * 1e3))
+        print("  batched (1 k=8 plan)  : %8.2f ms" % (batched_s * 1e3))
+        print("  speedup               : %8.2fx on %d cpu(s)" % (speedup, cores))
+        # One pedantic round: the shape is heavy and the comparative timing
+        # above is the measurement that matters.
+        benchmark.pedantic(batched, rounds=1, iterations=1)
+        if _speedup_assertion_applies():
+            assert speedup >= MIN_SPEEDUP, (
+                "cross-request batching only %.2fx over serial" % speedup
+            )
+    finally:
+        cache.close()
+
+
+def test_bench_service_end_to_end_fewer_plans_than_requests(benchmark):
+    """Six concurrent HTTP clients at toy parameters: the live server must
+    coalesce them into fewer plan executions than requests, and every
+    response must match local execution bit-for-bit."""
+    params = toy_params()
+    local = HeContext.create(params, seed=SEED)
+    encryptor = local.encryptor()
+    encoder = local.encoder()
+    pairs = [
+        (
+            encryptor.encrypt(encoder.encode([r + 1, 2])),
+            encryptor.encrypt(encoder.encode([3, r + 4])),
+        )
+        for r in range(6)
+    ]
+
+    with ServerThread(batch_window=0.25, max_batch=8) as server:
+        client = AsyncServiceClient("127.0.0.1", server.port)
+
+        async def run_all():
+            responses = await asyncio.gather(
+                *[
+                    client.compute_raw(params, list(OPS), [a, b], seed=SEED)
+                    for a, b in pairs
+                ]
+            )
+            return responses, await client.metrics()
+
+        responses, metrics = asyncio.run(run_all())
+        benchmark.pedantic(lambda: asyncio.run(run_all()), rounds=1, iterations=1)
+
+    evaluator = local.evaluator()
+    relin = local.relinearization_key()
+    from repro.core.serialization import ciphertext_from_dict
+
+    for (a, b), response in zip(pairs, responses):
+        want = evaluator.mod_switch_to_next(
+            evaluator.relinearize(evaluator.multiply(a, b), relin)
+        )
+        got = ciphertext_from_dict(response["result"])
+        assert [p.to_coeff_lists() for p in got.polys] == [
+            p.to_coeff_lists() for p in want.polys
+        ]
+
+    server_metrics = metrics["server"]
+    assert server_metrics["service.requests"] == 6
+    assert server_metrics["service.batches"] < server_metrics["service.requests"]
+    [tenant_metrics] = metrics["tenants"].values()
+    plans = tenant_metrics["plan.compiled"] + tenant_metrics["plan.cache_hits"]
+    assert plans < 6, "server executed one plan per request — no coalescing"

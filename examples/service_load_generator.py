@@ -1,0 +1,157 @@
+"""Load generator for the HE serving layer.
+
+Drives a fleet of concurrent asyncio clients against an ``HeServer`` and
+reports what cross-request batching did to the traffic: how many HTTP
+requests were answered by how many batches (and therefore how many fused
+plan executions), plus the per-tenant metric subtrees.
+
+With no arguments the example is self-contained: it starts an in-process
+server on a free port, fires two tenants' worth of concurrent requests at
+it, verifies every response bit-for-bit against local execution, and prints
+the coalescing report.  Point it at an already-running server (e.g. one
+started with ``python -m repro.experiments serve``) with ``--connect``::
+
+    python examples/service_load_generator.py                    # in-process
+    python examples/service_load_generator.py --connect 127.0.0.1:8793
+    python examples/service_load_generator.py --clients 12 --rounds 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.core.serialization import ciphertext_from_dict
+from repro.he import HeContext
+from repro.he.params import toy_params
+from repro.service import AsyncServiceClient, ServerThread
+
+OPS = ["multiply", "relinearize", "mod_switch"]
+
+
+def _build_tenant_load(seed: int, clients: int):
+    """One tenant's local context plus ``clients`` request payloads and the
+    locally-computed expected results."""
+    context = HeContext.create(toy_params(), seed=seed)
+    encryptor = context.encryptor()
+    encoder = context.encoder()
+    evaluator = context.evaluator()
+    relin = context.relinearization_key()
+    pairs = [
+        (
+            encryptor.encrypt(encoder.encode([seed + r, 2, 3])),
+            encryptor.encrypt(encoder.encode([4, 5, seed - r])),
+        )
+        for r in range(clients)
+    ]
+    expected = [
+        evaluator.mod_switch_to_next(
+            evaluator.relinearize(evaluator.multiply(a, b), relin)
+        )
+        for a, b in pairs
+    ]
+    return context, pairs, expected
+
+
+async def _drive(host: str, port: int, loads: dict, rounds: int):
+    client = AsyncServiceClient(host, port)
+    health = await client.health()
+    if health.get("status") != "ok":
+        raise RuntimeError("server at %s:%d is not healthy: %r" % (host, port, health))
+
+    responses_by_seed = {}
+    for _ in range(rounds):
+        tasks, owners = [], []
+        for seed, (_, pairs, _) in loads.items():
+            for a, b in pairs:
+                tasks.append(client.compute_raw(toy_params(), OPS, [a, b], seed=seed))
+                owners.append(seed)
+        responses = await asyncio.gather(*tasks)
+        for seed, response in zip(owners, responses):
+            responses_by_seed.setdefault(seed, []).append(response)
+    return responses_by_seed, await client.metrics()
+
+
+def _report(responses_by_seed, metrics, loads, rounds: int) -> int:
+    total = sum(len(r) for r in responses_by_seed.values())
+    mismatches = 0
+    batch_sizes = []
+    for seed, responses in responses_by_seed.items():
+        _, pairs, expected = loads[seed]
+        for index, response in enumerate(responses):
+            batch_sizes.append(response["batch_size"])
+            got = ciphertext_from_dict(response["result"])
+            want = expected[index % len(pairs)]
+            if [p.to_coeff_lists() for p in got.polys] != [
+                p.to_coeff_lists() for p in want.polys
+            ]:
+                mismatches += 1
+
+    print("== load report ==")
+    print("requests sent      : %d (%d tenants x %d clients x %d rounds)"
+          % (total, len(loads), len(next(iter(loads.values()))[1]), rounds))
+    print("bit-for-bit vs local: %s"
+          % ("OK" if mismatches == 0 else "%d MISMATCHES" % mismatches))
+    print("batch sizes seen   : min=%d max=%d mean=%.1f"
+          % (min(batch_sizes), max(batch_sizes),
+             sum(batch_sizes) / len(batch_sizes)))
+
+    server = metrics.get("server", {})
+    print("server counters    : requests=%s batches=%s batched_requests=%s errors=%s"
+          % (server.get("service.requests"), server.get("service.batches"),
+             server.get("service.batched_requests"), server.get("service.errors")))
+    for key, tenant in sorted(metrics.get("tenants", {}).items()):
+        print("tenant %s : plan.compiled=%s plan.cache_hits=%s"
+              % (key, tenant.get("plan.compiled"), tenant.get("plan.cache_hits")))
+    return mismatches
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="drive an already-running server instead of starting one "
+        "in-process (e.g. 127.0.0.1:8793)",
+    )
+    parser.add_argument("--clients", type=int, default=6,
+                        help="concurrent clients per tenant (default 6)")
+    parser.add_argument("--rounds", type=int, default=1,
+                        help="rounds of the full fleet (default 1)")
+    args = parser.parse_args(argv)
+
+    loads = {seed: _build_tenant_load(seed, args.clients) for seed in (11, 12)}
+
+    if args.connect is not None:
+        host, _, port = args.connect.rpartition(":")
+        responses, metrics = asyncio.run(
+            _drive(host or "127.0.0.1", int(port), loads, args.rounds)
+        )
+        mismatches = _report(responses, metrics, loads, args.rounds)
+        # An external server may be seeing other traffic and a different
+        # batching window, so only correctness is asserted here.
+        return 1 if mismatches else 0
+
+    # In-process: a wide window so the concurrent fleet reliably coalesces,
+    # making the fewer-plans-than-requests effect visible in the report.
+    with ServerThread(batch_window=0.25, max_batch=args.clients) as server:
+        responses, metrics = asyncio.run(
+            _drive("127.0.0.1", server.port, loads, args.rounds)
+        )
+    mismatches = _report(responses, metrics, loads, args.rounds)
+    if mismatches:
+        return 1
+    batches = metrics["server"]["service.batches"]
+    requests = metrics["server"]["service.requests"]
+    if batches >= requests:
+        print("ERROR: no coalescing happened (%d batches for %d requests)"
+              % (batches, requests))
+        return 1
+    print("coalesced %d requests into %d batches" % (requests, batches))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

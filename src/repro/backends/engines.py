@@ -38,9 +38,11 @@ the speedup ``benchmarks/test_bench_engines.py`` pins.
 from __future__ import annotations
 
 import abc
+import json
 import os
 import time
 from collections.abc import Callable, Sequence
+from pathlib import Path
 
 try:  # The array paths need NumPy; the scalar row paths never touch it.
     import numpy as np
@@ -66,6 +68,7 @@ from ..transforms.stockham import stockham_ntt_forward, stockham_ntt_inverse
 
 __all__ = [
     "ENGINE_ENV_VAR",
+    "TUNE_PROFILE_ENV_VAR",
     "DEFAULT_AUTOTUNE_CANDIDATES",
     "NttEngine",
     "EngineTables",
@@ -77,10 +80,20 @@ __all__ = [
     "parse_engine_spec",
     "register_engine",
     "set_default_engine",
+    "tune_profile_to_dict",
+    "save_tune_profile",
+    "load_tune_profile",
 ]
 
 #: Environment variable selecting an engine when no explicit choice is made.
 ENGINE_ENV_VAR = "REPRO_NTT_ENGINE"
+
+#: Environment variable naming a JSON autotune profile (written by
+#: :func:`save_tune_profile`) pre-loaded into every newly constructed
+#: backend — including the long-lived inner backends of the parallel
+#: backend's worker processes, which inherit the environment and would
+#: otherwise each race the autotuner per shape on first touch.
+TUNE_PROFILE_ENV_VAR = "REPRO_TUNE_PROFILE"
 
 #: Engine specs the auto-tuner races when nothing picked an engine.
 DEFAULT_AUTOTUNE_CANDIDATES = ("radix2", "high_radix", "four_step", "stockham")
@@ -637,6 +650,113 @@ def default_engine_spec() -> str | None:
     return os.environ.get(ENGINE_ENV_VAR) or None
 
 
+# ------------------------------------------------------- ahead-of-time profiles
+
+#: Version of the tune-profile JSON format (bumped on incompatible change).
+TUNE_PROFILE_FORMAT_VERSION = 1
+
+
+def _selection_state(backend):
+    """The object actually holding ``_engine_choices`` for ``backend``.
+
+    Concrete backends mix in :class:`EngineSelectionMixin` directly; the
+    ``parallel`` coordinator delegates selection to its embedded inner
+    backend, so profile loads must land there.
+    """
+    node = backend
+    while not hasattr(node, "_engine_choices"):
+        inner = getattr(node, "inner", None)
+        if inner is None or inner is node:
+            raise TypeError(
+                "backend %r has no engine-selection state to profile"
+                % getattr(backend, "name", backend)
+            )
+        node = inner
+    return node
+
+
+def tune_profile_to_dict(backend) -> dict:
+    """Serialise a backend's per-shape autotuner verdicts.
+
+    The profile captures what :attr:`EngineSelectionMixin.engine_choices` /
+    :attr:`~EngineSelectionMixin.engine_timings` already expose — the
+    ``(n, p_bits, batch) -> engine`` winners and the per-candidate best
+    seconds behind each verdict — in a JSON-safe shape.
+    """
+    choices = backend.engine_choices
+    timings = backend.engine_timings
+    entries = [
+        {
+            "n": n,
+            "p_bits": p_bits,
+            "batch": batch,
+            "engine": spec,
+            "timings": dict(timings.get((n, p_bits, batch), {})),
+        }
+        for (n, p_bits, batch), spec in sorted(choices.items())
+    ]
+    return {
+        "kind": "tune_profile",
+        "format_version": TUNE_PROFILE_FORMAT_VERSION,
+        "entries": entries,
+    }
+
+
+def save_tune_profile(backend, path) -> Path:
+    """Write ``backend``'s autotuner verdicts to ``path`` as JSON.
+
+    Point ``REPRO_TUNE_PROFILE`` at the file (or call
+    :func:`load_tune_profile`) to ship the verdicts to a fleet of workers
+    so they skip the per-shape warmup races.
+    """
+    destination = Path(path)
+    destination.write_text(
+        json.dumps(tune_profile_to_dict(backend), indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+    return destination
+
+
+def load_tune_profile(backend, source) -> int:
+    """Install saved autotuner verdicts onto ``backend``; returns the count.
+
+    Args:
+        backend: Any backend with engine-selection state (the ``parallel``
+            coordinator installs onto its inline inner backend).
+        source: A profile dict from :func:`tune_profile_to_dict`, or a path
+            to the JSON file :func:`save_tune_profile` wrote.
+
+    Loaded shapes bypass the autotuner entirely (the selection precedence
+    is unchanged — an explicit pin or ``REPRO_NTT_ENGINE`` still wins over
+    any profiled verdict).  Unknown engines and unsupported profile
+    versions raise immediately rather than poisoning the cache.
+    """
+    if isinstance(source, (str, Path)):
+        payload = json.loads(Path(source).read_text(encoding="utf-8"))
+    else:
+        payload = source
+    if not isinstance(payload, dict) or payload.get("kind") != "tune_profile":
+        raise ValueError("payload is not a serialised tune profile")
+    version = payload.get("format_version", TUNE_PROFILE_FORMAT_VERSION)
+    if version != TUNE_PROFILE_FORMAT_VERSION:
+        raise ValueError(
+            "unsupported tune profile format_version %r (this build reads "
+            "version %d)" % (version, TUNE_PROFILE_FORMAT_VERSION)
+        )
+    state = _selection_state(backend)
+    entries = payload.get("entries", [])
+    for entry in entries:
+        key = (int(entry["n"]), int(entry["p_bits"]), int(entry["batch"]))
+        spec = entry["engine"]
+        get_engine(spec)  # validate before touching the cache
+        state._engine_choices[key] = spec
+        timings = entry.get("timings") or {}
+        state._engine_timings[key] = {
+            candidate: float(seconds) for candidate, seconds in timings.items()
+        }
+    return len(entries)
+
+
 # ------------------------------------------------------------------ autotuner
 
 
@@ -700,6 +820,13 @@ class EngineSelectionMixin:
         self._tuner = tuner if tuner is not None else NttAutoTuner()
         if engine is not None:
             self.set_engine(engine)
+        # Ahead-of-time verdicts: a fleet ships one profile and every new
+        # backend — including each pool worker's long-lived inner backend,
+        # which inherits the environment — starts warm instead of racing
+        # the autotuner per shape.
+        profile_path = os.environ.get(TUNE_PROFILE_ENV_VAR)
+        if profile_path:
+            load_tune_profile(self, profile_path)
 
     def set_engine(self, spec: str | None) -> None:
         """Pin every transform of this backend to one engine (``None`` unpins)."""

@@ -32,6 +32,7 @@ from .plan import NTTAlgorithm, NTTPlan
 from .twiddle import TwiddleTable
 
 __all__ = [
+    "FORMAT_VERSION",
     "plan_to_dict",
     "plan_from_dict",
     "twiddle_table_to_dict",
@@ -45,6 +46,27 @@ __all__ = [
 ]
 
 
+#: Version of the on-the-wire dictionary format this module emits.  Every
+#: ``*_to_dict`` payload carries it as ``format_version`` and every
+#: ``*_from_dict`` refuses versions it does not understand — so a fleet
+#: mixing old and new services fails loudly at the boundary instead of deep
+#: inside reconstruction.  Payloads written before the field existed are
+#: accepted as version 1 (the format is unchanged; the field is new).
+FORMAT_VERSION = 1
+
+
+def _require(payload: dict[str, Any], kind: str, description: str) -> None:
+    """Validate the ``kind`` tag and ``format_version`` of a payload."""
+    if payload.get("kind") != kind:
+        raise ValueError("payload is not a serialised %s" % description)
+    version = payload.get("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            "unsupported %s format_version %r (this build reads version %d)"
+            % (description, version, FORMAT_VERSION)
+        )
+
+
 # -- plans -----------------------------------------------------------------------------
 
 
@@ -52,6 +74,7 @@ def plan_to_dict(plan: NTTPlan) -> dict[str, Any]:
     """Convert an :class:`NTTPlan` into a JSON-serialisable dictionary."""
     payload: dict[str, Any] = {
         "kind": "ntt_plan",
+        "format_version": FORMAT_VERSION,
         "n": plan.n,
         "algorithm": plan.algorithm.value,
         "radix": plan.radix,
@@ -70,8 +93,7 @@ def plan_to_dict(plan: NTTPlan) -> dict[str, Any]:
 
 def plan_from_dict(payload: dict[str, Any]) -> NTTPlan:
     """Reconstruct an :class:`NTTPlan` from :func:`plan_to_dict` output."""
-    if payload.get("kind") != "ntt_plan":
-        raise ValueError("payload is not a serialised NTT plan")
+    _require(payload, "ntt_plan", "NTT plan")
     ot_payload = payload.get("ot")
     ot = (
         OnTheFlyConfig(base=ot_payload["base"], ot_stages=ot_payload["ot_stages"])
@@ -104,6 +126,7 @@ def twiddle_table_to_dict(table: TwiddleTable) -> dict[str, Any]:
     """
     return {
         "kind": "twiddle_table",
+        "format_version": FORMAT_VERSION,
         "n": table.n,
         "p": hex(table.p),
         "psi": hex(table.psi),
@@ -114,8 +137,7 @@ def twiddle_table_to_dict(table: TwiddleTable) -> dict[str, Any]:
 
 def twiddle_table_from_dict(payload: dict[str, Any]) -> TwiddleTable:
     """Reconstruct (and validate) a :class:`TwiddleTable` from its dictionary form."""
-    if payload.get("kind") != "twiddle_table":
-        raise ValueError("payload is not a serialised twiddle table")
+    _require(payload, "twiddle_table", "twiddle table")
     n = payload["n"]
     p = int(payload["p"], 16)
     psi = int(payload["psi"], 16)
@@ -140,6 +162,7 @@ def rns_polynomial_to_dict(poly: RnsPolynomial) -> dict[str, Any]:
     """
     return {
         "kind": "rns_polynomial",
+        "format_version": FORMAT_VERSION,
         "n": poly.n,
         "domain": poly.domain.value,
         "primes": [hex(p) for p in poly.basis.primes],
@@ -157,8 +180,7 @@ def rns_polynomial_from_dict(
         backend: Backend instance or registry name the rebuilt polynomial is
             made resident on (registry default when omitted).
     """
-    if payload.get("kind") != "rns_polynomial":
-        raise ValueError("payload is not a serialised RNS polynomial")
+    _require(payload, "rns_polynomial", "RNS polynomial")
     n = payload["n"]
     primes = [int(value, 16) for value in payload["primes"]]
     basis = RnsBasis.from_primes(primes, n)
@@ -181,6 +203,7 @@ def ciphertext_to_dict(ciphertext: Any) -> dict[str, Any]:
     params = ciphertext.params
     return {
         "kind": "ciphertext",
+        "format_version": FORMAT_VERSION,
         "level": ciphertext.level,
         "params": {
             "n": params.n,
@@ -207,8 +230,7 @@ def ciphertext_from_dict(payload: dict[str, Any], backend: Any = None):
     from ..he.ciphertext import Ciphertext
     from ..he.params import HEParams
 
-    if payload.get("kind") != "ciphertext":
-        raise ValueError("payload is not a serialised ciphertext")
+    _require(payload, "ciphertext", "ciphertext")
     params = HEParams(**payload["params"])
     polys = [
         rns_polynomial_from_dict(poly_payload, backend=backend)

@@ -10,6 +10,7 @@ Usage::
     python -m repro.experiments --eager               # per-op execution
     python -m repro.experiments --fused               # plan execution (default)
     python -m repro.experiments --list                # keys + backend/shard info
+    python -m repro.experiments serve --port 8793     # HE-as-a-service server
 
 Exit status: 0 on full success, 1 when any experiment raised (the failure is
 reported on stderr and the remaining experiments still run), 2 on bad
@@ -95,6 +96,12 @@ def _print_engine_verdicts(args) -> None:
 
 
 def main(argv: list[str]) -> int:
+    if argv and argv[0] == "serve":
+        # The serving layer owns its own argument set (host/port/batching);
+        # delegate before the experiments parser can reject them.
+        from ..service.server import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",

@@ -59,7 +59,7 @@ class HeContext:
 
     def __init__(
         self, params: HEParams, basis: RnsBasis, backend: ComputeBackend,
-        keygen: KeyGenerator,
+        keygen: KeyGenerator, metrics_parent: MetricsRegistry | None = None,
     ) -> None:
         self.params = params
         self.basis = basis
@@ -69,7 +69,10 @@ class HeContext:
         self._batch_encoder: BatchEncoder | None = None
         # Aggregates the counters of every evaluator this context hands out
         # (each evaluator registry is created with this one as its parent).
-        self._metrics = MetricsRegistry()
+        # ``metrics_parent`` chains this aggregate into a larger one — the
+        # serving layer parents every tenant context into the server's root
+        # registry so fleet-wide totals fall out of the same inc() walk.
+        self._metrics = MetricsRegistry(parent=metrics_parent)
         self._metrics.declare("plan.compiled", "plan.cache_hits", "ntt.invocations")
 
     @classmethod
@@ -82,6 +85,7 @@ class HeContext:
         engine: str | None = None,
         shards: int | None = None,
         trace: str | None = None,
+        metrics_parent: MetricsRegistry | None = None,
     ) -> "HeContext":
         """Build a context: resolve the backend once, generate the basis, warm caches.
 
@@ -118,6 +122,10 @@ class HeContext:
                 here, before key generation, so the warm-up work is in the
                 trace too.  ``None`` falls back to the ``REPRO_TRACE``
                 environment variable; see :mod:`repro.telemetry`.
+            metrics_parent: Optional registry the context's own metrics
+                aggregate reports into (counter increments walk the parent
+                chain).  The serving layer passes its root registry here so
+                per-tenant contexts roll up into fleet-wide totals.
         """
         if trace is not None:
             enable_tracing(trace)
@@ -145,7 +153,9 @@ class HeContext:
         if engine is not None:
             pinned.set_engine(engine)
         keygen = KeyGenerator(params, seed=seed, backend=pinned)
-        context = cls(params, keygen.basis, pinned, keygen)
+        context = cls(
+            params, keygen.basis, pinned, keygen, metrics_parent=metrics_parent
+        )
         if warm:
             pinned.warm_twiddles(params.n, keygen.basis.primes)
         return context

@@ -54,6 +54,13 @@ class KeyGenerator:
             on (registry default when omitted, resolved once at
             construction).  Key material generated here and ciphertexts built
             from it therefore share one pinned backend.
+
+    Each key kind draws from its own seed-derived stream, so the material is
+    a pure function of ``(params, seed)`` regardless of *which* keys a
+    process generates or in what order.  That call-order independence is
+    what lets a serving tenant (which only ever derives the relinearisation
+    key) and a remote client (which derives the public key first to encrypt)
+    agree bit-for-bit on shared key material from the same seed.
     """
 
     def __init__(
@@ -64,43 +71,48 @@ class KeyGenerator:
     ) -> None:
         self.params = params
         self.basis: RnsBasis = params.make_basis()
-        self.rng = random.Random(seed)
+        self.seed = seed
         self.backend = resolve_backend(backend)
         self._secret: SecretKey | None = None
 
     # -- helpers -------------------------------------------------------------------
-    def _gaussian(self) -> RnsPolynomial:
+    def _stream(self, label: str) -> random.Random:
+        """An independent deterministic RNG for one key kind."""
+        return random.Random("repro-key:%s:%d" % (label, self.seed))
+
+    def _gaussian(self, rng: random.Random) -> RnsPolynomial:
         return RnsPolynomial.random_gaussian(
             self.basis,
             self.params.n,
-            self.rng,
+            rng,
             stddev=self.params.error_std,
             backend=self.backend,
         )
 
-    def _uniform(self) -> RnsPolynomial:
+    def _uniform(self, rng: random.Random) -> RnsPolynomial:
         return RnsPolynomial.random_uniform(
-            self.basis, self.params.n, self.rng, backend=self.backend
+            self.basis, self.params.n, rng, backend=self.backend
         )
 
-    def _ternary(self) -> RnsPolynomial:
+    def _ternary(self, rng: random.Random) -> RnsPolynomial:
         return RnsPolynomial.random_ternary(
-            self.basis, self.params.n, self.rng, backend=self.backend
+            self.basis, self.params.n, rng, backend=self.backend
         )
 
     # -- key generation ---------------------------------------------------------------
     def secret_key(self) -> SecretKey:
         """Generate (once) and return the secret key."""
         if self._secret is None:
-            self._secret = SecretKey(s=self._ternary())
+            self._secret = SecretKey(s=self._ternary(self._stream("secret")))
         return self._secret
 
     def public_key(self) -> PublicKey:
-        """Generate a public key for the (possibly newly created) secret key."""
+        """Generate the public key for the (possibly newly created) secret key."""
         s = self.secret_key().s
         t = self.params.plaintext_modulus
-        a = self._uniform()
-        e = self._gaussian()
+        rng = self._stream("public")
+        a = self._uniform(rng)
+        e = self._gaussian(rng)
         b = -(a * s + e.scalar_mul(t))
         return PublicKey(b=b, a=a)
 
@@ -110,12 +122,13 @@ class KeyGenerator:
         t = self.params.plaintext_modulus
         s_squared = s * s
         modulus = self.basis.modulus
+        rng = self._stream("relin")
         components: list[tuple[RnsPolynomial, RnsPolynomial]] = []
         for prime in self.basis.primes:
             punctured = modulus // prime
             basis_element = punctured * pow(punctured, -1, prime) % modulus
-            a_i = self._uniform()
-            e_i = self._gaussian()
+            a_i = self._uniform(rng)
+            e_i = self._gaussian(rng)
             rk0 = -(a_i * s + e_i.scalar_mul(t)) + s_squared.scalar_mul(basis_element)
             components.append((rk0, a_i))
         return RelinearizationKey(components=components)

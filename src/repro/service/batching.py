@@ -1,0 +1,406 @@
+"""Cross-request batching: many in-flight requests, one wide fused plan.
+
+The paper's throughput claim is that an HE workload is ``np x polys``
+*independent* NTTs and the hardware wants them as one wide batch.  Inside a
+single operation the evaluator already exploits that (every pending
+polynomial rides one ``Concat -> ForwardNtt -> SliceRows`` node group); this
+module applies the same claim **across requests**: ``k`` concurrent requests
+for the same tenant and op chain are lowered into *one* plan whose transform
+nodes are ``k`` times wider — stacked along the existing batch axis with the
+same IR nodes, executed once on the backend, and sliced back per request.
+The group plan is compiled once per ``(ops, k, shape)`` into the tenant
+evaluator's plan cache, so steady-state traffic executes straight from the
+cache.
+
+Because every node is exact modular arithmetic on independent rows, the
+batched plan is **bit-for-bit identical** to per-request execution — width
+changes how the work is scheduled, never what is computed (the property the
+service tests pin on all three backends).
+
+:class:`CrossRequestBatcher` is the asyncio half: requests submitted within
+one batching window (or until ``max_batch``) coalesce per group signature,
+the group executes on the server's single HE executor thread, and each
+caller's future resolves with its own slice of the result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+
+from ..he.ciphertext import Ciphertext
+from ..he.evaluator import _Emitter, _P
+from ..rns.poly import Domain
+from ..telemetry import TRACER
+from ..telemetry.metrics import MetricsRegistry
+from .protocol import trace_sizes
+from .tenants import Tenant
+
+__all__ = ["execute_group", "group_signature", "CrossRequestBatcher"]
+
+
+# -- group lowering (synchronous) -----------------------------------------------------
+
+
+def group_signature(tenant_key: str, ops: tuple[str, ...], cts: list[Ciphertext]) -> tuple:
+    """The coalescing key: requests with equal signatures share one plan.
+
+    Captures everything that shapes the group plan — tenant, op chain, and
+    per-input structure (component count, domains, prime chain).  Levels
+    are deliberately absent: they are metadata carried per request.
+    """
+    return (
+        tenant_key,
+        tuple(ops),
+        tuple(
+            (
+                len(ct.polys),
+                tuple(poly.domain.value for poly in ct.polys),
+                tuple(ct.basis.primes),
+            )
+            for ct in cts
+        ),
+    )
+
+
+def _tensor_ntt(em: _Emitter, a_ntt: list[_P], b_ntt: list[_P]) -> list[_P]:
+    """NTT-domain tensor product, left in the NTT domain.
+
+    The evaluator's ``_emit_tensor`` inverse-transforms its products
+    immediately; the group lowering defers that so the inverse of *every*
+    request rides one wide node instead.
+    """
+    graph = em.graph
+    basis = a_ntt[0].basis
+    accumulators: list[int | None] = [None] * (len(a_ntt) + len(b_ntt) - 1)
+    for i, poly_a in enumerate(a_ntt):
+        for j, poly_b in enumerate(b_ntt):
+            term = graph.mul(poly_a.value, poly_b.value)
+            k = i + j
+            accumulators[k] = (
+                term if accumulators[k] is None else graph.add(accumulators[k], term)
+            )
+    return [_P(value, Domain.NTT, basis) for value in accumulators]
+
+
+def _emit_group_first(ev, em: _Emitter, op: str, sreq: list[list[list[_P]]]) -> list[list[_P]]:
+    """Lower the opening op for every request, sharing the wide transforms."""
+    if op in ("add", "sub"):
+        return [
+            ev._emit_linear(em, inputs[0], inputs[1], subtract=(op == "sub"))
+            for inputs in sreq
+        ]
+    if op == "negate":
+        return [ev._emit_negate(em, inputs[0]) for inputs in sreq]
+    # multiply / square: one forward batch over every request's operands,
+    # per-request NTT-domain tensor products, one inverse batch over every
+    # request's products.
+    pending = [poly for inputs in sreq for ct in inputs for poly in ct]
+    transformed = ev._emit_ntt_batch(em, pending, forward=True)
+    products: list[list[_P]] = []
+    index = 0
+    for inputs in sreq:
+        parts = []
+        for ct in inputs:
+            parts.append(transformed[index : index + len(ct)])
+            index += len(ct)
+        if op == "square":
+            products.append(_tensor_ntt(em, parts[0], parts[0]))
+        else:
+            if parts[0][0].basis.primes != parts[1][0].basis.primes:
+                raise ValueError("ciphertexts are at different levels; mod-switch first")
+            products.append(_tensor_ntt(em, parts[0], parts[1]))
+    flat = [poly for group in products for poly in group]
+    inverted = ev._emit_ntt_batch(em, flat, forward=False)
+    out: list[list[_P]] = []
+    index = 0
+    for group in products:
+        out.append(inverted[index : index + len(group)])
+        index += len(group)
+    return out
+
+
+def _emit_group_relinearize(
+    ev, em: _Emitter, current: list[list[_P]], srk: list[tuple[_P, _P]] | None
+) -> list[list[_P]]:
+    """Key-switch every request at once: per prime, the ``k`` digit rows and
+    the (shared, bound-once) key component go through a single wide forward
+    transform; the ``2k`` accumulators come back in a single inverse."""
+    graph = em.graph
+    size = len(current[0])
+    if size == 2:
+        return [
+            [_P(graph.copy(p.value), p.domain, p.basis) for p in req]
+            for req in current
+        ]
+    if size != 3:
+        raise ValueError("relinearisation supports size-3 ciphertexts only")
+    basis = current[0][0].basis
+    if srk is None or len(srk) != len(basis):
+        raise ValueError("relinearisation key was generated for a different basis")
+    k = len(current)
+    c2s = ev._emit_ntt_batch(em, [req[2] for req in current], forward=False)
+    acc0: list[int | None] = [None] * k
+    acc1: list[int | None] = [None] * k
+    for index, (rk0, rk1) in enumerate(srk):
+        digits = [
+            _P(graph.digit_broadcast(c2s[r].value, index), Domain.COEFFICIENT, basis)
+            for r in range(k)
+        ]
+        transformed = ev._emit_ntt_batch(em, digits + [rk0, rk1], forward=True)
+        rk0_ntt, rk1_ntt = transformed[k], transformed[k + 1]
+        for r in range(k):
+            term0 = graph.mul(transformed[r].value, rk0_ntt.value)
+            term1 = graph.mul(transformed[r].value, rk1_ntt.value)
+            acc0[r] = term0 if acc0[r] is None else graph.add(acc0[r], term0)
+            acc1[r] = term1 if acc1[r] is None else graph.add(acc1[r], term1)
+    sums = ev._emit_ntt_batch(
+        em,
+        [_P(value, Domain.NTT, basis) for value in acc0 + acc1],
+        forward=False,
+    )
+    return [
+        [
+            ev._emit_poly_add(em, current[r][0], sums[r]),
+            ev._emit_poly_add(em, current[r][1], sums[k + r]),
+        ]
+        for r in range(k)
+    ]
+
+
+def _emit_group_mod_switch(ev, em: _Emitter, current: list[list[_P]], t: int) -> list[list[_P]]:
+    basis = current[0][0].basis
+    if len(basis) < 2:
+        raise ValueError("cannot modulus-switch below a single prime")
+    if basis.primes[-1] % t != 1:
+        raise ValueError("modulus switching requires q_last ≡ 1 (mod t)")
+    flat = [poly for req in current for poly in req]
+    coeffs = ev._emit_ntt_batch(em, flat, forward=False)
+    new_basis = basis.drop_last(1)
+    switched = [
+        _P(em.graph.mod_switch_drop_last(poly.value, t), Domain.COEFFICIENT, new_basis)
+        for poly in coeffs
+    ]
+    size = len(current[0])
+    return [switched[r * size : (r + 1) * size] for r in range(len(current))]
+
+
+def _structure(adopted_request) -> tuple:
+    return tuple(
+        (tuple(polys[0].basis.primes), tuple(poly.domain for poly in polys))
+        for polys in adopted_request
+    )
+
+
+def execute_group(
+    tenant: Tenant, ops: tuple[str, ...], requests: list[list[Ciphertext]]
+) -> list[Ciphertext]:
+    """Run the same op chain for every request as one fused plan.
+
+    Args:
+        tenant: The tenant whose evaluator/plan-cache/key material is used.
+        ops: The validated op chain (``protocol.validate_request`` output).
+        requests: One entry per request — the ciphertext arguments of the
+            chain's first op.  All entries must share the same structure
+            (the batcher's :func:`group_signature` guarantees it).
+
+    Returns:
+        One result ciphertext per request, in submission order, bit-for-bit
+        equal to executing the chain per request.
+    """
+    ev = tenant.evaluator
+    k = len(requests)
+    if k == 0:
+        return []
+    ops = tuple(ops)
+    adopted = [[ev._adopt_all(ct.polys) for ct in request] for request in requests]
+    shape = _structure(adopted[0])
+    for request in adopted[1:]:
+        if _structure(request) != shape:
+            raise ValueError("cannot batch requests with different shapes")
+    input_sizes = [len(polys) for polys in adopted[0]]
+    sizes = trace_sizes(ops, input_sizes)
+    # The key is consumed only when a relinearize actually sees a size-3
+    # ciphertext; binding it otherwise would leave dangling plan inputs.
+    need_rk = any(
+        op == "relinearize" and (sizes[i - 1] if i else None) == 3
+        for i, op in enumerate(ops)
+    )
+    relin = None
+    if need_rk:
+        components = tenant.context.relinearization_key().components
+        relin = [(ev._adopt(rk0), ev._adopt(rk1)) for rk0, rk1 in components]
+    t = ev.params.plaintext_modulus
+    key = ("service_batch", ops, k, shape)
+
+    def build():
+        em = _Emitter()
+        sreq = [
+            [
+                [
+                    _P(
+                        em.graph.input("r%d_i%d_p%d" % (r, i, j)),
+                        poly.domain,
+                        poly.basis,
+                    )
+                    for j, poly in enumerate(polys)
+                ]
+                for i, polys in enumerate(request)
+            ]
+            for r, request in enumerate(adopted)
+        ]
+        srk = None
+        if relin is not None:
+            srk = [
+                (em.bind("rk0_%d" % i, rk0), em.bind("rk1_%d" % i, rk1))
+                for i, (rk0, rk1) in enumerate(relin)
+            ]
+        current = _emit_group_first(ev, em, ops[0], sreq)
+        for op in ops[1:]:
+            if op == "relinearize":
+                current = _emit_group_relinearize(ev, em, current, srk)
+            elif op == "mod_switch":
+                current = _emit_group_mod_switch(ev, em, current, t)
+            else:  # negate
+                current = [ev._emit_negate(em, request) for request in current]
+        return ev._finish(em, [poly for request in current for poly in request])
+
+    bindings = {}
+    for r, request in enumerate(adopted):
+        for i, polys in enumerate(request):
+            for j, poly in enumerate(polys):
+                bindings["r%d_i%d_p%d" % (r, i, j)] = poly.tensor
+    if relin is not None:
+        for i, (rk0, rk1) in enumerate(relin):
+            bindings["rk0_%d" % i] = rk0.tensor
+            bindings["rk1_%d" % i] = rk1.tensor
+
+    out = ev._run_plan(key, build, bindings)
+    out_size = sizes[-1]
+    level_bump = sum(1 for op in ops if op == "mod_switch")
+    return [
+        Ciphertext(
+            polys=out[r * out_size : (r + 1) * out_size],
+            params=ev.params,
+            level=requests[r][0].level + level_bump,
+        )
+        for r in range(k)
+    ]
+
+
+# -- asyncio coalescing ---------------------------------------------------------------
+
+
+class _Group:
+    __slots__ = ("tenant", "ops", "items", "timer", "flushed")
+
+    def __init__(self, tenant: Tenant, ops: tuple[str, ...]) -> None:
+        self.tenant = tenant
+        self.ops = ops
+        self.items: list[tuple[list[Ciphertext], asyncio.Future]] = []
+        self.timer: asyncio.Task | None = None
+        self.flushed = False
+
+
+class CrossRequestBatcher:
+    """Coalesce concurrent compute requests into :func:`execute_group` calls.
+
+    The first request of a group signature opens a batching window of
+    ``window_s`` seconds; requests with the same signature arriving within
+    it join the group.  The group flushes when the window elapses or
+    ``max_batch`` requests have joined, whichever is first.  With
+    ``max_batch=1`` every request executes alone — the serial baseline the
+    service benchmark compares against.
+
+    Args:
+        executor: The (single-thread) executor all HE work runs on.
+        metrics: Registry receiving ``service.batches`` /
+            ``service.batched_requests`` and the ``service.batch_size``
+            histogram (the server passes its root).
+        window_s: Batching window in seconds.
+        max_batch: Flush-now threshold; also the width cap of group plans.
+    """
+
+    def __init__(
+        self,
+        executor: Executor,
+        metrics: MetricsRegistry | None = None,
+        window_s: float = 0.005,
+        max_batch: int = 8,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self._executor = executor
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._metrics.declare("service.batches", "service.batched_requests")
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self._pending: dict[tuple, _Group] = {}
+
+    async def submit(
+        self, tenant: Tenant, ops: tuple[str, ...], cts: list[Ciphertext]
+    ) -> tuple[Ciphertext, int]:
+        """Queue one request; resolves to ``(result, batch size it rode in)``."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        if self.max_batch == 1:
+            group = _Group(tenant, ops)
+            group.items.append((cts, future))
+            self._launch_flush(None, group, loop)
+            return await future
+        signature = group_signature(tenant.key, ops, cts)
+        group = self._pending.get(signature)
+        if group is None:
+            group = _Group(tenant, ops)
+            self._pending[signature] = group
+            group.timer = loop.create_task(self._timed_flush(signature, group))
+        group.items.append((cts, future))
+        if len(group.items) >= self.max_batch:
+            self._launch_flush(signature, group, loop)
+        return await future
+
+    async def _timed_flush(self, signature: tuple, group: _Group) -> None:
+        try:
+            await asyncio.sleep(self.window_s)
+        except asyncio.CancelledError:
+            return
+        if not group.flushed:
+            self._launch_flush(signature, group, asyncio.get_running_loop())
+
+    def _launch_flush(
+        self, signature: tuple | None, group: _Group, loop: asyncio.AbstractEventLoop
+    ) -> None:
+        group.flushed = True
+        if signature is not None and self._pending.get(signature) is group:
+            del self._pending[signature]
+        if group.timer is not None and group.timer is not asyncio.current_task():
+            group.timer.cancel()
+        loop.create_task(self._flush(group, loop))
+
+    async def _flush(self, group: _Group, loop: asyncio.AbstractEventLoop) -> None:
+        items = group.items
+        requests = [cts for cts, _ in items]
+        size = len(items)
+
+        def run():
+            with TRACER.span(
+                "service.batch",
+                tenant=group.tenant.key,
+                size=size,
+                ops="+".join(group.ops),
+            ):
+                return execute_group(group.tenant, group.ops, requests)
+
+        try:
+            results = await loop.run_in_executor(self._executor, run)
+        except Exception as exc:
+            for _, future in items:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        self._metrics.inc("service.batches")
+        self._metrics.inc("service.batched_requests", size)
+        self._metrics.observe("service.batch_size", size)
+        for (_, future), result in zip(items, results):
+            if not future.done():
+                future.set_result((result, size))

@@ -1,0 +1,175 @@
+"""Sync and asyncio clients for the HE serving layer.
+
+Both clients speak the :mod:`repro.service.protocol` envelope: serialised
+ciphertexts in, one serialised result out.  The sync client
+(:class:`ServiceClient`) wraps :mod:`http.client` for scripts and tests;
+the asyncio client (:class:`AsyncServiceClient`) writes HTTP/1.1 over raw
+``asyncio`` streams so a load generator can hold many requests in flight
+from one thread — which is exactly what gives the server's cross-request
+batcher something to coalesce.
+
+Clients encrypt locally and keep their secret keys: the server only ever
+sees ciphertexts.  Build the local context with the same ``(params, seed)``
+pair the requests name, so client and server derive identical key material
+(`HeContext.create` key generation is deterministic in the seed) and
+results decrypt under the local secret key.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+
+from ..core.serialization import ciphertext_from_dict, ciphertext_to_dict
+from ..he.ciphertext import Ciphertext
+from ..he.params import HEParams
+from .protocol import ServiceError, build_request
+
+__all__ = ["ServiceClient", "AsyncServiceClient"]
+
+
+def _decode_response(status: int, body: bytes) -> dict:
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError:
+        payload = {"error": body.decode("utf-8", "replace")}
+    if status != 200:
+        raise ServiceError(status, payload.get("error", "request failed"))
+    return payload
+
+
+class ServiceClient:
+    """Blocking HTTP client (one connection per call, stdlib ``http.client``)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = json.dumps(payload).encode("utf-8") if payload is not None else None
+            connection.request(
+                method, path, body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = connection.getresponse()
+            return _decode_response(response.status, response.read())
+        finally:
+            connection.close()
+
+    def health(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> dict:
+        """The server's root snapshot plus one snapshot per tenant."""
+        return self._request("GET", "/v1/metrics")
+
+    def compute_raw(
+        self,
+        params: HEParams,
+        ops: "list[str] | tuple[str, ...]",
+        ciphertexts: "list[Ciphertext]",
+        seed: int = 2020,
+    ) -> dict:
+        """Submit one op chain; returns the full response envelope."""
+        payload = build_request(
+            params, ops, [ciphertext_to_dict(ct) for ct in ciphertexts], seed=seed
+        )
+        return self._request("POST", "/v1/compute", payload)
+
+    def compute(
+        self,
+        params: HEParams,
+        ops: "list[str] | tuple[str, ...]",
+        ciphertexts: "list[Ciphertext]",
+        seed: int = 2020,
+        backend=None,
+    ) -> Ciphertext:
+        """Submit one op chain; returns the result ciphertext."""
+        response = self.compute_raw(params, ops, ciphertexts, seed=seed)
+        return ciphertext_from_dict(response["result"], backend=backend)
+
+
+class AsyncServiceClient:
+    """Asyncio client: many in-flight requests from one event loop."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+
+    async def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(
+                (
+                    "%s %s HTTP/1.1\r\n"
+                    "Host: %s:%d\r\n"
+                    "Content-Type: application/json\r\n"
+                    "Content-Length: %d\r\n"
+                    "Connection: close\r\n\r\n"
+                    % (method, path, self.host, self.port, len(body))
+                ).encode("ascii")
+            )
+            if body:
+                writer.write(body)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("ascii", "replace").split()
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ServiceError(502, "malformed response from server")
+            status = int(parts[1])
+            length = None
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("ascii", "replace").partition(":")
+                if name.strip().lower() == "content-length":
+                    length = int(value.strip())
+            data = (
+                await reader.readexactly(length)
+                if length is not None
+                else await reader.read(-1)
+            )
+            return _decode_response(status, data)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - platform dependent
+                pass
+
+    async def health(self) -> dict:
+        return await self._request("GET", "/v1/healthz")
+
+    async def metrics(self) -> dict:
+        return await self._request("GET", "/v1/metrics")
+
+    async def compute_raw(
+        self,
+        params: HEParams,
+        ops: "list[str] | tuple[str, ...]",
+        ciphertexts: "list[Ciphertext]",
+        seed: int = 2020,
+    ) -> dict:
+        payload = build_request(
+            params, ops, [ciphertext_to_dict(ct) for ct in ciphertexts], seed=seed
+        )
+        return await self._request("POST", "/v1/compute", payload)
+
+    async def compute(
+        self,
+        params: HEParams,
+        ops: "list[str] | tuple[str, ...]",
+        ciphertexts: "list[Ciphertext]",
+        seed: int = 2020,
+        backend=None,
+    ) -> Ciphertext:
+        response = await self.compute_raw(params, ops, ciphertexts, seed=seed)
+        return ciphertext_from_dict(response["result"], backend=backend)

@@ -1,0 +1,352 @@
+"""The asyncio HE server: stdlib HTTP/JSON over ``asyncio.start_server``.
+
+Architecture (all stdlib, no web framework):
+
+* the **event loop** owns connection handling, request parsing and the
+  batching windows — it never executes HE work, so it stays responsive to
+  new arrivals while a batch computes (that responsiveness is what lets
+  batches form);
+* one **HE executor thread** (``ThreadPoolExecutor(max_workers=1)``) owns
+  every touch of backend state: tenant construction, ciphertext
+  deserialisation, group execution, response serialisation.  One thread
+  means zero backend locking and a meaningful serial baseline — parallelism
+  comes from batch *width* on the sharded backend underneath, exactly the
+  paper's claim;
+* the :class:`~repro.service.batching.CrossRequestBatcher` sits between
+  them, coalescing concurrent ``POST /v1/compute`` bodies for the same
+  tenant + op chain + shape into one fused plan.
+
+Routes:
+
+* ``POST /v1/compute`` — one op chain over submitted ciphertexts;
+* ``GET /v1/metrics`` — the server's root registry snapshot plus one
+  snapshot per tenant (per-tenant conversion/dispatch/plan accounting);
+* ``GET /v1/healthz`` — liveness.
+
+:class:`ServerThread` hosts the whole loop on a daemon thread for tests,
+benchmarks and the in-process load-generator example; ``main()`` is the
+``python -m repro.experiments serve`` entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from ..core.serialization import ciphertext_from_dict, ciphertext_to_dict
+from ..telemetry import enable_tracing, maybe_enable_from_env
+from ..telemetry.metrics import MetricsRegistry
+from .batching import CrossRequestBatcher
+from .protocol import (
+    PROTOCOL_VERSION,
+    ServiceError,
+    jsonable,
+    validate_request,
+)
+from .tenants import TenantCache
+
+__all__ = ["HeServer", "ServerThread", "main"]
+
+#: Largest request body accepted (a ciphertext at large parameters is a few
+#: MB of hex; this bounds hostile payloads, not legitimate ones).
+MAX_BODY_BYTES = 64 << 20
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            413: "Payload Too Large", 500: "Internal Server Error"}
+
+
+class HeServer:
+    """The serving core: tenant cache + batcher + request handlers.
+
+    Args:
+        backend: Registry name each tenant's dedicated backend is built
+            from (``None`` honours ``REPRO_BACKEND``).
+        shards: Shard count for sharding tenant backends.
+        max_batch: Cross-request batch width cap (``1`` disables
+            coalescing — the serial baseline).
+        batch_window: Seconds the first request of a group waits for
+            companions before the batch flushes.
+    """
+
+    def __init__(
+        self,
+        backend: str | None = None,
+        shards: int | None = None,
+        max_batch: int = 8,
+        batch_window: float = 0.005,
+    ) -> None:
+        self.metrics = MetricsRegistry()
+        self.metrics.declare(
+            "service.requests",
+            "service.errors",
+            "service.batches",
+            "service.batched_requests",
+        )
+        self.tenants = TenantCache(self.metrics, backend=backend, shards=shards)
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-he"
+        )
+        self.batcher = CrossRequestBatcher(
+            self._executor,
+            metrics=self.metrics,
+            window_s=batch_window,
+            max_batch=max_batch,
+        )
+
+    def close(self) -> None:
+        """Release every tenant backend and the HE executor."""
+        self.tenants.close()
+        self._executor.shutdown(wait=True)
+
+    # -- connection handling -----------------------------------------------------
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._dispatch(reader)
+            body = json.dumps(payload).encode("utf-8")
+            writer.write(
+                (
+                    "HTTP/1.1 %d %s\r\n"
+                    "Content-Type: application/json\r\n"
+                    "Content-Length: %d\r\n"
+                    "Connection: close\r\n\r\n"
+                    % (status, _REASONS.get(status, "Error"), len(body))
+                ).encode("ascii")
+            )
+            writer.write(body)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - platform dependent
+                pass
+
+    async def _dispatch(self, reader: asyncio.StreamReader) -> tuple[int, dict]:
+        try:
+            method, path, request_body = await self._read_request(reader)
+        except ServiceError as exc:
+            self.metrics.inc("service.errors")
+            return exc.status, {"error": exc.message}
+        try:
+            if method == "POST" and path == "/v1/compute":
+                return 200, await self._compute(request_body)
+            if method == "GET" and path == "/v1/metrics":
+                return 200, self._metrics_payload()
+            if method == "GET" and path == "/v1/healthz":
+                return 200, {"status": "ok", "format_version": PROTOCOL_VERSION}
+            self.metrics.inc("service.errors")
+            return 404, {"error": "no route for %s %s" % (method, path)}
+        except ServiceError as exc:
+            self.metrics.inc("service.errors")
+            return exc.status, {"error": exc.message}
+        except ValueError as exc:
+            # HE-layer shape/ring rejections are client mistakes, not crashes.
+            self.metrics.inc("service.errors")
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive
+            self.metrics.inc("service.errors")
+            return 500, {"error": "%s: %s" % (type(exc).__name__, exc)}
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader) -> tuple[str, str, bytes]:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("ascii", "replace").split()
+            if len(parts) < 2:
+                raise ServiceError(400, "malformed HTTP request line")
+            method, path = parts[0], parts[1]
+            headers = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("ascii", "replace").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            if length > MAX_BODY_BYTES:
+                raise ServiceError(413, "request body exceeds %d bytes" % MAX_BODY_BYTES)
+            body = await reader.readexactly(length) if length else b""
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ServiceError(400, "malformed HTTP request: %s" % exc) from None
+        return method, path, body
+
+    # -- routes ------------------------------------------------------------------
+    async def _compute(self, body: bytes) -> dict:
+        self.metrics.inc("service.requests")
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(400, "request body is not valid JSON: %s" % exc) from None
+        params, seed, ops, ct_payloads = validate_request(payload)
+        loop = asyncio.get_running_loop()
+        # Tenant construction and ciphertext reconstruction are backend
+        # work — they run on the HE thread, keeping the loop free to
+        # coalesce the requests arriving meanwhile.
+        tenant, cts = await loop.run_in_executor(
+            self._executor, self._prepare, params, seed, ct_payloads
+        )
+        result, batch_size = await self.batcher.submit(tenant, ops, cts)
+        response = await loop.run_in_executor(
+            self._executor, ciphertext_to_dict, result
+        )
+        return {
+            "format_version": PROTOCOL_VERSION,
+            "tenant": tenant.key,
+            "batch_size": batch_size,
+            "result": response,
+        }
+
+    def _prepare(self, params, seed, ct_payloads):
+        tenant = self.tenants.get(params, seed)
+        cts = [
+            ciphertext_from_dict(payload, backend=tenant.context.backend)
+            for payload in ct_payloads
+        ]
+        return tenant, cts
+
+    def _metrics_payload(self) -> dict:
+        return {
+            "format_version": PROTOCOL_VERSION,
+            "server": jsonable(self.metrics.snapshot()),
+            "tenants": {
+                key: jsonable(tenant.metrics())
+                for key, tenant in self.tenants.tenants().items()
+            },
+        }
+
+    # -- serving -----------------------------------------------------------------
+    async def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ready: "threading.Event | None" = None,
+        stop: "asyncio.Event | None" = None,
+        bound: "list | None" = None,
+    ) -> None:
+        """Accept connections until ``stop`` is set (forever when ``None``)."""
+        server = await asyncio.start_server(self.handle_connection, host, port)
+        try:
+            if bound is not None:
+                bound.append(server.sockets[0].getsockname()[1])
+            if ready is not None:
+                ready.set()
+            if stop is None:
+                async with server:
+                    await server.serve_forever()
+            else:
+                async with server:
+                    await stop.wait()
+        finally:
+            self.close()
+
+
+class ServerThread:
+    """Context manager hosting an :class:`HeServer` loop on a daemon thread.
+
+    The with-block receives the started instance with :attr:`port` bound —
+    what the tests, the service benchmark and the in-process load-generator
+    example use to stand up a real server without blocking the caller.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, **server_kwargs) -> None:
+        self.host = host
+        self.port = port
+        self.server = HeServer(**server_kwargs)
+        self._ready = threading.Event()
+        self._bound: list[int] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._failure: BaseException | None = None
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        await self.server.serve(
+            self.host, self.port, ready=self._ready, stop=self._stop,
+            bound=self._bound,
+        )
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - startup failures
+            self._failure = exc
+            self._ready.set()
+
+    def __enter__(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-he-server", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._failure is not None:
+            raise RuntimeError("server failed to start") from self._failure
+        if not self._bound:
+            raise RuntimeError("server did not bind within 30s")
+        self.port = self._bound[0]
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point: ``python -m repro.experiments serve [options]``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments serve",
+        description="Serve homomorphic ciphertext ops over HTTP/JSON with "
+        "cross-request batching.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8793)
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="registry backend name for tenant contexts (default: REPRO_BACKEND "
+        "or the registry default)",
+    )
+    parser.add_argument("--shards", type=int, default=None,
+                        help="shard count for sharding backends")
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="cross-request batch width cap (1 = no batching)")
+    parser.add_argument("--batch-window", type=float, default=0.005,
+                        help="batching window in seconds")
+    parser.add_argument("--trace", default=None,
+                        help="write a Chrome-trace JSON capture to this path")
+    args = parser.parse_args(argv)
+    if args.trace is not None:
+        enable_tracing(args.trace)
+    else:
+        maybe_enable_from_env()
+    server = HeServer(
+        backend=args.backend,
+        shards=args.shards,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window,
+    )
+    print(
+        "serving HE ops on http://%s:%d (backend=%s, max_batch=%d, window=%gs)"
+        % (args.host, args.port, args.backend or "default", args.max_batch,
+           args.batch_window),
+        flush=True,
+    )
+    try:
+        asyncio.run(server.serve(args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI smoke
+    raise SystemExit(main())

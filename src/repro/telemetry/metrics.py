@@ -53,6 +53,27 @@ class MetricsRegistry:
         if parent is not None:
             parent._children.add(self)
 
+    def adopt(self, child: "MetricsRegistry") -> None:
+        """Re-parent an already-built registry under this one.
+
+        Construction-time parenting covers components built *after* their
+        aggregator; ``adopt`` covers the opposite order — a backend builds
+        its own registry in ``__init__``, and a serving tenant later wants
+        those counters flowing into its per-tenant aggregate.  Future
+        :meth:`inc`/:meth:`observe` calls on ``child`` propagate here (and
+        up this registry's own chain); :meth:`reset` cascades down.  A
+        child already parented elsewhere is refused — silently re-wiring
+        would drop counts from the first aggregator.
+        """
+        if child is self:
+            raise ValueError("a registry cannot adopt itself")
+        if child._parent is self:
+            return
+        if child._parent is not None:
+            raise ValueError("registry already has a parent; cannot re-parent")
+        child._parent = self
+        self._children.add(child)
+
     # -- counters --------------------------------------------------------------
     def declare(self, *names: str) -> None:
         """Pre-register counters at zero so snapshots always carry them."""

@@ -230,3 +230,56 @@ def test_save_and_load_json(tmp_path):
     table = TwiddleTable(n=N, p=P, psi=PSI)
     table_path = save_json(twiddle_table_to_dict(table), tmp_path / "table.json")
     assert twiddle_table_from_dict(load_json(table_path)).forward == table.forward
+
+
+# -- format versioning -----------------------------------------------------------------
+
+
+def _sample_payloads():
+    plan = NTTPlan(n=1 << 10, ot=OnTheFlyConfig(base=64, ot_stages=1))
+    basis = RnsBasis.from_primes([P], N)
+    rng = random.Random(11)
+    poly = RnsPolynomial.random_uniform(basis, N, rng)
+    return {
+        plan_from_dict: plan_to_dict(plan),
+        twiddle_table_from_dict: twiddle_table_to_dict(TwiddleTable(n=N, p=P, psi=PSI)),
+        rns_polynomial_from_dict: rns_polynomial_to_dict(poly),
+    }
+
+
+def test_every_payload_carries_format_version():
+    from repro.core.serialization import FORMAT_VERSION
+
+    for payload in _sample_payloads().values():
+        assert payload["format_version"] == FORMAT_VERSION
+
+
+def test_unknown_format_version_is_rejected_with_clear_error():
+    for loader, payload in _sample_payloads().items():
+        payload["format_version"] = 999
+        with pytest.raises(ValueError, match="format_version"):
+            loader(payload)
+
+
+def test_missing_format_version_reads_as_version_one():
+    # Artefacts written before the field existed keep loading: the format
+    # itself is unchanged, only the tag is new.
+    for loader, payload in _sample_payloads().items():
+        del payload["format_version"]
+        loader(payload)
+
+
+def test_ciphertext_format_version_roundtrip_and_rejection():
+    from repro.he import HeContext
+    from repro.he.params import toy_params
+
+    ctx = HeContext.create(toy_params())
+    ct = ctx.encryptor().encrypt(ctx.encoder().encode([1, 2, 3]))
+    payload = ciphertext_to_dict(ct)
+    from repro.core.serialization import FORMAT_VERSION
+
+    assert payload["format_version"] == FORMAT_VERSION
+    ciphertext_from_dict(payload)  # current version loads
+    payload["format_version"] = 2
+    with pytest.raises(ValueError, match="format_version"):
+        ciphertext_from_dict(payload)

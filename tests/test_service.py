@@ -1,0 +1,379 @@
+"""Tests for the HE serving layer: tenants, batching, protocol, HTTP round trips."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.serialization import ciphertext_from_dict, ciphertext_to_dict
+from repro.he import HeContext
+from repro.he.params import HEParams, toy_params
+from repro.service import (
+    AsyncServiceClient,
+    ServerThread,
+    ServiceClient,
+    ServiceError,
+    TenantCache,
+    build_request,
+    execute_group,
+    jsonable,
+    params_hash,
+)
+from repro.service.protocol import trace_sizes, validate_request
+from repro.telemetry.metrics import MetricsRegistry
+
+SEED = 424242
+
+
+def _session(params=None, seed=SEED, backend=None):
+    context = HeContext.create(params or toy_params(), seed=seed, backend=backend)
+    return context, context.encryptor(), context.encoder()
+
+
+def _polys(ct):
+    return [poly.to_coeff_lists() for poly in ct.polys]
+
+
+# -- params hashing / tenant cache -----------------------------------------------------
+
+
+def test_params_hash_is_stable_and_discriminating():
+    params = toy_params()
+    assert params_hash(params, 1) == params_hash(toy_params(), 1)
+    assert params_hash(params, 1) != params_hash(params, 2)
+    different = HEParams(
+        n=params.n,
+        plaintext_modulus=params.plaintext_modulus,
+        prime_bits=params.prime_bits,
+        prime_count=params.prime_count + 1,
+    )
+    assert params_hash(params, 1) != params_hash(different, 1)
+
+
+def test_tenant_cache_returns_cached_context_for_same_hash():
+    root = MetricsRegistry()
+    cache = TenantCache(root)
+    try:
+        first = cache.get(toy_params(), 7)
+        again = cache.get(toy_params(), 7)
+        assert again is first
+        assert again.context is first.context
+        assert len(cache.tenants()) == 1
+    finally:
+        cache.close()
+
+
+def test_tenant_cache_isolates_different_params_and_seeds():
+    root = MetricsRegistry()
+    cache = TenantCache(root)
+    try:
+        a = cache.get(toy_params(), 7)
+        b = cache.get(toy_params(), 8)
+        c = cache.get(
+            HEParams(n=64, plaintext_modulus=257, prime_bits=40, prime_count=2), 7
+        )
+        assert len({a.key, b.key, c.key}) == 3
+        assert a.context is not b.context
+        # Dedicated backend instances per tenant — never a shared singleton.
+        assert a.context.backend is not b.context.backend
+        assert a.context.backend is not c.context.backend
+    finally:
+        cache.close()
+
+
+def test_tenant_metrics_do_not_bleed_but_aggregate_into_root():
+    root = MetricsRegistry()
+    cache = TenantCache(root)
+    try:
+        busy = cache.get(toy_params(), 7)
+        idle = cache.get(toy_params(), 8)
+        enc = busy.context.encryptor()
+        encoder = busy.context.encoder()
+        ct = enc.encrypt(encoder.encode([1, 2, 3]))
+        execute_group(busy, ("multiply",), [[ct, ct]])
+
+        assert busy.metrics()["plan.compiled"] == 1
+        assert idle.metrics()["plan.compiled"] == 0  # no bleed across tenants
+        assert root.value("plan.compiled") == 1  # but the root aggregates
+    finally:
+        cache.close()
+
+
+# -- protocol validation ---------------------------------------------------------------
+
+
+def test_validate_request_rejections():
+    params = toy_params()
+    context, enc, encoder = _session(params)
+    ct = ciphertext_to_dict(enc.encrypt(encoder.encode([1])))
+    good = build_request(params, ["multiply"], [ct, ct], seed=SEED)
+    validate_request(good)
+
+    cases = [
+        (dict(good, format_version=99), "format_version"),
+        (dict(good, params="nope"), "params"),
+        (dict(good, params=dict(good["params"], extra=1)), "unknown params"),
+        (dict(good, seed="x"), "seed"),
+        (dict(good, ops=[]), "ops"),
+        (dict(good, ops=["fly"]), "unknown first op"),
+        (dict(good, ops=["multiply", "multiply"]), "unknown chain op"),
+        (dict(good, ciphertexts=[ct]), "takes 2"),
+        (dict(good, ciphertexts=[ct, {"kind": "x"}]), "not a serialised"),
+    ]
+    for payload, fragment in cases:
+        with pytest.raises(ServiceError) as err:
+            validate_request(payload)
+        assert err.value.status == 400
+        assert fragment in err.value.message
+
+    # Ciphertexts under different parameters than the request's.
+    other = HEParams(n=64, plaintext_modulus=257, prime_bits=40, prime_count=2)
+    mismatch = build_request(other, ["multiply"], [ct, ct], seed=SEED)
+    with pytest.raises(ServiceError, match="different parameters"):
+        validate_request(mismatch)
+
+
+def test_trace_sizes_models_every_chain():
+    assert trace_sizes(("multiply",), [2, 2]) == [3]
+    assert trace_sizes(("multiply", "relinearize", "mod_switch"), [2, 2]) == [3, 2, 2]
+    assert trace_sizes(("square", "relinearize"), [2]) == [3, 2]
+    assert trace_sizes(("add",), [2, 3]) == [3]
+    assert trace_sizes(("negate", "negate"), [2]) == [2, 2]
+    with pytest.raises(ValueError, match="relinearisation"):
+        trace_sizes(("square", "relinearize"), [3])
+
+
+def test_jsonable_flattens_tuple_keyed_gauges():
+    snapshot = {"ntt.engine_choices": {(256, 30, 4): "high_radix"}, "n": 1}
+    encoded = json.dumps(jsonable(snapshot))
+    assert json.loads(encoded) == {
+        "ntt.engine_choices": {"256,30,4": "high_radix"},
+        "n": 1,
+    }
+
+
+# -- group execution == per-request execution ------------------------------------------
+
+CHAINS = [
+    ("multiply",),
+    ("multiply", "relinearize"),
+    ("multiply", "relinearize", "mod_switch"),
+    ("multiply", "relinearize", "mod_switch", "negate"),
+    ("square", "relinearize"),
+    ("add",),
+    ("sub", "mod_switch"),
+    ("negate",),
+]
+
+
+def _reference(context, ops, args):
+    ev = context.evaluator()
+    first = ops[0]
+    if first in ("multiply", "add", "sub"):
+        result = getattr(ev, first)(args[0], args[1])
+    elif first == "square":
+        result = ev.square(args[0])
+    else:
+        result = ev.negate(args[0])
+    for op in ops[1:]:
+        if op == "relinearize":
+            result = ev.relinearize(result, context.relinearization_key())
+        elif op == "mod_switch":
+            result = ev.mod_switch_to_next(result)
+        else:
+            result = ev.negate(result)
+    return result
+
+
+@pytest.mark.parametrize("ops", CHAINS, ids=["+".join(c) for c in CHAINS])
+def test_execute_group_matches_per_request_evaluator(ops):
+    from repro.service.protocol import FIRST_OPS
+
+    root = MetricsRegistry()
+    cache = TenantCache(root)
+    try:
+        tenant = cache.get(toy_params(), 5)
+        enc = tenant.context.encryptor()
+        encoder = tenant.context.encoder()
+        arity = FIRST_OPS[ops[0]]
+        requests = [
+            [
+                enc.encrypt(encoder.encode([r + 1, i + 2, 3]))
+                for i in range(arity)
+            ]
+            for r in range(3)
+        ]
+        batched = execute_group(tenant, ops, requests)
+        assert len(batched) == 3
+        for request, got in zip(requests, batched):
+            want = _reference(tenant.context, ops, request)
+            assert got.level == want.level
+            assert _polys(got) == _polys(want)
+    finally:
+        cache.close()
+
+
+def test_execute_group_compiles_once_per_shape():
+    root = MetricsRegistry()
+    cache = TenantCache(root)
+    try:
+        tenant = cache.get(toy_params(), 5)
+        enc = tenant.context.encryptor()
+        encoder = tenant.context.encoder()
+
+        def fresh_requests():
+            return [
+                [enc.encrypt(encoder.encode([r, 1])) for _ in range(2)]
+                for r in range(4)
+            ]
+
+        execute_group(tenant, ("multiply", "relinearize"), fresh_requests())
+        execute_group(tenant, ("multiply", "relinearize"), fresh_requests())
+        snapshot = tenant.metrics()
+        assert snapshot["plan.compiled"] == 1
+        assert snapshot["plan.cache_hits"] == 1
+    finally:
+        cache.close()
+
+
+def test_execute_group_rejects_heterogeneous_batches():
+    root = MetricsRegistry()
+    cache = TenantCache(root)
+    try:
+        tenant = cache.get(toy_params(), 5)
+        enc = tenant.context.encryptor()
+        encoder = tenant.context.encoder()
+        ev = tenant.context.evaluator()
+        plain = enc.encrypt(encoder.encode([1]))
+        widened = ev.multiply(plain, plain)  # size 3
+        with pytest.raises(ValueError, match="different shapes"):
+            execute_group(tenant, ("negate",), [[plain], [widened]])
+    finally:
+        cache.close()
+
+
+# -- HTTP round trips ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["scalar", "numpy", "parallel"])
+def test_http_compute_is_bit_for_bit_with_local_execution(backend):
+    params = toy_params()
+    local, enc, encoder = _session(params)
+    ct_a = enc.encrypt(encoder.encode([1, 2, 3, 4]))
+    ct_b = enc.encrypt(encoder.encode([5, 6, 7, 8]))
+    ops = ["multiply", "relinearize", "mod_switch"]
+
+    with ServerThread(backend=backend, shards=2, batch_window=0.001) as server:
+        client = ServiceClient("127.0.0.1", server.port)
+        assert client.health()["status"] == "ok"
+        got = client.compute(params, ops, [ct_a, ct_b], seed=SEED)
+
+    want = _reference(local, tuple(ops), [ct_a, ct_b])
+    assert got.level == want.level
+    assert _polys(got) == _polys(want)
+    decoded = local.encoder().decode(local.decryptor().decrypt(got))
+    assert decoded[:4] == [
+        (x * y) % params.plaintext_modulus
+        for x, y in zip([1, 2, 3, 4], [5, 6, 7, 8])
+    ]
+
+
+def test_http_concurrent_requests_coalesce_into_fewer_plans():
+    params = toy_params()
+    local, enc, encoder = _session(params)
+    pairs = [
+        (
+            enc.encrypt(encoder.encode([r + 1, 2])),
+            enc.encrypt(encoder.encode([3, r + 4])),
+        )
+        for r in range(6)
+    ]
+    ops = ["multiply", "relinearize", "mod_switch"]
+
+    # A generous window so all six requests (issued concurrently from one
+    # event loop) reliably land inside one batch even on slow CI runners.
+    with ServerThread(batch_window=0.25, max_batch=8) as server:
+        client = AsyncServiceClient("127.0.0.1", server.port)
+
+        async def run_all():
+            responses = await asyncio.gather(
+                *[
+                    client.compute_raw(params, ops, [a, b], seed=SEED)
+                    for a, b in pairs
+                ]
+            )
+            return responses, await client.metrics()
+
+        responses, metrics = asyncio.run(run_all())
+
+    for (a, b), response in zip(pairs, responses):
+        got = ciphertext_from_dict(response["result"])
+        want = _reference(local, tuple(ops), [a, b])
+        assert _polys(got) == _polys(want)
+    assert any(response["batch_size"] > 1 for response in responses)
+
+    server_metrics = metrics["server"]
+    assert server_metrics["service.requests"] == 6
+    assert server_metrics["service.batched_requests"] == 6
+    # The throughput claim, structurally: fewer batches than requests, and
+    # fewer plan executions than requests on the tenant doing the work.
+    assert server_metrics["service.batches"] < server_metrics["service.requests"]
+    [tenant_metrics] = metrics["tenants"].values()
+    plan_executions = tenant_metrics["plan.compiled"] + tenant_metrics["plan.cache_hits"]
+    assert plan_executions < 6
+    json.dumps(metrics)  # the whole surface stays JSON-safe
+
+
+def test_http_multi_tenant_metrics_isolation():
+    params = toy_params()
+    local_a, enc_a, encoder_a = _session(params, seed=1)
+    local_b, enc_b, encoder_b = _session(params, seed=2)
+    ct_a = enc_a.encrypt(encoder_a.encode([1, 2]))
+    ct_b = enc_b.encrypt(encoder_b.encode([3, 4]))
+
+    with ServerThread(batch_window=0.001) as server:
+        client = ServiceClient("127.0.0.1", server.port)
+        client.compute(params, ["multiply"], [ct_a, ct_a], seed=1)
+        client.compute(params, ["multiply"], [ct_b, ct_b], seed=2)
+        client.compute(params, ["multiply"], [ct_b, ct_b], seed=2)
+        metrics = client.metrics()
+
+    key_a, key_b = params_hash(params, 1), params_hash(params, 2)
+    tenants = metrics["tenants"]
+    assert set(tenants) == {key_a, key_b}
+    assert tenants[key_a]["plan.compiled"] == 1
+    assert tenants[key_a]["plan.cache_hits"] == 0
+    assert tenants[key_b]["plan.compiled"] == 1
+    assert tenants[key_b]["plan.cache_hits"] == 1
+    assert metrics["server"]["service.requests"] == 3
+    assert metrics["server"]["service.tenants"] == 2
+
+
+def test_http_error_paths():
+    with ServerThread(batch_window=0.001) as server:
+        client = ServiceClient("127.0.0.1", server.port)
+
+        with pytest.raises(ServiceError) as err:
+            client._request("POST", "/v1/compute", {"format_version": 99})
+        assert err.value.status == 400
+
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/v1/nope")
+        assert err.value.status == 404
+
+        # Level mismatch passes validation but is rejected by the HE layer
+        # as a clean 400, not a connection-killing crash.
+        params = toy_params()
+        context, enc, encoder = _session(params)
+        ct = enc.encrypt(encoder.encode([1]))
+        switched = context.evaluator().mod_switch_to_next(
+            _reference(context, ("multiply", "relinearize"), [ct, ct])
+        )
+        with pytest.raises(ServiceError) as err:
+            client.compute(params, ["add"], [ct, switched], seed=SEED)
+        assert err.value.status == 400
+
+        metrics = client.metrics()
+        assert metrics["server"]["service.errors"] == 3

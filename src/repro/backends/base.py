@@ -38,7 +38,34 @@ owned by exactly one backend instance.  The contract every backend must obey:
    fallback for word sizes the vector unit cannot handle exactly).  Every
    such materialisation increments :attr:`ComputeBackend.conversion_count`,
    by the number of rows converted, so callers — and the regression tests —
-   can assert that a chain of operations stayed resident.
+   can assert that a chain of operations stayed resident.  Rows processed
+   through a per-prime big-int fallback are additionally charged to
+   :attr:`ComputeBackend.fallback_rows`, making residual slow-path work
+   directly observable (``HeContext.metrics()`` / ``/v1/metrics``) instead
+   of inferred from conversion deltas.
+
+The wide-word exactness window
+------------------------------
+
+Vectorised backends guarantee **exact** modular arithmetic over the full
+storage window ``p < 2^62`` — not just where a native ``uint64`` product is
+safe (``p < 2^31``).  The contract, shared by every engine array path and
+every pointwise/RNS kernel (see :mod:`repro.backends.wideops`):
+
+* products against *constants* (twiddles, ``n^{-1}``, ``t``, ``q^{-1}``) use
+  Shoup's precomputed-companion reduction — 32-bit limb decomposition with
+  uint64 carries for any ``p < 2^62``, or the float64 two-product quotient
+  trick for ``p < 2^50`` (strategy selected per prime size, forceable with
+  ``REPRO_WIDE_STRATEGY``);
+* general element-wise products split the 128-bit product into limb halves
+  and fold the high half in with the same Shoup machinery;
+* every kernel returns *fully reduced* residues, which is what keeps all
+  engines and both strategies bit-for-bit interchangeable with the big-int
+  reference path.
+
+``REPRO_WIDE_WORD=0`` disables the widened window (restoring the 30-bit
+gate and its counted fallback) so benchmarks and tests can compare regimes;
+primes at or above ``2^62`` always take the exact big-int path.
 5. **Optional shared-buffer capability** — a tensor whose storage other
    processes can map directly reports it via
    :meth:`ResidueTensor.shared_buffer`; the default (``None``) means the
@@ -227,7 +254,7 @@ class ComputeBackend(abc.ABC):
         #: The backend's metrics namespace.  Counters live here; the legacy
         #: per-concern properties below are thin shims over it.
         self.metrics = MetricsRegistry()
-        self.metrics.declare("conversions.rows", "pool.dispatches")
+        self.metrics.declare("conversions.rows", "pool.dispatches", "fallback.rows")
 
     def __init_subclass__(cls, **kwargs) -> None:
         """Auto-instrument every concrete kernel a subclass defines.
@@ -268,6 +295,21 @@ class ComputeBackend(abc.ABC):
 
     def _count_conversion(self, rows: int) -> None:
         self.metrics.inc("conversions.rows", rows)
+
+    @property
+    def fallback_rows(self) -> int:
+        """Residue rows processed through a per-prime big-int fallback so far.
+
+        Zero on backends whose native path is exact for every modulus they
+        store (the scalar reference, and the vectorised backends inside the
+        wide-word window) — the observability counter behind the 60-bit
+        zero-fallback chain tests.  Shim over
+        ``metrics.value("fallback.rows")``.
+        """
+        return self.metrics.value("fallback.rows")
+
+    def _count_fallback(self, rows: int) -> None:
+        self.metrics.inc("fallback.rows", rows)
 
     @abc.abstractmethod
     def from_rows(self, rows: ResidueRows, primes: Sequence[int]) -> ResidueTensor:

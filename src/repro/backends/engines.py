@@ -65,9 +65,24 @@ from ..transforms.four_step import (
 )
 from ..transforms.high_radix import ntt_forward_by_passes, plan_stage_groups
 from ..transforms.stockham import stockham_ntt_forward, stockham_ntt_inverse
+from . import wideops
+from .wideops import (
+    FLOAT_SHOUP_LIMIT,
+    NARROW_MUL_LIMIT,
+    WIDE_ENV_VAR,
+    WIDE_MUL_LIMIT,
+    vector_mul_limit,
+    wide_word_enabled,
+)
 
 __all__ = [
     "ENGINE_ENV_VAR",
+    "NARROW_MUL_LIMIT",
+    "WIDE_MUL_LIMIT",
+    "FLOAT_SHOUP_LIMIT",
+    "WIDE_ENV_VAR",
+    "vector_mul_limit",
+    "wide_word_enabled",
     "TUNE_PROFILE_ENV_VAR",
     "DEFAULT_AUTOTUNE_CANDIDATES",
     "NttEngine",
@@ -153,12 +168,18 @@ class EngineTables:
     :meth:`repro.backends.base.ComputeBackend.warm_twiddles` warms and what
     the default engine needs; the Stockham/four-step extras appear on first
     use.
+
+    Moduli at or above the single-word window (``p >= 2^31``) flip the
+    ``wide`` flag: every twiddle product then runs through a Shoup-style
+    kernel from :mod:`repro.backends.wideops` (limb decomposition or the
+    float64 quotient trick, selected per prime size), against lazily built
+    per-table companion arrays cached in ``_companions``.
     """
 
     __slots__ = (
         "n", "p", "p64", "psi", "n_inv64", "ct_forward", "ct_inverse",
         "_psi_powers", "_psi_inv_scaled", "_stockham_f", "_stockham_i",
-        "_four_step",
+        "_four_step", "wide", "wide_strategy", "_companions", "_n_inv_table",
     )
 
     def __init__(self, n: int, p: int, psi_2n: int | None = None) -> None:
@@ -180,6 +201,10 @@ class EngineTables:
         self._stockham_f = None
         self._stockham_i = None
         self._four_step: dict[int, _FourStepTables] = {}
+        self.wide = p >= NARROW_MUL_LIMIT
+        self.wide_strategy = wideops.select_strategy(p) if self.wide else None
+        self._companions: dict[int, object] = {}
+        self._n_inv_table = None
 
     @property
     def bitrev(self):
@@ -227,6 +252,38 @@ class EngineTables:
             self._four_step[n1] = bundle
         return bundle
 
+    # -- wide-word (31-62 bit) twiddle products --------------------------------
+    @property
+    def n_inv_table(self):
+        """``n^{-1}`` as a length-1 array, for the broadcasting wide kernels."""
+        if self._n_inv_table is None:
+            self._n_inv_table = np.asarray([self.n_inv64], dtype=np.uint64)
+        return self._n_inv_table
+
+    def companions(self, table):
+        """Lazily built Shoup companions for one of this instance's tables.
+
+        Keyed by array identity — every table handed in is an attribute of
+        this instance (or of one of its ``_FourStepTables`` bundles) and
+        lives as long as the tables object, so identity is stable.  The
+        companion flavour follows :attr:`wide_strategy`: uint64
+        ``floor(w * 2^64 / p)`` for the limb kernel, float64 ``w / p`` for
+        the float-quotient kernel.
+        """
+        key = id(table)
+        bar = self._companions.get(key)
+        if bar is None:
+            if self.wide_strategy == "float":
+                bar = wideops.float_bar(table, self.p)
+            else:
+                bar = wideops.shoup_bar(table, self.p)
+            self._companions[key] = bar
+        return bar
+
+    def wide_mul(self, x, w, bar):
+        """``(x * w) mod p``, fully reduced, through the selected strategy."""
+        return wideops.shoup_mul(x, w, bar, self.p64, self.wide_strategy)
+
 
 # ------------------------------------------------------------ array kernels
 
@@ -263,6 +320,87 @@ def _stockham_sweep(a, stage_tables, p64):
     return source
 
 
+def _stockham_sweep_wide(a, stage_tables, tables: "EngineTables"):
+    """Wide-modulus twin of :func:`_stockham_sweep` (Shoup twiddle products).
+
+    Identical structure and identical values — the butterfly add/sub halves
+    already used the conditional subtraction, and the Shoup kernels return
+    fully reduced products — so the result is bit-for-bit the narrow sweep's.
+    """
+    p64 = tables.p64
+    batch, n = a.shape
+    source, destination = a, np.empty_like(a)
+    span = n
+    stride = 1
+    for w in stage_tables:
+        bar = tables.companions(w)
+        half = span // 2
+        view = source.reshape(batch, span, stride)
+        upper = view[:, :half, :]
+        lower = view[:, half:, :]
+        out = destination.reshape(batch, half, 2, stride)
+        out[:, :, 0, :] = _cond_sub(upper + lower, p64)
+        difference = _cond_sub(upper + (p64 - lower), p64)
+        out[:, :, 1, :] = tables.wide_mul(difference, w[None, :, None], bar[None, :, None])
+        source, destination = destination, source
+        span //= 2
+        stride *= 2
+    return source
+
+
+def _ct_forward_wide(block, tables: "EngineTables"):
+    """Wide-modulus Cooley-Tukey forward sweep (radix-2 stage order).
+
+    Shared by the radix-2 and high-radix engines on wide primes: pass
+    grouping is a loop-nesting change only on the array path, and with no
+    native ``%`` available above 2^31 both engines reduce identically
+    (Shoup products, conditional-subtract adds) — still bit-for-bit with
+    the narrow paths because every value stays fully reduced per stage.
+    """
+    p64 = tables.p64
+    table = tables.ct_forward
+    bar = tables.companions(table)
+    batch, n = block.shape
+    t = n // 2
+    m = 1
+    while m < n:
+        view = block.reshape(batch, m, 2 * t)
+        upper = view[:, :, :t]
+        lower = view[:, :, t:]
+        product = tables.wide_mul(
+            lower, table[m : 2 * m].reshape(1, m, 1), bar[m : 2 * m].reshape(1, m, 1)
+        )
+        total = upper + product
+        difference = upper + (p64 - product)
+        view[:, :, :t] = _cond_sub(total, p64)
+        view[:, :, t:] = _cond_sub(difference, p64)
+        m *= 2
+        t //= 2
+    return block
+
+
+def _gs_inverse_wide(block, tables: "EngineTables"):
+    """Wide-modulus Gentleman-Sande inverse sweep with folded ``n^{-1}``."""
+    p64 = tables.p64
+    table = tables.ct_inverse
+    bar = tables.companions(table)
+    batch, n = block.shape
+    t = 1
+    m = n // 2
+    while m >= 1:
+        view = block.reshape(batch, m, 2 * t)
+        upper = view[:, :, :t].copy()
+        lower = view[:, :, t:].copy()
+        view[:, :, :t] = _cond_sub(upper + lower, p64)
+        difference = _cond_sub(upper + (p64 - lower), p64)
+        view[:, :, t:] = tables.wide_mul(
+            difference, table[m : 2 * m].reshape(1, m, 1), bar[m : 2 * m].reshape(1, m, 1)
+        )
+        m //= 2
+        t *= 2
+    return tables.wide_mul(block, tables.n_inv_table, tables.companions(tables.n_inv_table))
+
+
 def _four_step_cyclic(a, bundle: _FourStepTables, p64, inverse: bool):
     """Cyclic NTT via the four-step decomposition, natural order in and out."""
     batch, n = a.shape
@@ -285,6 +423,27 @@ def _four_step_cyclic(a, bundle: _FourStepTables, p64, inverse: bool):
     )
 
 
+def _four_step_cyclic_wide(a, bundle: _FourStepTables, tables: "EngineTables", inverse: bool):
+    """Wide-modulus twin of :func:`_four_step_cyclic`."""
+    batch, n = a.shape
+    n1, n2 = bundle.n1, bundle.n2
+    inner = bundle.inner_i if inverse else bundle.inner_f
+    outer = bundle.outer_i if inverse else bundle.outer_f
+    twist = bundle.twist_i if inverse else bundle.twist_f
+    columns = np.ascontiguousarray(a.reshape(batch, n1, n2).transpose(0, 2, 1))
+    columns = _stockham_sweep_wide(columns.reshape(batch * n2, n1), inner, tables)
+    columns = tables.wide_mul(
+        columns.reshape(batch, n2, n1),
+        twist[None, :, :],
+        tables.companions(twist)[None, :, :],
+    )
+    rows = np.ascontiguousarray(columns.transpose(0, 2, 1)).reshape(batch * n1, n2)
+    rows = _stockham_sweep_wide(rows, outer, tables)
+    return np.ascontiguousarray(rows.reshape(batch, n1, n2).transpose(0, 2, 1)).reshape(
+        batch, n
+    )
+
+
 # -------------------------------------------------------------------- engines
 
 
@@ -297,8 +456,10 @@ class NttEngine(abc.ABC):
 
     * **array path** — :meth:`forward_array` / :meth:`inverse_array` operate
       in place on a ``(batch, n)`` ``uint64`` block whose modulus fits the
-      exact-product window (``p < 2^31``); the block is a private copy the
-      backend hands over, so engines may clobber it.
+      exact-product window (``p < 2^62``: native products below 2^31, the
+      Shoup wide-word kernels of :mod:`repro.backends.wideops` above); the
+      block is a private copy the backend hands over, so engines may
+      clobber it.
     * **row path** — :meth:`forward_row` / :meth:`inverse_row` are the exact
       big-int fallback (any word size), delegating to the reference
       implementations in :mod:`repro.transforms` via a cached
@@ -360,6 +521,8 @@ class Radix2Engine(NttEngine):
         return transformer.inverse(row)
 
     def forward_array(self, block, tables):
+        if tables.wide:
+            return _ct_forward_wide(block, tables)
         p64 = tables.p64
         batch, n = block.shape
         t = n // 2
@@ -379,6 +542,8 @@ class Radix2Engine(NttEngine):
         return block
 
     def inverse_array(self, block, tables):
+        if tables.wide:
+            return _gs_inverse_wide(block, tables)
         p64 = tables.p64
         batch, n = block.shape
         t = 1
@@ -434,6 +599,10 @@ class HighRadixEngine(NttEngine):
         return transformer.inverse(row)
 
     def forward_array(self, block, tables):
+        if tables.wide:
+            # Pass grouping is loop nesting only on the array path; with no
+            # native % above 2^31 the wide sweep is shared with radix-2.
+            return _ct_forward_wide(block, tables)
         p64 = tables.p64
         batch, n = block.shape
         t = n // 2
@@ -454,6 +623,8 @@ class HighRadixEngine(NttEngine):
         return block
 
     def inverse_array(self, block, tables):
+        if tables.wide:
+            return _gs_inverse_wide(block, tables)
         p64 = tables.p64
         batch, n = block.shape
         t = 1
@@ -493,11 +664,27 @@ class StockhamEngine(NttEngine):
         return stockham_ntt_inverse(natural, transformer.psi, transformer.p)
 
     def forward_array(self, block, tables):
+        if tables.wide:
+            twisted = tables.wide_mul(
+                block, tables.psi_powers, tables.companions(tables.psi_powers)
+            )
+            natural = _stockham_sweep_wide(
+                twisted, tables.stockham_stages(inverse=False), tables
+            )
+            return natural[:, tables.bitrev]
         twisted = (block * tables.psi_powers) % tables.p64
         natural = _stockham_sweep(twisted, tables.stockham_stages(inverse=False), tables.p64)
         return natural[:, tables.bitrev]
 
     def inverse_array(self, block, tables):
+        if tables.wide:
+            natural = np.ascontiguousarray(block[:, tables.bitrev])
+            swept = _stockham_sweep_wide(
+                natural, tables.stockham_stages(inverse=True), tables
+            )
+            return tables.wide_mul(
+                swept, tables.psi_inv_scaled, tables.companions(tables.psi_inv_scaled)
+            )
         natural = np.ascontiguousarray(block[:, tables.bitrev])
         swept = _stockham_sweep(natural, tables.stockham_stages(inverse=True), tables.p64)
         return (swept * tables.psi_inv_scaled) % tables.p64
@@ -541,8 +728,21 @@ class FourStepEngine(NttEngine):
 
     def forward_array(self, block, tables):
         n = block.shape[1]
-        twisted = (block * tables.psi_powers) % tables.p64
         n1 = self._split(n)
+        if tables.wide:
+            twisted = tables.wide_mul(
+                block, tables.psi_powers, tables.companions(tables.psi_powers)
+            )
+            if n1 <= 1 or n // n1 <= 1:
+                natural = _stockham_sweep_wide(
+                    twisted, tables.stockham_stages(inverse=False), tables
+                )
+            else:
+                natural = _four_step_cyclic_wide(
+                    twisted, tables.four_step(n1), tables, inverse=False
+                )
+            return natural[:, tables.bitrev]
+        twisted = (block * tables.psi_powers) % tables.p64
         if n1 <= 1 or n // n1 <= 1:  # degenerate split: plain auto-sort sweep
             natural = _stockham_sweep(twisted, tables.stockham_stages(inverse=False), tables.p64)
         else:
@@ -553,6 +753,18 @@ class FourStepEngine(NttEngine):
         n = block.shape[1]
         natural = np.ascontiguousarray(block[:, tables.bitrev])
         n1 = self._split(n)
+        if tables.wide:
+            if n1 <= 1 or n // n1 <= 1:
+                swept = _stockham_sweep_wide(
+                    natural, tables.stockham_stages(inverse=True), tables
+                )
+            else:
+                swept = _four_step_cyclic_wide(
+                    natural, tables.four_step(n1), tables, inverse=True
+                )
+            return tables.wide_mul(
+                swept, tables.psi_inv_scaled, tables.companions(tables.psi_inv_scaled)
+            )
         if n1 <= 1 or n // n1 <= 1:
             swept = _stockham_sweep(natural, tables.stockham_stages(inverse=True), tables.p64)
         else:

@@ -557,15 +557,16 @@ def _run_task(backend, task: dict, shms: list) -> dict[int, list[int]] | None:
 def _exec_shard(task: dict) -> dict:
     """Worker entry point: run one shard task against the inner backend.
 
-    Returns ``{"conversions": rows, "big": {...} | None, "spans": [...]}``:
-    ``big`` holds the shard's big-row results (exact Python lists for rows
-    whose prime exceeds the uint64 storage window — the documented
-    chunked-pickle fallback; the uint64 payload is written straight into
-    the output segment's pages), and ``conversions`` is the number of
-    list/native boundary crossings the inner backend charged while
-    computing the shard (its per-prime fallback), which the parent mirrors
-    onto the parallel backend's own counter so the accounting contract of
-    ``base.py`` holds across process boundaries.  When the coordinator set
+    Returns ``{"conversions": rows, "fallback": rows, "big": {...} | None,
+    "spans": [...]}``: ``big`` holds the shard's big-row results (exact
+    Python lists for rows whose prime exceeds the uint64 storage window —
+    the documented chunked-pickle fallback; the uint64 payload is written
+    straight into the output segment's pages), and ``conversions`` /
+    ``fallback`` are the list/native boundary crossings and per-prime
+    big-int fallback rows the inner backend charged while computing the
+    shard, which the parent mirrors onto the parallel backend's own
+    counters so the accounting contract of ``base.py`` holds across
+    process boundaries.  When the coordinator set
     ``task["trace"]``, ``spans`` carries the events this worker recorded
     under a ``pool.task`` root span; the coordinator ingests them under
     its dispatch span (:meth:`repro.telemetry.Tracer.ingest`), which is
@@ -576,6 +577,7 @@ def _exec_shard(task: dict) -> dict:
         raise RuntimeError("worker pool used before initialisation")
     shms: list[shared_memory.SharedMemory] = []
     before = backend.conversion_count
+    fallback_before = backend.fallback_rows
     trace = task.get("trace", False)
     spans: list[tuple] = []
     try:
@@ -593,6 +595,7 @@ def _exec_shard(task: dict) -> dict:
             big = _run_task(backend, task, shms)
         return {
             "conversions": backend.conversion_count - before,
+            "fallback": backend.fallback_rows - fallback_before,
             "big": big,
             "spans": spans,
         }

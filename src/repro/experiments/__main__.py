@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments table2 fig4           # run selected experiments
     python -m repro.experiments --backend scalar      # pin the compute backend
     python -m repro.experiments --engine stockham     # pin the NTT engine
+    python -m repro.experiments --p-bits 60           # measured word size
     python -m repro.experiments --backend parallel --shards 4   # sharded pool
     python -m repro.experiments --eager               # per-op execution
     python -m repro.experiments --fused               # plan execution (default)
@@ -44,6 +45,7 @@ from ..telemetry import (
     summarize,
     write_chrome_trace,
 )
+from . import measured
 from .registry import EXPERIMENTS, run_experiment
 from .report import format_experiment
 
@@ -130,6 +132,16 @@ def main(argv: list[str]) -> int:
         default=None,
         help="shard/worker count for the 'parallel' backend (default: "
         "%s env var, then cpu_count-1)" % SHARDS_ENV_VAR,
+    )
+    parser.add_argument(
+        "--p-bits",
+        type=int,
+        default=None,
+        metavar="N",
+        help="prime bit length for the measured columns, %d-%d (default: "
+        "%d; the wide-word window keeps 32-62-bit primes on the vectorised "
+        "array path, so 60 exercises the paper's native word size)"
+        % (*measured.MEASURE_PRIME_BITS_RANGE, measured.MEASURE_PRIME_BITS),
     )
     execution = parser.add_mutually_exclusive_group()
     execution.add_argument(
@@ -222,12 +234,22 @@ def main(argv: list[str]) -> int:
             get_engine(args.engine)
         if args.shards is not None:
             resolve_shard_count(args.shards)
+        if args.p_bits is not None:
+            low, high = measured.MEASURE_PRIME_BITS_RANGE
+            if not low <= args.p_bits <= high:
+                raise ValueError(
+                    "--p-bits must be in [%d, %d], got %d"
+                    % (low, high, args.p_bits)
+                )
         if args.backend is not None:
             set_default_backend(args.backend)
         if args.engine is not None:
             set_default_engine(args.engine)
         if args.shards is not None:
             set_default_shards(args.shards)
+        if args.p_bits is not None:
+            # Pre-checked against the same range the setter enforces.
+            measured.set_measure_prime_bits(args.p_bits)
         if args.execution is not None:
             # argparse constants are always valid, so this cannot fail after
             # the defaults above were already mutated.

@@ -33,6 +33,8 @@ __all__ = [
     "MEASURE_SHAPES",
     "measurement_shape",
     "measurement_backend",
+    "measure_prime_bits",
+    "set_measure_prime_bits",
     "measured_forward_ms",
     "measured_fft_ms",
     "measured_ntt_share",
@@ -41,14 +43,46 @@ __all__ = [
 
 #: Default ``(log_n, batch)`` measurement shape per backend name.
 MEASURE_SHAPES = {"numpy": (12, 8), "scalar": (8, 2)}
-#: Measured primes stay in the vector unit's exact-product window.
+#: Default measurement word size.  The wide-word window keeps the array
+#: backends exact (and vectorised) up to 62-bit primes, so the harness can be
+#: re-pointed at the paper's ~60-bit regime with :func:`set_measure_prime_bits`
+#: (the ``--p-bits`` CLI flag); 30-bit remains the default because the
+#: reference scalar backend's measurement shapes are tuned for it.
 MEASURE_PRIME_BITS = 30
+#: Valid ``--p-bits`` range: small enough primes exist for the measurement
+#: ring sizes at the bottom, the wide-word exactness ceiling at the top.
+MEASURE_PRIME_BITS_RANGE = (15, 62)
 #: Rows repeat this many distinct moduli so per-modulus batching is exercised.
 _DISTINCT_PRIMES = 2
 
+_prime_bits_override: int | None = None
+
 _backend_cache: dict[tuple[str, str | None], ComputeBackend] = {}
-_prime_cache: dict[tuple[int, int], list[int]] = {}
+_prime_cache: dict[tuple[int, int, int], list[int]] = {}
 _result_cache: dict[tuple, float] = {}
+
+
+def measure_prime_bits() -> int:
+    """The word size (prime bit length) the measurement harness runs at."""
+    return MEASURE_PRIME_BITS if _prime_bits_override is None else _prime_bits_override
+
+
+def set_measure_prime_bits(bits: int | None) -> None:
+    """Override the harness word size (``None`` restores the default).
+
+    Cached measurement results keyed on the old word size stay valid — every
+    cache key includes the prime bit length — so flipping back and forth does
+    not require re-measuring.
+    """
+    if bits is not None:
+        low, high = MEASURE_PRIME_BITS_RANGE
+        if not low <= bits <= high:
+            raise ValueError(
+                "measurement prime bits must be in [%d, %d], got %r"
+                % (low, high, bits)
+            )
+    global _prime_bits_override
+    _prime_bits_override = bits
 
 
 def measurement_shape(backend_name: str) -> tuple[int, int]:
@@ -74,11 +108,12 @@ def measurement_backend(
     return instance
 
 
-def _primes(n: int, count: int) -> list[int]:
-    key = (n, count)
+def _primes(n: int, count: int, bits: int | None = None) -> list[int]:
+    bits = measure_prime_bits() if bits is None else bits
+    key = (n, count, bits)
     primes = _prime_cache.get(key)
     if primes is None:
-        primes = generate_ntt_primes(MEASURE_PRIME_BITS, count, n)
+        primes = generate_ntt_primes(bits, count, n)
         _prime_cache[key] = primes
     return primes
 
@@ -100,25 +135,28 @@ def measured_forward_ms(
     batch: int | None = None,
     distinct_primes: int | None = None,
     repeats: int = 2,
+    prime_bits: int | None = None,
 ) -> float:
     """Best-of-``repeats`` milliseconds for one batched forward NTT.
 
     The batch enters residency once (outside the timed region) and the timed
     call is exactly the production ``forward_ntt_batch`` the HE layer issues.
     ``engine=None`` measures the backend's own dynamic selection (the
-    auto-tuned path); a spec pins the engine.
+    auto-tuned path); a spec pins the engine.  ``prime_bits`` overrides the
+    harness word size (see :func:`measure_prime_bits`) for this one call.
     """
     instance = measurement_backend(backend, engine)
     default_log_n, default_batch = measurement_shape(instance.name)
     log_n = default_log_n if log_n is None else log_n
     batch = default_batch if batch is None else batch
     distinct = min(batch, _DISTINCT_PRIMES if distinct_primes is None else distinct_primes)
-    key = ("fwd", instance.name, engine, log_n, batch, distinct)
+    bits = measure_prime_bits() if prime_bits is None else prime_bits
+    key = ("fwd", instance.name, engine, log_n, batch, distinct, bits)
     cached = _result_cache.get(key)
     if cached is not None:
         return cached
     n = 1 << log_n
-    primes = _primes(n, distinct)
+    primes = _primes(n, distinct, bits)
     batch_primes = [primes[i % distinct] for i in range(batch)]
     rng = random.Random(log_n * 1000003 + batch)
     rows = [[rng.randrange(p) for _ in range(n)] for p in batch_primes]
@@ -174,7 +212,7 @@ def measured_ntt_share(
 
     instance = measurement_backend(backend, engine)
     n, prime_count = (1024, 6) if instance.name == "numpy" else (256, 3)
-    params = HEParams(n=n, plaintext_modulus=17, prime_bits=MEASURE_PRIME_BITS,
+    params = HEParams(n=n, plaintext_modulus=17, prime_bits=measure_prime_bits(),
                       prime_count=prime_count)
     context = HeContext.create(params, backend=instance, seed=7)
     encryptor = context.encryptor(seed=11)
@@ -237,12 +275,12 @@ def traced_ntt_share(
     from ..telemetry import TRACER, summarize
 
     instance = measurement_backend(backend, engine)
-    key = ("traced_share", instance.name, engine)
+    key = ("traced_share", instance.name, engine, measure_prime_bits())
     cached = _result_cache.get(key)
     if cached is not None:
         return cached  # type: ignore[return-value]
     n, prime_count = (1024, 6) if instance.name == "numpy" else (256, 3)
-    params = HEParams(n=n, plaintext_modulus=17, prime_bits=MEASURE_PRIME_BITS,
+    params = HEParams(n=n, plaintext_modulus=17, prime_bits=measure_prime_bits(),
                       prime_count=prime_count)
     context = HeContext.create(params, backend=instance, seed=7)
     encryptor = context.encryptor(seed=11)

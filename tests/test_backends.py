@@ -92,7 +92,7 @@ def test_batch_with_repeated_primes(bits, scalar, vectorized):
 
 
 def test_numpy_backend_mixed_word_sizes(scalar, vectorized):
-    """One batch mixing 30-bit (vectorised) and 60-bit (fallback) primes."""
+    """One batch mixing 30-bit (native) and 60-bit (wide-word) primes."""
     n = 128
     primes = generate_ntt_primes(30, 2, n) + generate_ntt_primes(60, 2, n)
     assert primes[0] < MUL_VECTORIZED_LIMIT <= primes[-1]
@@ -192,9 +192,11 @@ def test_conversion_counter_tracks_boundaries():
     assert backend.conversion_count == 0
 
 
-def test_numpy_fallback_conversions_are_charged():
-    """60-bit primes route per-prime through the scalar fallback — and the
-    boundary crossings that implies are visible in the counter."""
+def test_numpy_fallback_conversions_are_charged(monkeypatch):
+    """With the wide window pinned off, 60-bit primes route per-prime through
+    the scalar fallback — and both the boundary crossings and the fallback
+    rows that implies are visible in the counters."""
+    monkeypatch.setenv("REPRO_WIDE_WORD", "0")
     backend = NumpyBackend()
     n = 64
     primes = generate_ntt_primes(60, 2, n)
@@ -203,6 +205,22 @@ def test_numpy_fallback_conversions_are_charged():
     backend.reset_conversion_count()
     backend.forward_ntt_batch(tensor)
     assert backend.conversion_count > 0
+    assert backend.fallback_rows == len(primes)
+
+
+def test_numpy_wide_word_stays_resident():
+    """60-bit primes run the exact wide-word array path by default: the whole
+    transform round trip charges zero conversions and zero fallback rows."""
+    backend = NumpyBackend()
+    n = 64
+    primes = generate_ntt_primes(60, 2, n)
+    rows = random_rows(primes, n, seed=8)
+    tensor = backend.from_rows(rows, primes)
+    backend.reset_conversion_count()
+    transformed = backend.forward_ntt_batch(tensor)
+    backend.inverse_ntt_batch(transformed)
+    assert backend.conversion_count == 0
+    assert backend.fallback_rows == 0
 
 
 # ------------------------------------------------------------------ RNS layer
@@ -257,7 +275,7 @@ def _he_params_30bit() -> HEParams:
     return HEParams(n=64, plaintext_modulus=257, prime_bits=30, prime_count=3)
 
 
-@pytest.mark.parametrize("params", [None, "30bit"], ids=["60bit-fallback", "30bit-vectorized"])
+@pytest.mark.parametrize("params", [None, "30bit"], ids=["60bit-wide", "30bit-vectorized"])
 @pytest.mark.parametrize("backend_name", ["scalar", "numpy"])
 def test_he_multiply_round_trip_per_backend(backend_name, params):
     """encrypt → multiply → relinearize → decrypt works under every backend."""

@@ -197,6 +197,25 @@ def test_word_size_ablation_small_difference():
     assert difference < 0.15  # paper: ~5%
 
 
+def test_word_size_ablation_measured_columns():
+    """Both word-size rows carry a real measured time from the production
+    forward_ntt_batch path — the 60-bit row rides the wide-word window."""
+    result = ablation_word_size.run(MODEL)
+    assert all(row["measured (ms)"] > 0 for row in result.rows)
+    assert any("wide-word" in note for note in result.notes)
+
+
+def test_word_size_ablation_honours_prime_bits_override():
+    from repro.experiments.measured import set_measure_prime_bits
+
+    set_measure_prime_bits(32)
+    try:
+        result = ablation_word_size.run(MODEL)
+        assert any("x 32-bit rows (wide-word" in note for note in result.notes)
+    finally:
+        set_measure_prime_bits(None)
+
+
 def test_ntt_share_measured_share_is_sane():
     from repro.experiments import ntt_share
 
@@ -224,6 +243,8 @@ def test_cli_rejects_unknown_keys_and_backends(capsys):
     assert main(["--backend", "no-such-backend", "fig8"]) == 2
     assert main(["--engine", "no-such-engine", "fig8"]) == 2
     assert main(["--engine", "stockham:4", "fig8"]) == 2  # malformed parameter
+    assert main(["--p-bits", "70", "fig8"]) == 2  # beyond the wide-word ceiling
+    assert main(["--p-bits", "5", "fig8"]) == 2  # no NTT primes that small
     assert main(["--backend", "parallel", "--shards", "0", "fig8"]) == 2
     assert main(["--backend", "parallel", "--engine", "no-such", "fig8"]) == 2
     # --shards without the sharding backend is rejected, not ignored

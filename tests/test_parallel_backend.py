@@ -4,8 +4,8 @@ Pins the acceptance criteria of the parallel-execution subsystem:
 
 * **bit-for-bit interchangeability** — every operation of the
   :class:`~repro.backends.base.ComputeBackend` interface matches the scalar
-  and numpy backends exactly, on both word-size regimes (30-bit vectorised,
-  60-bit per-prime fallback), whether the work is dispatched to the worker
+  and numpy backends exactly, on both word-size regimes (30-bit native,
+  60-bit wide-word vectorised), whether the work is dispatched to the worker
   pool or runs inline below the crossover;
 * **ownership** — foreign tensors are rejected in both directions;
 * **residency** — a ``multiply → relinearize → mod_switch`` chain through
@@ -41,7 +41,7 @@ from repro.backends.scalar import ScalarBackend
 from repro.he import HEParams, HeContext
 from repro.modarith.primes import generate_ntt_primes
 
-PRIME_BITS = (30, 60)  # vectorised regime and per-prime fallback regime
+PRIME_BITS = (30, 60)  # native narrow regime and wide-word vectorised regime
 N = 64
 
 
@@ -282,34 +282,57 @@ def test_chain_bit_identical_across_all_three_backends():
     assert results["scalar"] == results["numpy"] == results["parallel"]
 
 
-def test_fallback_conversions_visible_across_process_boundary(pooled, references):
-    """The > 30-bit per-prime fallback crossings charged inside the workers
-    are mirrored onto the parallel backend's counter, matching the numpy
-    backend's accounting for the same transform — sharding must be
-    invisible to the base.py boundary contract."""
-    numpy_backend = references["numpy"]
+def test_fallback_conversions_visible_across_process_boundary(monkeypatch):
+    """With the wide window pinned off, the > 30-bit per-prime fallback
+    crossings (and fallback rows) charged inside the workers are mirrored
+    onto the parallel backend's counters, matching the numpy backend's
+    accounting for the same transform — sharding must be invisible to the
+    base.py boundary contract."""
+    monkeypatch.setenv("REPRO_WIDE_WORD", "0")
+    numpy_backend = NumpyBackend()
+    narrow_pool = forced_backend()  # fresh pool: workers fork with the env set
+    try:
+        primes = generate_ntt_primes(60, 2, N)
+        batch = [p for p in primes for _ in range(2)]
+        rows = random_rows(batch, N, seed=17)
+
+        numpy_tensor = numpy_backend.from_rows(rows, batch)
+        before = numpy_backend.conversion_count
+        numpy_backend.forward_ntt_batch(numpy_tensor)
+        expected = numpy_backend.conversion_count - before
+        assert expected > 0  # 60-bit rows leave the resident array per op
+        assert numpy_backend.fallback_rows == len(batch)
+
+        tensor = narrow_pool.from_rows(rows, batch)
+        before = narrow_pool.conversion_count
+        narrow_pool.forward_ntt_batch(tensor)
+        assert narrow_pool.conversion_count - before == expected
+        assert narrow_pool.fallback_rows == len(batch)
+
+        # ... while the vectorised regime stays at zero even when sharded
+        primes30 = generate_ntt_primes(30, 2, N)
+        batch30 = [p for p in primes30 for _ in range(2)]
+        tensor30 = narrow_pool.from_rows(random_rows(batch30, N, seed=18), batch30)
+        before = narrow_pool.conversion_count
+        narrow_pool.forward_ntt_batch(tensor30)
+        assert narrow_pool.conversion_count == before
+    finally:
+        narrow_pool.close()
+
+
+def test_wide_word_resident_across_process_boundary(pooled):
+    """In the default wide regime, 60-bit transforms stay on the exact
+    vectorised array path inside every worker: zero conversions and zero
+    fallback rows are mirrored back across the pool."""
     primes = generate_ntt_primes(60, 2, N)
     batch = [p for p in primes for _ in range(2)]
-    rows = random_rows(batch, N, seed=17)
-
-    numpy_tensor = numpy_backend.from_rows(rows, batch)
-    before = numpy_backend.conversion_count
-    numpy_backend.forward_ntt_batch(numpy_tensor)
-    expected = numpy_backend.conversion_count - before
-    assert expected > 0  # 60-bit rows leave the resident array per op
-
-    tensor = pooled.from_rows(rows, batch)
-    before = pooled.conversion_count
-    pooled.forward_ntt_batch(tensor)
-    assert pooled.conversion_count - before == expected
-
-    # ... while the vectorised regime stays at zero even when sharded
-    primes30 = generate_ntt_primes(30, 2, N)
-    batch30 = [p for p in primes30 for _ in range(2)]
-    tensor30 = pooled.from_rows(random_rows(batch30, N, seed=18), batch30)
-    before = pooled.conversion_count
-    pooled.forward_ntt_batch(tensor30)
-    assert pooled.conversion_count == before
+    tensor = pooled.from_rows(random_rows(batch, N, seed=17), batch)
+    conv_before = pooled.conversion_count
+    fb_before = pooled.fallback_rows
+    forward = pooled.forward_ntt_batch(tensor)
+    pooled.inverse_ntt_batch(forward)
+    assert pooled.conversion_count == conv_before
+    assert pooled.fallback_rows == fb_before
 
 
 def test_segments_released_when_tensors_die(pooled):

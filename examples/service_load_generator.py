@@ -104,6 +104,11 @@ def _report(responses_by_seed, metrics, loads, rounds: int) -> int:
     for key, tenant in sorted(metrics.get("tenants", {}).items()):
         print("tenant %s : plan.compiled=%s plan.cache_hits=%s"
               % (key, tenant.get("plan.compiled"), tenant.get("plan.cache_hits")))
+        latency = tenant.get("service.latency.total_seconds")
+        if latency:
+            print("  latency ms       : p50=%.2f p90=%.2f p99=%.2f (n=%d)"
+                  % (latency["p50"] * 1e3, latency["p90"] * 1e3,
+                     latency["p99"] * 1e3, latency["count"]))
     return mismatches
 
 

@@ -26,12 +26,13 @@ caller's future resolves with its own slice of the result.
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import Executor
 
 from ..he.ciphertext import Ciphertext
 from ..he.evaluator import _Emitter, _P
 from ..rns.poly import Domain
-from ..telemetry import TRACER
+from ..telemetry import TRACER, profile_tag
 from ..telemetry.metrics import MetricsRegistry
 from .protocol import trace_sizes
 from .tenants import Tenant
@@ -291,13 +292,38 @@ def execute_group(
 # -- asyncio coalescing ---------------------------------------------------------------
 
 
+class _Item:
+    """One rider of a batch: its inputs, its future, and its identity.
+
+    ``request_id``/``root_sid`` carry the serving layer's observability
+    context into the flush: the batch span is parented under the first
+    rider's root and attributes itself to every rider's request id, and each
+    rider's window wait is measured from its own ``submitted`` stamp.
+    """
+
+    __slots__ = ("cts", "future", "request_id", "root_sid", "submitted")
+
+    def __init__(
+        self,
+        cts: "list[Ciphertext]",
+        future: asyncio.Future,
+        request_id: str | None,
+        root_sid: str | None,
+    ) -> None:
+        self.cts = cts
+        self.future = future
+        self.request_id = request_id
+        self.root_sid = root_sid
+        self.submitted = time.perf_counter()
+
+
 class _Group:
     __slots__ = ("tenant", "ops", "items", "timer", "flushed")
 
     def __init__(self, tenant: Tenant, ops: tuple[str, ...]) -> None:
         self.tenant = tenant
         self.ops = ops
-        self.items: list[tuple[list[Ciphertext], asyncio.Future]] = []
+        self.items: list[_Item] = []
         self.timer: asyncio.Task | None = None
         self.flushed = False
 
@@ -338,14 +364,25 @@ class CrossRequestBatcher:
         self._pending: dict[tuple, _Group] = {}
 
     async def submit(
-        self, tenant: Tenant, ops: tuple[str, ...], cts: list[Ciphertext]
+        self,
+        tenant: Tenant,
+        ops: tuple[str, ...],
+        cts: list[Ciphertext],
+        request_id: str | None = None,
+        root_sid: str | None = None,
     ) -> tuple[Ciphertext, int]:
-        """Queue one request; resolves to ``(result, batch size it rode in)``."""
+        """Queue one request; resolves to ``(result, batch size it rode in)``.
+
+        ``request_id``/``root_sid`` (the server's correlation id and open
+        ``service.request`` span) attribute the shared batch span to every
+        rider and parent it under the first rider's request tree.
+        """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
+        item = _Item(cts, future, request_id, root_sid)
         if self.max_batch == 1:
             group = _Group(tenant, ops)
-            group.items.append((cts, future))
+            group.items.append(item)
             self._launch_flush(None, group, loop)
             return await future
         signature = group_signature(tenant.key, ops, cts)
@@ -354,7 +391,7 @@ class CrossRequestBatcher:
             group = _Group(tenant, ops)
             self._pending[signature] = group
             group.timer = loop.create_task(self._timed_flush(signature, group))
-        group.items.append((cts, future))
+        group.items.append(item)
         if len(group.items) >= self.max_batch:
             self._launch_flush(signature, group, loop)
         return await future
@@ -379,28 +416,50 @@ class CrossRequestBatcher:
 
     async def _flush(self, group: _Group, loop: asyncio.AbstractEventLoop) -> None:
         items = group.items
-        requests = [cts for cts, _ in items]
+        requests = [item.cts for item in items]
         size = len(items)
+        flush_started = time.perf_counter()
+        registry = group.tenant.registry
+        for item in items:
+            registry.observe(
+                "service.latency.batch_wait_seconds",
+                flush_started - item.submitted,
+            )
+        # One batch span shared by every rider: parented under the *first*
+        # rider's request root, attributed to all of them via request_ids
+        # (spantree.request_tree grafts it into the other riders' trees).
+        first_root = next(
+            (item.root_sid for item in items if item.root_sid is not None), None
+        )
+        rider_ids = tuple(
+            item.request_id for item in items if item.request_id is not None
+        )
 
         def run():
-            with TRACER.span(
-                "service.batch",
-                tenant=group.tenant.key,
-                size=size,
-                ops="+".join(group.ops),
-            ):
-                return execute_group(group.tenant, group.ops, requests)
+            with profile_tag("tenant:%s" % group.tenant.key):
+                with TRACER.span_under(
+                    first_root,
+                    "service.batch",
+                    tenant=group.tenant.key,
+                    size=size,
+                    ops="+".join(group.ops),
+                    request_ids=rider_ids,
+                ):
+                    return execute_group(group.tenant, group.ops, requests)
 
         try:
             results = await loop.run_in_executor(self._executor, run)
         except Exception as exc:
-            for _, future in items:
-                if not future.done():
-                    future.set_exception(exc)
+            for item in items:
+                if not item.future.done():
+                    item.future.set_exception(exc)
             return
+        registry.observe(
+            "service.latency.execute_seconds", time.perf_counter() - flush_started
+        )
         self._metrics.inc("service.batches")
         self._metrics.inc("service.batched_requests", size)
         self._metrics.observe("service.batch_size", size)
-        for (_, future), result in zip(items, results):
-            if not future.done():
-                future.set_result((result, size))
+        for item, result in zip(items, results):
+            if not item.future.done():
+                item.future.set_result((result, size))

@@ -8,6 +8,12 @@ the asyncio client (:class:`AsyncServiceClient`) writes HTTP/1.1 over raw
 from one thread — which is exactly what gives the server's cross-request
 batcher something to coalesce.
 
+Every compute request carries a ``request_id``: the caller's own if given,
+otherwise a fresh :func:`~repro.service.protocol.new_request_id`.  The id
+comes back in the response envelope (and every error body), names the
+request's access-log line, and — when the server traces — retrieves the
+request's reassembled span tree via :meth:`ServiceClient.trace`.
+
 Clients encrypt locally and keep their secret keys: the server only ever
 sees ciphertexts.  Build the local context with the same ``(params, seed)``
 pair the requests name, so client and server derive identical key material
@@ -24,7 +30,7 @@ import json
 from ..core.serialization import ciphertext_from_dict, ciphertext_to_dict
 from ..he.ciphertext import Ciphertext
 from ..he.params import HEParams
-from .protocol import ServiceError, build_request
+from .protocol import ServiceError, build_request, new_request_id
 
 __all__ = ["ServiceClient", "AsyncServiceClient"]
 
@@ -47,20 +53,30 @@ class ServiceClient:
         self.port = port
         self.timeout = timeout
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _raw_request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        accept: str | None = None,
+    ) -> tuple[int, bytes]:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
         try:
             body = json.dumps(payload).encode("utf-8") if payload is not None else None
-            connection.request(
-                method, path, body=body,
-                headers={"Content-Type": "application/json"} if body else {},
-            )
+            headers = {"Content-Type": "application/json"} if body else {}
+            if accept is not None:
+                headers["Accept"] = accept
+            connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
-            return _decode_response(response.status, response.read())
+            return response.status, response.read()
         finally:
             connection.close()
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        status, body = self._raw_request(method, path, payload)
+        return _decode_response(status, body)
 
     def health(self) -> dict:
         return self._request("GET", "/v1/healthz")
@@ -69,16 +85,38 @@ class ServiceClient:
         """The server's root snapshot plus one snapshot per tenant."""
         return self._request("GET", "/v1/metrics")
 
+    def metrics_text(self) -> str:
+        """The same metrics in Prometheus text exposition format."""
+        status, body = self._raw_request(
+            "GET", "/v1/metrics", accept="text/plain"
+        )
+        if status != 200:
+            raise ServiceError(status, body.decode("utf-8", "replace"))
+        return body.decode("utf-8")
+
+    def trace(self, request_id: str) -> dict:
+        """The reassembled span tree of one served request.
+
+        Requires the server to run with tracing on (``serve --trace`` /
+        ``REPRO_TRACE``); 404s for ids the tracer never saw.
+        """
+        return self._request("GET", "/v1/trace/%s" % request_id)
+
     def compute_raw(
         self,
         params: HEParams,
         ops: "list[str] | tuple[str, ...]",
         ciphertexts: "list[Ciphertext]",
         seed: int = 2020,
+        request_id: str | None = None,
     ) -> dict:
         """Submit one op chain; returns the full response envelope."""
         payload = build_request(
-            params, ops, [ciphertext_to_dict(ct) for ct in ciphertexts], seed=seed
+            params,
+            ops,
+            [ciphertext_to_dict(ct) for ct in ciphertexts],
+            seed=seed,
+            request_id=request_id if request_id is not None else new_request_id(),
         )
         return self._request("POST", "/v1/compute", payload)
 
@@ -89,9 +127,12 @@ class ServiceClient:
         ciphertexts: "list[Ciphertext]",
         seed: int = 2020,
         backend=None,
+        request_id: str | None = None,
     ) -> Ciphertext:
         """Submit one op chain; returns the result ciphertext."""
-        response = self.compute_raw(params, ops, ciphertexts, seed=seed)
+        response = self.compute_raw(
+            params, ops, ciphertexts, seed=seed, request_id=request_id
+        )
         return ciphertext_from_dict(response["result"], backend=backend)
 
 
@@ -151,15 +192,24 @@ class AsyncServiceClient:
     async def metrics(self) -> dict:
         return await self._request("GET", "/v1/metrics")
 
+    async def trace(self, request_id: str) -> dict:
+        """The reassembled span tree of one served request."""
+        return await self._request("GET", "/v1/trace/%s" % request_id)
+
     async def compute_raw(
         self,
         params: HEParams,
         ops: "list[str] | tuple[str, ...]",
         ciphertexts: "list[Ciphertext]",
         seed: int = 2020,
+        request_id: str | None = None,
     ) -> dict:
         payload = build_request(
-            params, ops, [ciphertext_to_dict(ct) for ct in ciphertexts], seed=seed
+            params,
+            ops,
+            [ciphertext_to_dict(ct) for ct in ciphertexts],
+            seed=seed,
+            request_id=request_id if request_id is not None else new_request_id(),
         )
         return await self._request("POST", "/v1/compute", payload)
 
@@ -170,6 +220,9 @@ class AsyncServiceClient:
         ciphertexts: "list[Ciphertext]",
         seed: int = 2020,
         backend=None,
+        request_id: str | None = None,
     ) -> Ciphertext:
-        response = await self.compute_raw(params, ops, ciphertexts, seed=seed)
+        response = await self.compute_raw(
+            params, ops, ciphertexts, seed=seed, request_id=request_id
+        )
         return ciphertext_from_dict(response["result"], backend=backend)

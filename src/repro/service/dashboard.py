@@ -1,0 +1,552 @@
+"""The live ops dashboard served at ``GET /v1/dashboard``.
+
+One self-contained HTML page — no external scripts, stylesheets or fonts,
+so it works from the stdlib server on an air-gapped box.  It polls
+``GET /v1/metrics`` (the JSON view) every two seconds and renders:
+
+* a hero figure: the measured NTT self-time share next to the paper's
+  50.04% (requires tracing; shows an em-dash otherwise);
+* a KPI row: requests, live QPS, errors (4xx/5xx split), tenants, batch
+  occupancy, shared-memory bytes and ``fallback.rows``;
+* service latency percentiles (p50/p90/p99 of
+  ``service.latency.total_seconds``) over time — an ordinal one-hue ramp,
+  since percentiles are ordered;
+* per-tenant QPS over time — categorical hues assigned in fixed
+  first-seen order and never re-assigned;
+* batch-occupancy percentiles, and per-stage latency / per-tenant tables
+  (the no-hover, screen-reader-clean view of everything charted).
+
+Failed polls keep the previous render at reduced opacity (no flash); all
+dynamic text lands via ``textContent``; dark mode is its own palette
+selection, not a filter.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DASHBOARD_HTML"]
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro HE serving dashboard</title>
+<style>
+  :root {
+    color-scheme: light;
+    --surface-1: #fcfcfb;      /* chart surface */
+    --page: #f9f9f7;
+    --text-primary: #0b0b0b;
+    --text-secondary: #52514e;
+    --text-muted: #898781;
+    --grid: #e1e0d9;
+    --baseline: #c3c2b7;
+    --border: rgba(11,11,11,0.10);
+    --series-1: #2a78d6;       /* categorical: blue */
+    --series-2: #eb6834;       /* orange */
+    --series-3: #1baf7a;       /* aqua */
+    --ord-1: #86b6ef;          /* ordinal blue ramp: p50 */
+    --ord-2: #2a78d6;          /* p90 */
+    --ord-3: #104281;          /* p99 */
+    --critical: #d03b3b;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      color-scheme: dark;
+      --surface-1: #1a1a19;
+      --page: #0d0d0d;
+      --text-primary: #ffffff;
+      --text-secondary: #c3c2b7;
+      --text-muted: #898781;
+      --grid: #2c2c2a;
+      --baseline: #383835;
+      --border: rgba(255,255,255,0.10);
+      --series-1: #3987e5;
+      --series-2: #d95926;
+      --series-3: #199e70;
+      --ord-1: #9ec5f4;
+      --ord-2: #3987e5;
+      --ord-3: #184f95;
+      --critical: #d03b3b;
+    }
+  }
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; padding: 20px 24px 40px;
+    background: var(--page); color: var(--text-primary);
+    font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  header { display: flex; align-items: baseline; gap: 12px; margin-bottom: 16px; }
+  header h1 { font-size: 17px; font-weight: 600; margin: 0; }
+  #status { font-size: 12px; color: var(--text-muted); }
+  #status.stale { color: var(--critical); }
+  .grid { display: grid; gap: 12px; grid-template-columns: repeat(auto-fit, minmax(150px, 1fr)); margin-bottom: 12px; }
+  .card {
+    background: var(--surface-1); border: 1px solid var(--border);
+    border-radius: 8px; padding: 14px 16px;
+  }
+  .card.stale-hold { opacity: 0.55; }
+  .tile .label { font-size: 12px; color: var(--text-secondary); }
+  .tile .value { font-size: 22px; font-weight: 600; margin-top: 2px; }
+  .tile .sub { font-size: 11px; color: var(--text-muted); margin-top: 2px; }
+  .hero { grid-column: 1 / -1; display: flex; align-items: baseline; gap: 18px; flex-wrap: wrap; }
+  .hero .value { font-size: 52px; font-weight: 600; line-height: 1.1; }
+  .hero .label { font-size: 13px; color: var(--text-secondary); }
+  .hero .paper { font-size: 13px; color: var(--text-muted); }
+  .charts { display: grid; gap: 12px; grid-template-columns: repeat(auto-fit, minmax(340px, 1fr)); margin-bottom: 12px; }
+  .chart-card h2, .table-card h2 { font-size: 13px; font-weight: 600; margin: 0 0 2px; }
+  .chart-card .subtitle { font-size: 11px; color: var(--text-muted); margin-bottom: 8px; }
+  .legend { display: flex; gap: 14px; font-size: 11px; color: var(--text-secondary); margin-bottom: 4px; flex-wrap: wrap; }
+  .legend .key { display: inline-block; width: 14px; height: 2px; border-radius: 1px; vertical-align: middle; margin-right: 5px; }
+  .legend .key.swatch { height: 9px; width: 9px; border-radius: 2px; }
+  svg { display: block; width: 100%; height: auto; }
+  svg text { font: 10px system-ui, -apple-system, "Segoe UI", sans-serif; fill: var(--text-muted); font-variant-numeric: tabular-nums; }
+  svg text.direct { fill: var(--text-secondary); font-size: 11px; }
+  .tables { display: grid; gap: 12px; grid-template-columns: repeat(auto-fit, minmax(340px, 1fr)); }
+  table { width: 100%; border-collapse: collapse; font-size: 12px; }
+  th { text-align: left; color: var(--text-secondary); font-weight: 500; padding: 5px 8px; border-bottom: 1px solid var(--grid); }
+  td { padding: 5px 8px; border-bottom: 1px solid var(--grid); font-variant-numeric: tabular-nums; }
+  th.num, td.num { text-align: right; }
+  #tooltip {
+    position: fixed; pointer-events: none; display: none; z-index: 10;
+    background: var(--surface-1); border: 1px solid var(--border); border-radius: 6px;
+    padding: 7px 10px; font-size: 11px; box-shadow: 0 2px 8px rgba(0,0,0,0.18);
+    min-width: 120px;
+  }
+  #tooltip .tt-title { color: var(--text-muted); margin-bottom: 3px; }
+  #tooltip .row { display: flex; align-items: center; gap: 6px; margin-top: 2px; }
+  #tooltip .row .key { width: 12px; height: 2px; border-radius: 1px; flex: none; }
+  #tooltip .row .val { font-weight: 600; font-variant-numeric: tabular-nums; }
+  #tooltip .row .name { color: var(--text-secondary); }
+  rect.bar:focus, rect.bar:hover { outline: none; filter: brightness(1.12); }
+</style>
+</head>
+<body>
+<header>
+  <h1>HE serving — live</h1>
+  <span id="status">connecting…</span>
+</header>
+
+<div class="grid">
+  <div class="card hero" id="hero-card">
+    <div>
+      <div class="label">measured NTT self-time share</div>
+      <div class="value" id="ntt-share">—</div>
+    </div>
+    <div class="paper" id="ntt-note">paper reports 50.04% of GPU bootstrapping in (i)NTT</div>
+  </div>
+  <div class="card tile"><div class="label">requests</div><div class="value" id="k-req">—</div><div class="sub" id="k-req-sub"></div></div>
+  <div class="card tile"><div class="label">throughput</div><div class="value" id="k-qps">—</div><div class="sub">requests / s (live)</div></div>
+  <div class="card tile"><div class="label">errors</div><div class="value" id="k-err">—</div><div class="sub" id="k-err-sub"></div></div>
+  <div class="card tile"><div class="label">tenants</div><div class="value" id="k-tenants">—</div><div class="sub" id="k-backend"></div></div>
+  <div class="card tile"><div class="label">batch occupancy p50</div><div class="value" id="k-batch">—</div><div class="sub" id="k-batch-sub"></div></div>
+  <div class="card tile"><div class="label">shared memory</div><div class="value" id="k-shm">—</div><div class="sub">bytes in use (all tenants)</div></div>
+  <div class="card tile"><div class="label">fallback rows</div><div class="value" id="k-fallback">—</div><div class="sub">rows off the fast path</div></div>
+</div>
+
+<div class="charts">
+  <div class="card chart-card">
+    <h2>Service latency percentiles</h2>
+    <div class="subtitle">milliseconds, total request latency, all tenants</div>
+    <div class="legend" id="lat-legend"></div>
+    <div id="lat-chart"></div>
+  </div>
+  <div class="card chart-card">
+    <h2>Per-tenant throughput</h2>
+    <div class="subtitle">completed requests / s per tenant</div>
+    <div class="legend" id="qps-legend"></div>
+    <div id="qps-chart"></div>
+  </div>
+  <div class="card chart-card">
+    <h2>Batch occupancy</h2>
+    <div class="subtitle">requests per fused cross-request batch</div>
+    <div id="batch-chart"></div>
+  </div>
+</div>
+
+<div class="tables">
+  <div class="card table-card">
+    <h2>Latency by stage</h2>
+    <table id="stage-table">
+      <thead><tr><th>stage</th><th class="num">count</th><th class="num">p50 ms</th><th class="num">p90 ms</th><th class="num">p99 ms</th></tr></thead>
+      <tbody></tbody>
+    </table>
+  </div>
+  <div class="card table-card">
+    <h2>Tenants</h2>
+    <table id="tenant-table">
+      <thead><tr><th>tenant</th><th class="num">requests</th><th class="num">p50 ms</th><th class="num">fallback rows</th><th class="num">shm bytes</th></tr></thead>
+      <tbody></tbody>
+    </table>
+  </div>
+</div>
+
+<div id="tooltip" role="status"></div>
+
+<script>
+"use strict";
+const SVGNS = "http://www.w3.org/2000/svg";
+const POLL_MS = 2000;
+const MAX_POINTS = 150;
+const ORDINAL = ["--ord-1", "--ord-2", "--ord-3"];       // p50, p90, p99
+const CATEGORICAL = ["--series-1", "--series-2", "--series-3"];
+const STAGES = [
+  ["queue wait", "service.latency.queue_seconds"],
+  ["batch window", "service.latency.batch_wait_seconds"],
+  ["execute", "service.latency.execute_seconds"],
+  ["serialize", "service.latency.serialize_seconds"],
+  ["total", "service.latency.total_seconds"],
+];
+
+const history = [];            // {t, p50, p90, p99, qpsByTenant: Map}
+const tenantSlots = new Map(); // tenant key -> categorical slot (first seen, fixed)
+let prev = null;               // previous poll {t, requests, perTenant: Map}
+
+const cssVar = (name) => getComputedStyle(document.documentElement).getPropertyValue(name).trim();
+const el = (tag, attrs) => {
+  const node = document.createElementNS(SVGNS, tag);
+  for (const key in attrs) node.setAttribute(key, attrs[key]);
+  return node;
+};
+const fmt = (value, digits) => {
+  if (value === null || value === undefined || !isFinite(value)) return "—";
+  return value.toLocaleString(undefined, {maximumFractionDigits: digits === undefined ? 1 : digits});
+};
+const compact = (value) => {
+  if (value === null || value === undefined || !isFinite(value)) return "—";
+  if (value >= 1e9) return fmt(value / 1e9) + "G";
+  if (value >= 1e6) return fmt(value / 1e6) + "M";
+  if (value >= 1e3) return fmt(value / 1e3) + "K";
+  return fmt(value, 0);
+};
+const setText = (id, text) => { document.getElementById(id).textContent = text; };
+
+const tooltip = document.getElementById("tooltip");
+function showTooltip(x, y, title, rows) {
+  tooltip.textContent = "";
+  const head = document.createElement("div");
+  head.className = "tt-title";
+  head.textContent = title;
+  tooltip.appendChild(head);
+  for (const r of rows) {
+    const row = document.createElement("div");
+    row.className = "row";
+    const key = document.createElement("span");
+    key.className = "key";
+    key.style.background = r.color;
+    const val = document.createElement("span");
+    val.className = "val";
+    val.textContent = r.value;
+    const name = document.createElement("span");
+    name.className = "name";
+    name.textContent = r.name;
+    row.appendChild(key); row.appendChild(val); row.appendChild(name);
+    tooltip.appendChild(row);
+  }
+  tooltip.style.display = "block";
+  const w = tooltip.offsetWidth, h = tooltip.offsetHeight;
+  tooltip.style.left = Math.min(x + 14, window.innerWidth - w - 8) + "px";
+  tooltip.style.top = Math.max(8, Math.min(y - h - 10, window.innerHeight - h - 8)) + "px";
+}
+const hideTooltip = () => { tooltip.style.display = "none"; };
+
+// -- line chart with crosshair tooltip (shared by latency + QPS charts) --------
+function lineChart(containerId, series, unitLabel) {
+  // series: [{name, colorVar, points: [{t, v}]}]
+  const host = document.getElementById(containerId);
+  host.textContent = "";
+  const W = 460, H = 180, PAD = {l: 44, r: 12, t: 8, b: 22};
+  const svg = el("svg", {viewBox: "0 0 " + W + " " + H, role: "img"});
+  const times = series.length && series[0].points.length ? series[0].points.map(p => p.t) : [];
+  if (times.length < 2) {
+    const empty = el("text", {x: W / 2, y: H / 2, "text-anchor": "middle"});
+    empty.textContent = "collecting…";
+    svg.appendChild(empty);
+    host.appendChild(svg);
+    return;
+  }
+  const t0 = times[0], t1 = times[times.length - 1];
+  let vmax = 0;
+  for (const s of series) for (const p of s.points) if (isFinite(p.v)) vmax = Math.max(vmax, p.v);
+  if (vmax <= 0) vmax = 1;
+  vmax *= 1.12;
+  const x = (t) => PAD.l + (t - t0) / (t1 - t0) * (W - PAD.l - PAD.r);
+  const y = (v) => H - PAD.b - (v / vmax) * (H - PAD.t - PAD.b);
+  // recessive hairline grid: 3 horizontal rules + baseline
+  for (let g = 1; g <= 3; g++) {
+    const gy = PAD.t + (H - PAD.t - PAD.b) * g / 4;
+    svg.appendChild(el("line", {x1: PAD.l, x2: W - PAD.r, y1: gy, y2: gy, stroke: cssVar("--grid"), "stroke-width": 1}));
+    const label = el("text", {x: PAD.l - 5, y: gy + 3, "text-anchor": "end"});
+    label.textContent = fmt(vmax * (1 - g / 4), vmax < 10 ? 1 : 0);
+    svg.appendChild(label);
+  }
+  svg.appendChild(el("line", {x1: PAD.l, x2: W - PAD.r, y1: H - PAD.b, y2: H - PAD.b, stroke: cssVar("--baseline"), "stroke-width": 1}));
+  const span = el("text", {x: W - PAD.r, y: H - 7, "text-anchor": "end"});
+  span.textContent = "last " + fmt(t1 - t0, 0) + " s";
+  svg.appendChild(span);
+  const axis0 = el("text", {x: PAD.l - 5, y: H - PAD.b + 3, "text-anchor": "end"});
+  axis0.textContent = "0";
+  svg.appendChild(axis0);
+  for (const s of series) {
+    const color = cssVar(s.colorVar);
+    let d = "";
+    s.points.forEach((p, i) => { d += (i ? "L" : "M") + x(p.t).toFixed(1) + " " + y(p.v).toFixed(1); });
+    svg.appendChild(el("path", {d, fill: "none", stroke: color, "stroke-width": 2, "stroke-linejoin": "round", "stroke-linecap": "round"}));
+    const last = s.points[s.points.length - 1];
+    // end marker: >=8px dot with a 2px surface ring
+    svg.appendChild(el("circle", {cx: x(last.t), cy: y(last.v), r: 6, fill: cssVar("--surface-1")}));
+    svg.appendChild(el("circle", {cx: x(last.t), cy: y(last.v), r: 4, fill: color}));
+  }
+  // crosshair + tooltip: aim at an X, read every series
+  const hair = el("line", {y1: PAD.t, y2: H - PAD.b, stroke: cssVar("--baseline"), "stroke-width": 1, visibility: "hidden"});
+  svg.appendChild(hair);
+  const hit = el("rect", {x: PAD.l, y: PAD.t, width: W - PAD.l - PAD.r, height: H - PAD.t - PAD.b, fill: "transparent"});
+  hit.addEventListener("pointermove", (event) => {
+    const box = svg.getBoundingClientRect();
+    const px = (event.clientX - box.left) / box.width * W;
+    let best = 0, bestDist = Infinity;
+    times.forEach((t, i) => {
+      const dist = Math.abs(x(t) - px);
+      if (dist < bestDist) { bestDist = dist; best = i; }
+    });
+    const tx = x(times[best]);
+    hair.setAttribute("x1", tx); hair.setAttribute("x2", tx);
+    hair.setAttribute("visibility", "visible");
+    showTooltip(event.clientX, event.clientY,
+      fmt(t1 - times[best], 0) + " s ago",
+      series.map((s) => ({
+        color: cssVar(s.colorVar),
+        value: fmt(s.points[best].v, 2) + " " + unitLabel,
+        name: s.name,
+      })));
+  });
+  hit.addEventListener("pointerleave", () => { hair.setAttribute("visibility", "hidden"); hideTooltip(); });
+  svg.appendChild(hit);
+  host.appendChild(svg);
+}
+
+function legend(containerId, entries, swatch) {
+  const host = document.getElementById(containerId);
+  host.textContent = "";
+  for (const e of entries) {
+    const item = document.createElement("span");
+    const key = document.createElement("span");
+    key.className = swatch ? "key swatch" : "key";
+    key.style.background = cssVar(e.colorVar);
+    item.appendChild(key);
+    item.appendChild(document.createTextNode(e.name));
+    host.appendChild(item);
+  }
+}
+
+// -- batch occupancy: three thin bars, one series, direct-labeled ---------------
+function batchChart(summary) {
+  const host = document.getElementById("batch-chart");
+  host.textContent = "";
+  const W = 460, H = 150, PAD = {l: 44, r: 12, t: 14, b: 24};
+  const svg = el("svg", {viewBox: "0 0 " + W + " " + H, role: "img"});
+  if (!summary || !summary.count) {
+    const empty = el("text", {x: W / 2, y: H / 2, "text-anchor": "middle"});
+    empty.textContent = "no batches yet";
+    svg.appendChild(empty);
+    host.appendChild(svg);
+    return;
+  }
+  const entries = [["p50", summary.p50], ["p90", summary.p90], ["p99", summary.p99]];
+  const vmax = Math.max(summary.max || 1, 1) * 1.15;
+  const plotW = W - PAD.l - PAD.r, plotH = H - PAD.t - PAD.b;
+  const band = plotW / entries.length;
+  const barW = Math.min(24, band * 0.5);
+  svg.appendChild(el("line", {x1: PAD.l, x2: W - PAD.r, y1: H - PAD.b, y2: H - PAD.b, stroke: cssVar("--baseline"), "stroke-width": 1}));
+  const color = cssVar("--series-1");
+  entries.forEach(([name, value], i) => {
+    const bx = PAD.l + band * i + (band - barW) / 2;
+    const bh = Math.max(1, (value / vmax) * plotH);
+    const by = H - PAD.b - bh;
+    // 4px rounded data-end, square baseline: round the cap via a path
+    const r = Math.min(4, barW / 2, bh);
+    const d = "M" + bx + " " + (H - PAD.b)
+      + "L" + bx + " " + (by + r)
+      + "Q" + bx + " " + by + " " + (bx + r) + " " + by
+      + "L" + (bx + barW - r) + " " + by
+      + "Q" + (bx + barW) + " " + by + " " + (bx + barW) + " " + (by + r)
+      + "L" + (bx + barW) + " " + (H - PAD.b) + "Z";
+    const bar = el("path", {d, fill: color});
+    svg.appendChild(bar);
+    const cap = el("text", {x: bx + barW / 2, y: by - 5, "text-anchor": "middle", "class": "direct"});
+    cap.textContent = fmt(value, 1);
+    svg.appendChild(cap);
+    const tick = el("text", {x: bx + barW / 2, y: H - PAD.b + 14, "text-anchor": "middle"});
+    tick.textContent = name;
+    svg.appendChild(tick);
+    // hit target wider than the mark, keyboard-focusable
+    const hit = el("rect", {x: PAD.l + band * i, y: PAD.t, width: band, height: plotH + PAD.b, fill: "transparent", "class": "bar", tabindex: 0, role: "img"});
+    const describe = (event) => showTooltip(
+      event.clientX || (PAD.l + band * i + band / 2), event.clientY || 120,
+      "batch occupancy", [{color, value: fmt(value, 2), name: name + " requests/batch"}]);
+    hit.addEventListener("pointermove", describe);
+    hit.addEventListener("focus", describe);
+    hit.addEventListener("pointerleave", hideTooltip);
+    hit.addEventListener("blur", hideTooltip);
+    svg.appendChild(hit);
+  });
+  host.appendChild(svg);
+}
+
+function fillRow(tbody, cells) {
+  const tr = document.createElement("tr");
+  cells.forEach((cell, i) => {
+    const td = document.createElement("td");
+    if (i > 0) td.className = "num";
+    td.textContent = cell;
+    tr.appendChild(td);
+  });
+  tbody.appendChild(tr);
+}
+
+function aggregateStage(tenants, metric) {
+  // Merge per-tenant summaries: counts add; percentiles use the busiest
+  // tenant's value (an honest approximation, labeled in the table).
+  let count = 0, best = null;
+  for (const key in tenants) {
+    const s = tenants[key][metric];
+    if (!s || !s.count) continue;
+    count += s.count;
+    if (best === null || s.count > best.count) best = s;
+  }
+  return best === null ? null : {count, p50: best.p50, p90: best.p90, p99: best.p99};
+}
+
+function render(payload) {
+  const now = performance.now() / 1000;
+  const server = payload.server || {};
+  const tenants = payload.tenants || {};
+
+  // hero: measured NTT share vs the paper's number
+  const ntt = payload.ntt || {};
+  if (ntt.measured_share === null || ntt.measured_share === undefined) {
+    setText("ntt-share", "—");
+    setText("ntt-note", "enable tracing (serve --trace / REPRO_TRACE) to measure · paper reports 50.04%");
+  } else {
+    setText("ntt-share", fmt(ntt.measured_share * 100, 1) + "%");
+    setText("ntt-note", "paper reports 50.04% of GPU bootstrapping in (i)NTT");
+  }
+
+  // KPI tiles
+  const requests = server["service.requests"] || 0;
+  setText("k-req", compact(requests));
+  setText("k-req-sub", "batches: " + compact(server["service.batches"] || 0));
+  const err4 = server["service.errors.4xx"] || 0, err5 = server["service.errors.5xx"] || 0;
+  setText("k-err", compact(server["service.errors"] || 0));
+  setText("k-err-sub", compact(err4) + " × 4xx · " + compact(err5) + " × 5xx");
+  setText("k-tenants", fmt(server["service.tenants"] || 0, 0));
+  setText("k-backend", "uptime " + fmt(payload.uptime_seconds, 0) + " s");
+  const batch = server["service.batch_size"];
+  setText("k-batch", batch && batch.count ? fmt(batch.p50, 1) : "—");
+  setText("k-batch-sub", batch && batch.count ? "p99: " + fmt(batch.p99, 1) + " · max: " + fmt(batch.max, 0) : "no batches yet");
+  let shm = 0, fallback = 0;
+  for (const key in tenants) {
+    shm += tenants[key]["shm.bytes_in_use"] || 0;
+    fallback += tenants[key]["fallback.rows"] || 0;
+  }
+  setText("k-shm", compact(shm));
+  setText("k-fallback", compact(fallback));
+
+  // history sample: completed-request percentiles + per-tenant rates
+  const total = aggregateStage(tenants, "service.latency.total_seconds");
+  const perTenant = new Map();
+  for (const key in tenants) {
+    const s = tenants[key]["service.latency.total_seconds"];
+    perTenant.set(key, s ? s.count : 0);
+  }
+  const sample = {t: now, p50: total ? total.p50 * 1e3 : 0, p90: total ? total.p90 * 1e3 : 0,
+                  p99: total ? total.p99 * 1e3 : 0, qpsByTenant: new Map()};
+  if (prev !== null) {
+    const dt = Math.max(now - prev.t, 1e-6);
+    sample.qps = Math.max(0, (requests - prev.requests) / dt);
+    for (const [key, count] of perTenant) {
+      sample.qpsByTenant.set(key, Math.max(0, (count - (prev.perTenant.get(key) || 0)) / dt));
+    }
+    history.push(sample);
+    if (history.length > MAX_POINTS) history.shift();
+    setText("k-qps", fmt(sample.qps, 1));
+  }
+  prev = {t: now, requests, perTenant};
+
+  // latency percentile lines (ordered -> ordinal one-hue ramp)
+  const latSeries = [
+    {name: "p50", colorVar: ORDINAL[0], points: history.map(h => ({t: h.t, v: h.p50}))},
+    {name: "p90", colorVar: ORDINAL[1], points: history.map(h => ({t: h.t, v: h.p90}))},
+    {name: "p99", colorVar: ORDINAL[2], points: history.map(h => ({t: h.t, v: h.p99}))},
+  ];
+  legend("lat-legend", latSeries, false);
+  lineChart("lat-chart", latSeries, "ms");
+
+  // per-tenant QPS: fixed first-seen hue assignment; tail folds to "Other"
+  for (const key of perTenant.keys()) {
+    if (!tenantSlots.has(key) && tenantSlots.size < CATEGORICAL.length) {
+      tenantSlots.set(key, tenantSlots.size);
+    }
+  }
+  const qpsSeries = [];
+  for (const [key, slot] of tenantSlots) {
+    qpsSeries.push({name: key.slice(0, 8), colorVar: CATEGORICAL[slot],
+      points: history.map(h => ({t: h.t, v: h.qpsByTenant.get(key) || 0}))});
+  }
+  const folded = [...perTenant.keys()].filter(k => !tenantSlots.has(k));
+  if (folded.length) {
+    qpsSeries.push({name: "other (" + folded.length + ")", colorVar: "--text-muted",
+      points: history.map(h => ({t: h.t,
+        v: folded.reduce((acc, k) => acc + (h.qpsByTenant.get(k) || 0), 0)}))});
+  }
+  legend("qps-legend", qpsSeries, false);
+  lineChart("qps-chart", qpsSeries, "req/s");
+
+  batchChart(batch);
+
+  // tables: the no-hover view of everything charted
+  const stageBody = document.querySelector("#stage-table tbody");
+  stageBody.textContent = "";
+  for (const [label, metric] of STAGES) {
+    const s = aggregateStage(tenants, metric);
+    fillRow(stageBody, s
+      ? [label, fmt(s.count, 0), fmt(s.p50 * 1e3, 2), fmt(s.p90 * 1e3, 2), fmt(s.p99 * 1e3, 2)]
+      : [label, "0", "—", "—", "—"]);
+  }
+  const tenantBody = document.querySelector("#tenant-table tbody");
+  tenantBody.textContent = "";
+  for (const key in tenants) {
+    const s = tenants[key]["service.latency.total_seconds"];
+    fillRow(tenantBody, [
+      key,
+      s ? fmt(s.count, 0) : "0",
+      s && s.count ? fmt(s.p50 * 1e3, 2) : "—",
+      compact(tenants[key]["fallback.rows"] || 0),
+      compact(tenants[key]["shm.bytes_in_use"] || 0),
+    ]);
+  }
+}
+
+async function poll() {
+  const status = document.getElementById("status");
+  try {
+    const response = await fetch("/v1/metrics", {headers: {Accept: "application/json"}});
+    if (!response.ok) throw new Error("HTTP " + response.status);
+    render(await response.json());
+    status.textContent = "live · refreshed " + new Date().toLocaleTimeString();
+    status.classList.remove("stale");
+    for (const card of document.querySelectorAll(".card")) card.classList.remove("stale-hold");
+  } catch (error) {
+    // hold the previous render at reduced opacity — no flash, no layout jump
+    status.textContent = "stale · " + error.message;
+    status.classList.add("stale");
+    for (const card of document.querySelectorAll(".card")) card.classList.add("stale-hold");
+  }
+}
+
+poll();
+setInterval(poll, POLL_MS);
+</script>
+</body>
+</html>
+"""

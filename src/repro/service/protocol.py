@@ -8,7 +8,8 @@ One request is *one ciphertext operation chain* for one tenant::
                  "prime_count": ..., "error_std": ..., "name": ...},
       "seed": 2020,
       "ops": ["multiply", "relinearize", "mod_switch"],
-      "ciphertexts": [<ciphertext_to_dict>, ...]
+      "ciphertexts": [<ciphertext_to_dict>, ...],
+      "request_id": "optional caller-chosen correlation id"
     }
 
 ``ops[0]`` consumes the submitted ciphertexts (its arity must equal their
@@ -25,6 +26,7 @@ from the serialization module as well).
 
 from __future__ import annotations
 
+import uuid
 from typing import Any
 
 from ..core.serialization import FORMAT_VERSION as _SERIAL_VERSION
@@ -36,6 +38,7 @@ __all__ = [
     "CHAIN_OPS",
     "ServiceError",
     "build_request",
+    "new_request_id",
     "validate_request",
     "trace_sizes",
     "jsonable",
@@ -63,6 +66,13 @@ PARAM_FIELDS = (
     "n", "plaintext_modulus", "prime_bits", "prime_count", "error_std", "name",
 )
 
+#: Longest accepted ``request_id`` (ids land in span attributes, log lines
+#: and URL paths; the bound keeps hostile ids from bloating all three).
+MAX_REQUEST_ID_LEN = 128
+
+#: Characters allowed in a ``request_id`` besides ASCII alphanumerics.
+_REQUEST_ID_PUNCT = frozenset("-_.:")
+
 
 class ServiceError(Exception):
     """A request rejection with the HTTP status it maps to."""
@@ -78,29 +88,66 @@ def params_dict(params: HEParams) -> dict[str, Any]:
     return {field: getattr(params, field) for field in PARAM_FIELDS}
 
 
+def new_request_id() -> str:
+    """A fresh request id (clients generate one when the caller passes none,
+    the server generates one for requests that arrive without an id, so
+    every log line / trace / error body correlates on *something*)."""
+    return uuid.uuid4().hex[:16]
+
+
 def build_request(
     params: HEParams,
     ops: list[str] | tuple[str, ...],
     ciphertext_payloads: list[dict],
     seed: int = 2020,
+    request_id: str | None = None,
 ) -> dict[str, Any]:
     """Assemble a compute-request envelope (used by both clients)."""
-    return {
+    payload = {
         "format_version": PROTOCOL_VERSION,
         "params": params_dict(params),
         "seed": seed,
         "ops": list(ops),
         "ciphertexts": ciphertext_payloads,
     }
+    if request_id is not None:
+        payload["request_id"] = request_id
+    return payload
 
 
-def validate_request(payload: Any) -> tuple[HEParams, int, tuple[str, ...], list[dict]]:
-    """Check a compute request; returns ``(params, seed, ops, ct payloads)``.
+def _validate_request_id(payload: dict) -> str | None:
+    rid = payload.get("request_id")
+    if rid is None:
+        return None
+    if not isinstance(rid, str) or not rid or len(rid) > MAX_REQUEST_ID_LEN:
+        raise ServiceError(
+            400,
+            "'request_id' must be a non-empty string of at most %d characters"
+            % MAX_REQUEST_ID_LEN,
+        )
+    if not all(
+        (ch.isascii() and ch.isalnum()) or ch in _REQUEST_ID_PUNCT for ch in rid
+    ):
+        raise ServiceError(
+            400, "'request_id' may only contain [A-Za-z0-9._:-]"
+        )
+    return rid
+
+
+def validate_request(
+    payload: Any,
+) -> tuple[HEParams, int, tuple[str, ...], list[dict], str | None]:
+    """Check a compute request; returns
+    ``(params, seed, ops, ct payloads, request_id)``.
+
+    ``request_id`` is the client-chosen correlation id (``None`` when the
+    request arrived without one — the server then mints its own).
 
     Raises:
         ServiceError: With a 4xx status describing exactly what is wrong —
             version mismatch, malformed params, an unknown or mis-aried op
-            chain, or ciphertexts that disagree with the request params.
+            chain, a malformed request id, or ciphertexts that disagree with
+            the request params.
     """
     if not isinstance(payload, dict):
         raise ServiceError(400, "request body must be a JSON object")
@@ -126,6 +173,7 @@ def validate_request(payload: Any) -> tuple[HEParams, int, tuple[str, ...], list
     seed = payload.get("seed", 2020)
     if not isinstance(seed, int) or isinstance(seed, bool):
         raise ServiceError(400, "'seed' must be an integer")
+    request_id = _validate_request_id(payload)
 
     ops = payload.get("ops")
     if not isinstance(ops, (list, tuple)) or not ops:
@@ -176,7 +224,7 @@ def validate_request(payload: Any) -> tuple[HEParams, int, tuple[str, ...], list
         trace_sizes(tuple(ops), [len(ct.get("polys", ())) for ct in cts])
     except ValueError as exc:
         raise ServiceError(400, str(exc)) from None
-    return params, seed, tuple(ops), cts
+    return params, seed, tuple(ops), cts, request_id
 
 
 def trace_sizes(ops: tuple[str, ...], input_sizes: list[int]) -> list[int]:

@@ -20,8 +20,20 @@ Routes:
 
 * ``POST /v1/compute`` — one op chain over submitted ciphertexts;
 * ``GET /v1/metrics`` — the server's root registry snapshot plus one
-  snapshot per tenant (per-tenant conversion/dispatch/plan accounting);
-* ``GET /v1/healthz`` — liveness.
+  snapshot per tenant as JSON, or the Prometheus text exposition format
+  when the request ``Accept``\\ s ``text/plain``;
+* ``GET /v1/trace/<request_id>`` — the reassembled span tree of one
+  served request (requires tracing: ``serve --trace`` / ``REPRO_TRACE``);
+* ``GET /v1/dashboard`` — a self-contained live HTML dashboard polling
+  the JSON metrics;
+* ``GET /v1/healthz`` — liveness plus build/runtime facts (uptime,
+  protocol version, backend, shards, live tenant count).
+
+Observability: every request carries a ``request_id`` (client-chosen or
+server-minted), which names its root ``service.request`` span, its
+access-log line (``--access-log`` / ``REPRO_ACCESS_LOG``) and every error
+body.  Per-stage latencies (queue wait, batch-window wait, execute,
+serialize, total) land in percentile histograms on the tenant registries.
 
 :class:`ServerThread` hosts the whole loop on a daemon thread for tests,
 benchmarks and the in-process load-generator example; ``main()`` is the
@@ -33,17 +45,35 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 from ..core.serialization import ciphertext_from_dict, ciphertext_to_dict
-from ..telemetry import enable_tracing, maybe_enable_from_env
+from ..telemetry import (
+    PROFILER,
+    REQUEST_SPAN,
+    TRACER,
+    JsonLinesLog,
+    enable_profiling,
+    enable_tracing,
+    maybe_enable_from_env,
+    maybe_enable_profiling_from_env,
+    profile_tag,
+    request_tree,
+    summarize,
+)
 from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from ..telemetry.prometheus import render_registries
 from .batching import CrossRequestBatcher
+from .dashboard import DASHBOARD_HTML
 from .protocol import (
     PROTOCOL_VERSION,
     ServiceError,
     jsonable,
+    new_request_id,
     validate_request,
 )
 from .tenants import TenantCache
@@ -54,8 +84,17 @@ __all__ = ["HeServer", "ServerThread", "main"]
 #: MB of hex; this bounds hostile payloads, not legitimate ones).
 MAX_BODY_BYTES = 64 << 20
 
-_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+#: Set to a file path to JSON-lines-log every request the server handles.
+ACCESS_LOG_ENV_VAR = "REPRO_ACCESS_LOG"
+
+#: The NTT self-time share of GPU bootstrapping the paper reports; the
+#: metrics payload carries it next to the live measured share.
+PAPER_NTT_SHARE = 0.5004
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 409: "Conflict",
             413: "Payload Too Large", 500: "Internal Server Error"}
+
+_JSON_TYPE = "application/json"
 
 
 class HeServer:
@@ -69,6 +108,9 @@ class HeServer:
             coalescing — the serial baseline).
         batch_window: Seconds the first request of a group waits for
             companions before the batch flushes.
+        access_log: Where to JSON-lines-log every handled request — a
+            path, a ``write()``-able stream, or a prebuilt
+            :class:`~repro.telemetry.log.JsonLinesLog` (``None`` disables).
     """
 
     def __init__(
@@ -77,11 +119,14 @@ class HeServer:
         shards: int | None = None,
         max_batch: int = 8,
         batch_window: float = 0.005,
+        access_log=None,
     ) -> None:
         self.metrics = MetricsRegistry()
         self.metrics.declare(
             "service.requests",
             "service.errors",
+            "service.errors.4xx",
+            "service.errors.5xx",
             "service.batches",
             "service.batched_requests",
         )
@@ -95,26 +140,40 @@ class HeServer:
             window_s=batch_window,
             max_batch=max_batch,
         )
+        self._started = time.perf_counter()
+        if access_log is None or isinstance(access_log, JsonLinesLog):
+            self.access_log = access_log
+        else:
+            self.access_log = JsonLinesLog(access_log)
 
     def close(self) -> None:
-        """Release every tenant backend and the HE executor."""
+        """Release every tenant backend, the HE executor and the access log."""
         self.tenants.close()
         self._executor.shutdown(wait=True)
+        if self.access_log is not None:
+            self.access_log.close()
 
     # -- connection handling -----------------------------------------------------
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        started = time.perf_counter()
         try:
-            status, payload = await self._dispatch(reader)
-            body = json.dumps(payload).encode("utf-8")
+            status, content_type, body, log = await self._dispatch(reader)
+            if self.access_log is not None:
+                self.access_log.write(
+                    "request",
+                    status=status,
+                    duration_ms=round((time.perf_counter() - started) * 1e3, 3),
+                    **log,
+                )
             writer.write(
                 (
                     "HTTP/1.1 %d %s\r\n"
-                    "Content-Type: application/json\r\n"
+                    "Content-Type: %s\r\n"
                     "Content-Length: %d\r\n"
                     "Connection: close\r\n\r\n"
-                    % (status, _REASONS.get(status, "Error"), len(body))
+                    % (status, _REASONS.get(status, "Error"), content_type, len(body))
                 ).encode("ascii")
             )
             writer.write(body)
@@ -128,34 +187,83 @@ class HeServer:
             except ConnectionError:  # pragma: no cover - platform dependent
                 pass
 
-    async def _dispatch(self, reader: asyncio.StreamReader) -> tuple[int, dict]:
+    def _count_error(self, status: int) -> None:
+        self.metrics.inc("service.errors")
+        if 400 <= status < 500:
+            self.metrics.inc("service.errors.4xx")
+        elif status >= 500:
+            self.metrics.inc("service.errors.5xx")
+
+    def _json(self, status: int, payload: dict, log: dict) -> tuple:
+        return status, _JSON_TYPE, json.dumps(payload).encode("utf-8"), log
+
+    def _error(self, status: int, message: str, log: dict) -> tuple:
+        """An error response; the body always names the request id so a
+        failure correlates with its access-log line and trace."""
+        self._count_error(status)
+        log["error"] = message
+        return self._json(
+            status, {"error": message, "request_id": log.get("request_id")}, log
+        )
+
+    async def _dispatch(self, reader: asyncio.StreamReader) -> tuple:
+        """Route one request; returns ``(status, content type, body bytes,
+        access-log fields)``."""
+        # Mint a correlation id up front so even a request that dies during
+        # parsing has one; _compute swaps in the client's own id.
+        log: dict = {"request_id": new_request_id()}
         try:
-            method, path, request_body = await self._read_request(reader)
+            method, path, request_body, headers = await self._read_request(reader)
         except ServiceError as exc:
-            self.metrics.inc("service.errors")
-            return exc.status, {"error": exc.message}
+            return self._error(exc.status, exc.message, log)
+        log["method"] = method
+        log["path"] = path
         try:
             if method == "POST" and path == "/v1/compute":
-                return 200, await self._compute(request_body)
+                return self._json(200, await self._compute(request_body, log), log)
             if method == "GET" and path == "/v1/metrics":
-                return 200, self._metrics_payload()
+                accept = headers.get("accept", "")
+                if "text/plain" in accept or "openmetrics" in accept:
+                    text = render_registries(
+                        self.metrics,
+                        {
+                            key: tenant.registry
+                            for key, tenant in self.tenants.tenants().items()
+                        },
+                    )
+                    return (
+                        200,
+                        PROMETHEUS_CONTENT_TYPE,
+                        text.encode("utf-8"),
+                        log,
+                    )
+                return self._json(200, self._metrics_payload(), log)
             if method == "GET" and path == "/v1/healthz":
-                return 200, {"status": "ok", "format_version": PROTOCOL_VERSION}
-            self.metrics.inc("service.errors")
-            return 404, {"error": "no route for %s %s" % (method, path)}
+                return self._json(200, self._health_payload(), log)
+            if method == "GET" and path.startswith("/v1/trace/"):
+                request_id = path[len("/v1/trace/"):]
+                log["request_id"] = request_id
+                return self._json(200, self._trace_payload(request_id), log)
+            if method == "GET" and path == "/v1/dashboard":
+                return (
+                    200,
+                    "text/html; charset=utf-8",
+                    DASHBOARD_HTML.encode("utf-8"),
+                    log,
+                )
+            return self._error(404, "no route for %s %s" % (method, path), log)
         except ServiceError as exc:
-            self.metrics.inc("service.errors")
-            return exc.status, {"error": exc.message}
+            return self._error(exc.status, exc.message, log)
         except ValueError as exc:
             # HE-layer shape/ring rejections are client mistakes, not crashes.
-            self.metrics.inc("service.errors")
-            return 400, {"error": str(exc)}
+            return self._error(400, str(exc), log)
         except Exception as exc:  # pragma: no cover - defensive
-            self.metrics.inc("service.errors")
-            return 500, {"error": "%s: %s" % (type(exc).__name__, exc)}
+            return self._error(500, "%s: %s" % (type(exc).__name__, exc), log)
 
     @staticmethod
-    async def _read_request(reader: asyncio.StreamReader) -> tuple[str, str, bytes]:
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> tuple[str, str, bytes, dict]:
         try:
             request_line = await reader.readline()
             parts = request_line.decode("ascii", "replace").split()
@@ -175,51 +283,140 @@ class HeServer:
             body = await reader.readexactly(length) if length else b""
         except (UnicodeDecodeError, ValueError) as exc:
             raise ServiceError(400, "malformed HTTP request: %s" % exc) from None
-        return method, path, body
+        return method, path, body, headers
 
     # -- routes ------------------------------------------------------------------
-    async def _compute(self, body: bytes) -> dict:
+    async def _compute(self, body: bytes, log: dict) -> dict:
+        arrived = time.perf_counter()
         self.metrics.inc("service.requests")
         try:
             payload = json.loads(body)
         except json.JSONDecodeError as exc:
             raise ServiceError(400, "request body is not valid JSON: %s" % exc) from None
-        params, seed, ops, ct_payloads = validate_request(payload)
-        loop = asyncio.get_running_loop()
-        # Tenant construction and ciphertext reconstruction are backend
-        # work — they run on the HE thread, keeping the loop free to
-        # coalesce the requests arriving meanwhile.
-        tenant, cts = await loop.run_in_executor(
-            self._executor, self._prepare, params, seed, ct_payloads
-        )
-        result, batch_size = await self.batcher.submit(tenant, ops, cts)
-        response = await loop.run_in_executor(
-            self._executor, ciphertext_to_dict, result
-        )
-        return {
-            "format_version": PROTOCOL_VERSION,
-            "tenant": tenant.key,
-            "batch_size": batch_size,
-            "result": response,
-        }
+        params, seed, ops, ct_payloads, client_rid = validate_request(payload)
+        request_id = client_rid if client_rid is not None else log["request_id"]
+        log["request_id"] = request_id
+        # The request root is opened with begin()/end(), never a context
+        # manager: the handler is suspended across awaits, and a span held
+        # on the thread-local stack across an await would misparent every
+        # concurrently-running handler's spans.
+        root = TRACER.begin(REQUEST_SPAN, request_id=request_id, ops="+".join(ops))
+        try:
+            loop = asyncio.get_running_loop()
+            # Tenant construction and ciphertext reconstruction are backend
+            # work — they run on the HE thread, keeping the loop free to
+            # coalesce the requests arriving meanwhile.
+            tenant, cts = await loop.run_in_executor(
+                self._executor, self._prepare, params, seed, ct_payloads, arrived, root
+            )
+            log["tenant"] = tenant.key
+            result, batch_size = await self.batcher.submit(
+                tenant, ops, cts, request_id=request_id, root_sid=root
+            )
+            log["batch_size"] = batch_size
+            response = await loop.run_in_executor(
+                self._executor, self._serialize, tenant, result, root
+            )
+            tenant.registry.observe(
+                "service.latency.total_seconds", time.perf_counter() - arrived
+            )
+            return {
+                "format_version": PROTOCOL_VERSION,
+                "request_id": request_id,
+                "tenant": tenant.key,
+                "batch_size": batch_size,
+                "result": response,
+            }
+        finally:
+            TRACER.end(root, REQUEST_SPAN)
 
-    def _prepare(self, params, seed, ct_payloads):
+    def _prepare(self, params, seed, ct_payloads, arrived, root):
         tenant = self.tenants.get(params, seed)
-        cts = [
-            ciphertext_from_dict(payload, backend=tenant.context.backend)
-            for payload in ct_payloads
-        ]
+        # Queue wait: arrival on the loop until the HE thread picks it up.
+        tenant.registry.observe(
+            "service.latency.queue_seconds", time.perf_counter() - arrived
+        )
+        with profile_tag("tenant:%s" % tenant.key):
+            with TRACER.span_under(root, "service.prepare", tenant=tenant.key):
+                cts = [
+                    ciphertext_from_dict(payload, backend=tenant.context.backend)
+                    for payload in ct_payloads
+                ]
         return tenant, cts
 
-    def _metrics_payload(self) -> dict:
+    def _serialize(self, tenant, result, root):
+        started = time.perf_counter()
+        with profile_tag("tenant:%s" % tenant.key):
+            with TRACER.span_under(root, "service.serialize", tenant=tenant.key):
+                payload = ciphertext_to_dict(result)
+        tenant.registry.observe(
+            "service.latency.serialize_seconds", time.perf_counter() - started
+        )
+        return payload
+
+    def _health_payload(self) -> dict:
+        return {
+            "status": "ok",
+            "format_version": PROTOCOL_VERSION,
+            "uptime_seconds": round(time.perf_counter() - self._started, 6),
+            "backend": self.tenants.backend_name(),
+            "shards": self.tenants.shards,
+            "tenants": len(self.tenants.tenants()),
+            "tracing": TRACER.enabled,
+            "profiling": PROFILER.running,
+        }
+
+    def _trace_payload(self, request_id: str) -> dict:
+        tree = request_tree(TRACER.events(), request_id)
+        if tree is None:
+            if not TRACER.enabled:
+                raise ServiceError(
+                    409,
+                    "tracing is not enabled on this server "
+                    "(start it with --trace or REPRO_TRACE)",
+                )
+            raise ServiceError(
+                404,
+                "no trace for request id %r (traces exist only for requests "
+                "served while tracing was on)" % request_id,
+            )
         return {
             "format_version": PROTOCOL_VERSION,
+            "request_id": request_id,
+            "trace": jsonable(tree),
+        }
+
+    @staticmethod
+    def _tenant_payload(tenant) -> dict:
+        """Context metrics plus the tenant registry's ``service.*`` stats
+        (per-stage latency percentiles; what the dashboard charts)."""
+        merged = dict(tenant.metrics())
+        for name, value in tenant.registry.snapshot().items():
+            if name.startswith("service."):
+                merged[name] = value
+        return jsonable(merged)
+
+    def _metrics_payload(self) -> dict:
+        payload = {
+            "format_version": PROTOCOL_VERSION,
+            "uptime_seconds": round(time.perf_counter() - self._started, 6),
             "server": jsonable(self.metrics.snapshot()),
             "tenants": {
-                key: jsonable(tenant.metrics())
+                key: self._tenant_payload(tenant)
                 for key, tenant in self.tenants.tenants().items()
             },
         }
+        # The measured NTT self-time share, live, next to the paper's
+        # number — the dashboard's headline comparison.
+        ntt = {"paper_share": PAPER_NTT_SHARE, "traced": TRACER.enabled}
+        if TRACER.enabled:
+            stats = summarize(TRACER.events())
+            ntt["measured_share"] = stats["ntt_share"]
+            ntt["total_self_seconds"] = stats["total_self_seconds"]
+        else:
+            ntt["measured_share"] = None
+        payload["ntt"] = ntt
+        return payload
 
     # -- serving -----------------------------------------------------------------
     async def serve(
@@ -324,16 +521,28 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="batching window in seconds")
     parser.add_argument("--trace", default=None,
                         help="write a Chrome-trace JSON capture to this path")
+    parser.add_argument("--profile", default=None,
+                        help="write a collapsed-stack sampling profile "
+                        "(flamegraph.pl input) to this path")
+    parser.add_argument("--access-log", default=None,
+                        help="JSON-lines access log path (default: "
+                        "REPRO_ACCESS_LOG)")
     args = parser.parse_args(argv)
     if args.trace is not None:
         enable_tracing(args.trace)
     else:
         maybe_enable_from_env()
+    if args.profile is not None:
+        enable_profiling(args.profile)
+    else:
+        maybe_enable_profiling_from_env()
+    access_log = args.access_log or os.environ.get(ACCESS_LOG_ENV_VAR) or None
     server = HeServer(
         backend=args.backend,
         shards=args.shards,
         max_batch=args.max_batch,
         batch_window=args.batch_window,
+        access_log=access_log,
     )
     print(
         "serving HE ops on http://%s:%d (backend=%s, max_batch=%d, window=%gs)"

@@ -97,6 +97,17 @@ class TenantCache:
         self._lock = threading.Lock()
         root.set_gauge("service.tenants", lambda: len(self._tenants))
 
+    @property
+    def shards(self) -> "int | None":
+        """The configured shard count (``None`` = backend default)."""
+        return self._shards
+
+    def backend_name(self) -> str:
+        """The registry name tenant backends are built from (resolving the
+        registry default — which honours ``REPRO_BACKEND`` — when the cache
+        was built without an explicit name)."""
+        return self._backend_name or resolve_backend(None).name
+
     def get(self, params: HEParams, seed: int) -> Tenant:
         """The cached tenant for ``(params, seed)``, built on first use."""
         key = params_hash(params, seed)

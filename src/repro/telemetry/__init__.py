@@ -33,22 +33,47 @@ import atexit
 import os
 
 from .export import chrome_trace, format_summary, summarize, write_chrome_trace
+from .log import JsonLinesLog
 from .metrics import MetricsRegistry
+from .profiler import (
+    PROFILE_ENV_VAR,
+    PROFILER,
+    SamplingProfiler,
+    disable_profiling,
+    enable_profiling,
+    flush_profile,
+    maybe_enable_profiling_from_env,
+    profile_tag,
+)
+from .spantree import REQUEST_SPAN, request_ids, request_tree, span_index
 from .tracer import NULL_SPAN, TRACER, Span, Tracer
 
 __all__ = [
+    "JsonLinesLog",
     "MetricsRegistry",
     "NULL_SPAN",
+    "PROFILE_ENV_VAR",
+    "PROFILER",
+    "REQUEST_SPAN",
+    "SamplingProfiler",
     "Span",
     "TRACE_ENV_VAR",
     "TRACER",
     "Tracer",
     "chrome_trace",
+    "disable_profiling",
     "disable_tracing",
+    "enable_profiling",
     "enable_tracing",
+    "flush_profile",
     "flush_trace",
     "format_summary",
     "maybe_enable_from_env",
+    "maybe_enable_profiling_from_env",
+    "profile_tag",
+    "request_ids",
+    "request_tree",
+    "span_index",
     "summarize",
     "write_chrome_trace",
 ]

@@ -1,0 +1,64 @@
+"""Structured JSON-lines logging for the serving layer.
+
+One line per event, one JSON object per line — greppable with ``jq``,
+ingestible by any log pipeline, and stable enough to test against.  The
+server emits one ``"event": "request"`` record per HTTP request (success
+*and* every error path) carrying the same ``request_id`` the client sent /
+the response returned, so a log line, a metrics spike and a
+``/v1/trace/<id>`` span tree all correlate on one id.
+
+The writer is deliberately tiny: append-mode file (or any ``write()``-able
+stream), one ``json.dumps`` + ``write`` + ``flush`` per record under a
+lock.  Non-JSON-safe values degrade to ``str`` rather than raising — a log
+line must never take down the request it describes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+__all__ = ["JsonLinesLog"]
+
+
+class JsonLinesLog:
+    """Thread-safe JSON-lines event writer.
+
+    Args:
+        target: A filesystem path (opened append-mode) or an object with
+            ``write(str)`` (e.g. ``sys.stderr``; never closed by us).
+    """
+
+    def __init__(self, target) -> None:
+        if isinstance(target, (str, bytes)):
+            self._stream = open(target, "a", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self._lock = threading.Lock()
+
+    def write(self, event: str, **fields) -> dict:
+        """Emit one record; returns the dict that was written.
+
+        Every record carries ``ts`` (epoch seconds) and ``event``; ``None``
+        valued fields are dropped so optional context (tenant, batch size)
+        only appears when known.
+        """
+        record = {"ts": round(time.time(), 6), "event": event}
+        record.update(
+            (key, value) for key, value in fields.items() if value is not None
+        )
+        line = json.dumps(record, default=str, separators=(",", ":"))
+        with self._lock:
+            self._stream.write(line + "\n")
+            flush = getattr(self._stream, "flush", None)
+            if flush is not None:
+                flush()
+        return record
+
+    def close(self) -> None:
+        """Close the underlying file if this log opened it."""
+        if self._owns_stream:
+            self._stream.close()

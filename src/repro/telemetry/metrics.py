@@ -15,8 +15,15 @@ reset method that had to be called on exactly the right object.
   (``shm.bytes_in_use``, the autotuner's per-shape ``ntt.engine_choices``
   / ``ntt.engine_timings``).  A gauge reports current state; it is never
   reset.
-* **Histograms** — ``{count, total, min, max}`` summaries fed by
-  :meth:`MetricsRegistry.observe` (``ntt.autotune_seconds``).
+* **Histograms** — summaries fed by :meth:`MetricsRegistry.observe`
+  (``ntt.autotune_seconds``, the serving layer's per-stage latencies and
+  batch occupancy).  Beyond ``{count, total, min, max}``, every histogram
+  keeps **log-bucketed** sample counts (8 buckets per octave, so any
+  estimate is within ~±4.5% of the true sample), which is what makes
+  :meth:`MetricsRegistry.quantile` — and the ``p50``/``p90``/``p99``
+  fields of every snapshot — possible without storing samples: a p99
+  service latency costs O(buckets) memory however many requests flow
+  through.
 
 :meth:`HeContext.metrics() <repro.he.context.HeContext.metrics>` merges
 the pinned backend's registry with the context's own into one flat
@@ -28,9 +35,49 @@ so the registry is cheap enough to stay on even in benchmarks.
 
 from __future__ import annotations
 
+import math
 import weakref
 
 __all__ = ["MetricsRegistry"]
+
+#: Natural-log width of one histogram bucket: 8 buckets per octave keeps
+#: any bucket-midpoint estimate within ~±4.5% of the true sample value.
+_BUCKET_WIDTH = math.log(2.0) / 8.0
+
+#: Bucket index reserved for non-positive samples (log-bucketing needs a
+#: positive value; zero-duration timings land here and report as ``min``).
+_ZERO_BUCKET = -(1 << 30)
+
+#: The percentiles every snapshot reports for every histogram.
+SNAPSHOT_QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
+
+
+def _bucket_of(value: float) -> int:
+    if value <= 0.0:
+        return _ZERO_BUCKET
+    return math.ceil(math.log(value) / _BUCKET_WIDTH)
+
+
+def _quantile_from(hist: dict, q: float) -> float:
+    """Estimate the ``q``-quantile from a histogram's log buckets.
+
+    Walks buckets in value order until the target rank is covered and
+    returns the geometric midpoint of the covering bucket, clamped into
+    the exact ``[min, max]`` the histogram also tracks (so ``p50`` of a
+    single sample is that sample, not a bucket edge).
+    """
+    target = q * hist["count"]
+    seen = 0.0
+    estimate = hist["max"]
+    for index in sorted(hist["buckets"]):
+        seen += hist["buckets"][index]
+        if seen >= target:
+            if index == _ZERO_BUCKET:
+                estimate = hist["min"]
+            else:
+                estimate = math.exp((index - 0.5) * _BUCKET_WIDTH)
+            break
+    return min(max(estimate, hist["min"]), hist["max"])
 
 
 class MetricsRegistry:
@@ -105,12 +152,14 @@ class MetricsRegistry:
     # -- histograms ------------------------------------------------------------
     def observe(self, name: str, value: float) -> None:
         """Record one sample into a histogram here and in every ancestor."""
+        bucket = _bucket_of(value)
         node: MetricsRegistry | None = self
         while node is not None:
             hist = node._hists.get(name)
             if hist is None:
                 node._hists[name] = {
                     "count": 1, "total": value, "min": value, "max": value,
+                    "buckets": {bucket: 1},
                 }
             else:
                 hist["count"] += 1
@@ -119,14 +168,52 @@ class MetricsRegistry:
                     hist["min"] = value
                 if value > hist["max"]:
                     hist["max"] = value
+                buckets = hist["buckets"]
+                buckets[bucket] = buckets.get(bucket, 0) + 1
             node = node._parent
+
+    def quantile(self, name: str, q: float) -> float | None:
+        """Estimated ``q``-quantile of a histogram (``None`` if no samples).
+
+        Bucket-midpoint estimation over the log buckets: exact for the
+        extremes (``q`` of 0/1 hit the tracked min/max) and within ~±4.5%
+        elsewhere — the precision the serving dashboards need from a p99
+        without the memory of keeping samples.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1], got %r" % q)
+        hist = self._hists.get(name)
+        if hist is None or not hist["count"]:
+            return None
+        if q == 0.0:
+            return hist["min"]
+        if q == 1.0:
+            return hist["max"]
+        return _quantile_from(hist, q)
+
+    def histogram(self, name: str) -> dict | None:
+        """The snapshot-form summary of one histogram (``None`` if absent)."""
+        hist = self._hists.get(name)
+        if hist is None:
+            return None
+        return self._summarize(hist)
+
+    @staticmethod
+    def _summarize(hist: dict) -> dict:
+        summary = {
+            "count": hist["count"], "total": hist["total"],
+            "min": hist["min"], "max": hist["max"],
+        }
+        for label, q in SNAPSHOT_QUANTILES:
+            summary[label] = _quantile_from(hist, q)
+        return summary
 
     # -- snapshot / reset ------------------------------------------------------
     def snapshot(self) -> dict:
         """One flat dict: counters, evaluated gauges, histogram summaries."""
         snap: dict = dict(self._counters)
         for name, hist in self._hists.items():
-            snap[name] = dict(hist)
+            snap[name] = self._summarize(hist)
         for name, fn in self._gauges.items():
             try:
                 snap[name] = fn()

@@ -1,0 +1,144 @@
+"""Reassembling raw span events into per-request trees.
+
+The tracer records one flat, interleaved event list for the whole process
+(plus everything :meth:`~repro.telemetry.tracer.Tracer.ingest` adopted from
+pool workers).  The serving layer needs the opposite view: *one* tree per
+served request, rooted at the ``service.request`` span the server opened at
+arrival, spanning every thread the request touched and every worker process
+its plan ran on.  That is what ``GET /v1/trace/<request_id>`` serves.
+
+Two linking rules build the tree:
+
+* **parent sids** — the ordinary case; every span recorded under the
+  request root (directly or via ingested worker spans) is attached where
+  its parent sid says.
+* **the ``request_ids`` attribute** — the coalescing case.  When ``k``
+  requests ride one cross-request batch, the shared ``service.batch`` span
+  (and its whole plan/pool subtree) has *one* parent — the first request's
+  root — but carries every rider's id in its ``request_ids`` attribute.
+  :func:`request_tree` grafts such spans into every named request's tree
+  (marked ``"shared": true``), so each of the ``k`` requests retrieves a
+  complete tree including the fused execution it rode in.
+
+Timestamps in the output are microseconds relative to the root's begin, and
+worker PIDs are preserved — the per-worker attribution the ROADMAP's ops
+dashboard direction asks for.
+"""
+
+from __future__ import annotations
+
+from .tracer import ATTRS, NAME, PARENT, PHASE, PID, SID, TID, TS
+
+__all__ = ["REQUEST_SPAN", "request_tree", "request_ids", "span_index"]
+
+#: Name of the per-request root span the server opens at request arrival.
+REQUEST_SPAN = "service.request"
+
+
+def span_index(events: list[tuple]) -> tuple[dict, dict]:
+    """``(spans, children)`` maps from a raw event list.
+
+    ``spans`` maps sid to a record (name/pid/tid/ts/end/attrs/parent; an
+    ``end`` of ``None`` marks a still-open span), ``children`` maps sid to
+    the child sids observed so far, in begin order.
+    """
+    spans: dict[str, dict] = {}
+    children: dict[str, list[str]] = {}
+    for event in events:
+        if event[PHASE] == "B":
+            spans[event[SID]] = {
+                "name": event[NAME],
+                "pid": event[PID],
+                "tid": event[TID],
+                "ts": event[TS],
+                "end": None,
+                "attrs": event[ATTRS] or {},
+                "parent": event[PARENT],
+            }
+        elif event[PHASE] == "E":
+            record = spans.get(event[SID])
+            if record is not None:
+                record["end"] = event[TS]
+    for sid, record in spans.items():
+        parent = record["parent"]
+        if parent in spans:
+            children.setdefault(parent, []).append(sid)
+    return spans, children
+
+
+def request_ids(events: list[tuple]) -> list[str]:
+    """Ids of every ``service.request`` root present in ``events``, in
+    begin order — what a trace index endpoint lists."""
+    ids = []
+    for event in events:
+        if event[PHASE] == "B" and event[NAME] == REQUEST_SPAN:
+            attrs = event[ATTRS] or {}
+            rid = attrs.get("request_id")
+            if rid is not None:
+                ids.append(rid)
+    return ids
+
+
+def _node(spans: dict, children: dict, sid: str, base: float, shared: bool) -> dict:
+    record = spans[sid]
+    kids = sorted(children.get(sid, ()), key=lambda child: spans[child]["ts"])
+    node = {
+        "name": record["name"],
+        "sid": sid,
+        "pid": record["pid"],
+        "tid": record["tid"],
+        "start_us": (record["ts"] - base) * 1e6,
+        "duration_us": (
+            (record["end"] - record["ts"]) * 1e6
+            if record["end"] is not None
+            else None
+        ),
+        "attrs": dict(record["attrs"]),
+        "children": [_node(spans, children, kid, base, False) for kid in kids],
+    }
+    if shared:
+        node["shared"] = True
+    return node
+
+
+def _descendants(children: dict, root: str) -> set[str]:
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        for child in children.get(frontier.pop(), ()):
+            if child not in seen:
+                seen.add(child)
+                frontier.append(child)
+    return seen
+
+
+def request_tree(events: list[tuple], request_id: str) -> dict | None:
+    """The reassembled span tree of one served request (``None`` if absent).
+
+    Finds the ``service.request`` root whose ``request_id`` attribute equals
+    ``request_id``, attaches every descendant, then grafts in any span whose
+    ``request_ids`` attribute names this request but whose subtree is not
+    already reachable (the shared batch of a coalesced group) — marked with
+    ``"shared": true`` on the grafted root.
+    """
+    spans, children = span_index(events)
+    root_sid = None
+    for sid, record in spans.items():
+        if (
+            record["name"] == REQUEST_SPAN
+            and record["attrs"].get("request_id") == request_id
+        ):
+            # Request ids are caller-unique; take the latest on a repeat.
+            if root_sid is None or spans[root_sid]["ts"] <= record["ts"]:
+                root_sid = sid
+    if root_sid is None:
+        return None
+    reachable = _descendants(children, root_sid)
+    base = spans[root_sid]["ts"]
+    tree = _node(spans, children, root_sid, base, False)
+    for sid, record in sorted(spans.items(), key=lambda item: item[1]["ts"]):
+        riders = record["attrs"].get("request_ids")
+        if riders and request_id in riders and sid not in reachable:
+            tree["children"].append(_node(spans, children, sid, base, True))
+            reachable |= _descendants(children, sid)
+    return tree

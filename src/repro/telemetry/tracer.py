@@ -65,7 +65,7 @@ NULL_SPAN = _NullSpan()
 class Span:
     """One live span: a context manager emitting a begin/end event pair."""
 
-    __slots__ = ("tracer", "name", "attrs", "sid", "parent")
+    __slots__ = ("tracer", "name", "attrs", "sid", "parent", "forced_parent")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict | None) -> None:
         self.tracer = tracer
@@ -73,11 +73,18 @@ class Span:
         self.attrs = attrs or None
         self.sid: str | None = None
         self.parent: str | None = None
+        #: Explicit parent sid (set by :meth:`Tracer.span_under`) overriding
+        #: the thread-local stack — the seam that stitches one served
+        #: request's spans across threads into a single tree.
+        self.forced_parent: str | None = None
 
     def __enter__(self) -> "Span":
         tracer = self.tracer
         stack = tracer._stack()
-        self.parent = stack[-1] if stack else None
+        if self.forced_parent is not None:
+            self.parent = self.forced_parent
+        else:
+            self.parent = stack[-1] if stack else None
         self.sid = tracer._new_sid()
         tracer._events.append(
             (
@@ -138,6 +145,56 @@ class Tracer:
         if not self.enabled:
             return NULL_SPAN
         return Span(self, name, attrs)
+
+    def span_under(self, parent_sid: str | None, name: str, **attrs) -> "Span | _NullSpan":
+        """A span parented under ``parent_sid`` instead of the thread stack.
+
+        A served request's work hops threads — event loop to HE executor to
+        batcher flush task — where the thread-local stack cannot express the
+        logical nesting.  The span still pushes onto the *current* thread's
+        stack, so synchronous children opened inside the body nest normally.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        span = Span(self, name, attrs)
+        span.forced_parent = parent_sid
+        return span
+
+    def begin(self, name: str, parent: str | None = None, **attrs) -> str | None:
+        """Emit a begin event without touching any thread-local stack.
+
+        The open/close pair may live on different threads or interleave with
+        other logical operations on the same thread (an asyncio handler held
+        across ``await``), which a context-manager span must never do — the
+        stack would misparent every concurrent handler's spans.  Returns the
+        new span id (``None`` while tracing is off); close it with
+        :meth:`end`, and parent children explicitly via :meth:`span_under`.
+        """
+        if not self.enabled:
+            return None
+        sid = self._new_sid()
+        self._events.append(
+            (
+                "B", name, time.perf_counter(), self._pid,
+                threading.get_ident(), sid, parent, attrs or None,
+            )
+        )
+        return sid
+
+    def end(self, sid: str | None, name: str) -> None:
+        """Close a span opened with :meth:`begin` (no-op for ``sid=None``).
+
+        Recorded even if tracing was disabled mid-flight, so begin/end pairs
+        stay balanced for the exporters.
+        """
+        if sid is None:
+            return
+        self._events.append(
+            (
+                "E", name, time.perf_counter(), self._pid,
+                threading.get_ident(), sid, None, None,
+            )
+        )
 
     def _stack(self) -> list:
         stack = getattr(self._local, "stack", None)

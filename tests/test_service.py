@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import asyncio
+import io
 import json
+import os
 
 import pytest
 
@@ -377,3 +379,344 @@ def test_http_error_paths():
 
         metrics = client.metrics()
         assert metrics["server"]["service.errors"] == 3
+        # All three failures were client mistakes: the 4xx/5xx split
+        # attributes every one of them, and nothing to the server class.
+        assert metrics["server"]["service.errors.4xx"] == 3
+        assert metrics["server"]["service.errors.5xx"] == 0
+
+
+# -- request-scoped observability ------------------------------------------------------
+
+
+def test_validate_request_request_id_rules():
+    from repro.service.protocol import new_request_id
+
+    params = toy_params()
+    context, enc, encoder = _session(params)
+    ct = ciphertext_to_dict(enc.encrypt(encoder.encode([1])))
+    base = build_request(params, ["multiply"], [ct, ct], seed=SEED)
+
+    # Omitted is fine (the server mints one); a well-formed id round-trips.
+    assert validate_request(dict(base))[4] is None
+    good = dict(base, request_id="load-gen_01.retry:2")
+    assert validate_request(good)[4] == "load-gen_01.retry:2"
+    minted = new_request_id()
+    assert validate_request(dict(base, request_id=minted))[4] == minted
+
+    for bad in (42, "", "x" * 129, "has spaces", "semi;colon", "new\nline"):
+        with pytest.raises(ServiceError) as err:
+            validate_request(dict(base, request_id=bad))
+        assert err.value.status == 400
+        assert "request_id" in err.value.message
+
+
+def test_http_request_id_round_trip_and_error_correlation():
+    params = toy_params()
+    context, enc, encoder = _session(params)
+    ct = enc.encrypt(encoder.encode([1, 2]))
+    ct_payload = ciphertext_to_dict(ct)
+
+    with ServerThread(batch_window=0.001) as server:
+        client = ServiceClient("127.0.0.1", server.port)
+
+        # The caller's id comes back verbatim in the response envelope.
+        response = client.compute_raw(
+            params, ["multiply"], [ct, ct], seed=SEED, request_id="caller-pick-1"
+        )
+        assert response["request_id"] == "caller-pick-1"
+
+        # Without one, the client mints an id the server echoes.
+        response = client.compute_raw(params, ["multiply"], [ct, ct], seed=SEED)
+        assert response["request_id"]
+
+        # A malformed id is a 400 whose body still carries a request id,
+        # so even the rejection correlates with its access-log line.
+        bad = build_request(params, ["multiply"], [ct_payload, ct_payload], seed=SEED)
+        bad["request_id"] = "has spaces"
+        status, body = client._raw_request("POST", "/v1/compute", bad)
+        assert status == 400
+        payload = json.loads(body)
+        assert "request_id" in payload["error"]
+        assert payload["request_id"]
+
+        metrics = client.metrics()
+        assert metrics["server"]["service.errors.4xx"] == 1
+        assert metrics["server"]["service.errors.5xx"] == 0
+        # Per-stage latency summaries surface per tenant, with percentiles.
+        [tenant_metrics] = metrics["tenants"].values()
+        for stage in (
+            "service.latency.queue_seconds",
+            "service.latency.batch_wait_seconds",
+            "service.latency.execute_seconds",
+            "service.latency.serialize_seconds",
+            "service.latency.total_seconds",
+        ):
+            summary = tenant_metrics[stage]
+            assert summary["count"] == 2, stage
+            assert summary["min"] <= summary["p50"] <= summary["p99"], stage
+        # Batch occupancy is fleet-wide accounting: it lives on the root.
+        assert metrics["server"]["service.batch_size"]["count"] >= 1
+
+
+def test_http_healthz_reports_runtime_facts():
+    from repro.service.protocol import PROTOCOL_VERSION
+
+    params = toy_params()
+    context, enc, encoder = _session(params)
+    ct = enc.encrypt(encoder.encode([1]))
+
+    with ServerThread(backend="numpy", shards=2, batch_window=0.001) as server:
+        client = ServiceClient("127.0.0.1", server.port)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["format_version"] == PROTOCOL_VERSION
+        assert health["backend"] == "numpy"
+        assert health["shards"] == 2
+        assert health["tenants"] == 0
+        assert health["uptime_seconds"] >= 0
+        assert health["tracing"] is False
+        assert isinstance(health["profiling"], bool)
+        client.compute(params, ["multiply"], [ct, ct], seed=SEED)
+        assert client.health()["tenants"] == 1
+
+
+def test_http_metrics_prometheus_exposition():
+    params = toy_params()
+    context, enc, encoder = _session(params)
+    ct = enc.encrypt(encoder.encode([1, 2]))
+
+    with ServerThread(batch_window=0.001) as server:
+        client = ServiceClient("127.0.0.1", server.port)
+        client.compute(params, ["multiply"], [ct, ct], seed=SEED)
+        text = client.metrics_text()
+        # The JSON content type stays the default for plain GETs.
+        status, body = client._raw_request("GET", "/v1/metrics")
+        assert status == 200
+        assert json.loads(body)["server"]["service.requests"] == 1
+
+    lines = text.splitlines()
+    assert "# TYPE repro_service_requests_total counter" in lines
+    assert "repro_service_requests_total 1" in lines
+    # Latency histograms export as summaries with percentile labels, both
+    # fleet-wide (unlabelled) and per tenant.
+    assert "# TYPE repro_service_latency_total_seconds summary" in lines
+    assert 'repro_service_latency_total_seconds{quantile="0.5"} ' in text
+    assert 'repro_service_latency_total_seconds{quantile="0.99",tenant="' in text
+    assert "repro_service_latency_total_seconds_count 1" in lines
+    assert "repro_service_batch_size_sum" in text
+
+
+def test_http_dashboard_serves_selfcontained_html():
+    with ServerThread(batch_window=0.001) as server:
+        client = ServiceClient("127.0.0.1", server.port)
+        status, body = client._raw_request("GET", "/v1/dashboard")
+    assert status == 200
+    html = body.decode("utf-8")
+    assert "<html" in html
+    assert "/v1/metrics" in html  # polls the JSON metrics endpoint
+    assert "50.04" in html  # the paper's NTT share, next to the live one
+
+
+def test_http_trace_endpoint_404_and_409_paths():
+    from repro.telemetry import TRACER
+
+    try:
+        with ServerThread(batch_window=0.001) as server:
+            client = ServiceClient("127.0.0.1", server.port)
+            # Tracing off: the endpoint says so rather than a bare miss.
+            with pytest.raises(ServiceError) as err:
+                client.trace("anything")
+            assert err.value.status == 409
+            assert "tracing" in err.value.message
+            # Tracing on, unknown id: a 404.
+            TRACER.start()
+            with pytest.raises(ServiceError) as err:
+                client.trace("never-served")
+            assert err.value.status == 404
+    finally:
+        TRACER.stop()
+        TRACER.clear()
+
+
+def test_http_access_log_correlates_every_path(tmp_path):
+    from repro.telemetry import JsonLinesLog
+
+    params = toy_params()
+    context, enc, encoder = _session(params)
+    ct = enc.encrypt(encoder.encode([1]))
+    stream = io.StringIO()
+
+    with ServerThread(
+        batch_window=0.001, access_log=JsonLinesLog(stream)
+    ) as server:
+        client = ServiceClient("127.0.0.1", server.port)
+        client.compute_raw(
+            params, ["multiply"], [ct, ct], seed=SEED, request_id="logged-1"
+        )
+        with pytest.raises(ServiceError):
+            client._request("GET", "/v1/nope")
+
+    records = [json.loads(line) for line in stream.getvalue().splitlines()]
+    assert all(r["event"] == "request" for r in records)
+    [compute] = [r for r in records if r["path"] == "/v1/compute"]
+    assert compute["status"] == 200
+    assert compute["request_id"] == "logged-1"
+    assert compute["duration_ms"] >= 0
+    assert compute["batch_size"] >= 1
+    assert compute["tenant"]
+    [miss] = [r for r in records if r["path"] == "/v1/nope"]
+    assert miss["status"] == 404
+    assert miss["error"]
+    assert miss["request_id"]  # server-minted: every line correlates
+
+
+def _walk_tree(node, parent=None):
+    yield node, parent
+    for child in node["children"]:
+        yield from _walk_tree(child, node)
+
+
+def test_http_trace_reassembles_cross_process_spans(monkeypatch):
+    """The tentpole acceptance criterion: one HTTP request on the parallel
+    backend yields, from ``/v1/trace/<id>``, a single tree rooted at
+    ``service.request`` that includes worker-recorded pool spans (worker
+    PIDs preserved) under the dispatch that submitted them."""
+    import repro.service.tenants as tenants_mod
+    from repro.backends.parallel import ParallelBackend
+    from repro.telemetry import TRACER
+
+    # Tenant backends come from build_backend(); force pool dispatch at toy
+    # sizes by injecting thresholds the same way the direct-pool test does.
+    monkeypatch.setattr(
+        tenants_mod,
+        "build_backend",
+        lambda name: ParallelBackend(
+            shards=2, transform_threshold=1, pointwise_threshold=1
+        ),
+    )
+
+    params = toy_params()
+    context, enc, encoder = _session(params)
+    ct_a = enc.encrypt(encoder.encode([1, 2, 3, 4]))
+    ct_b = enc.encrypt(encoder.encode([5, 6, 7, 8]))
+    ops = ["multiply", "relinearize", "mod_switch"]
+
+    try:
+        with ServerThread(backend="parallel", batch_window=0.001) as server:
+            client = ServiceClient("127.0.0.1", server.port)
+            # Warm run first: pool spin-up and plan compile off the trace.
+            client.compute(params, ops, [ct_a, ct_b], seed=SEED)
+            TRACER.start()
+            response = client.compute_raw(
+                params, ops, [ct_a, ct_b], seed=SEED, request_id="pool-trace-1"
+            )
+            assert response["request_id"] == "pool-trace-1"
+            trace = client.trace("pool-trace-1")
+        TRACER.stop()
+
+        assert trace["request_id"] == "pool-trace-1"
+        tree = trace["trace"]
+        assert tree["name"] == "service.request"
+        assert tree["attrs"]["request_id"] == "pool-trace-1"
+        assert tree["attrs"]["ops"] == "+".join(ops)
+
+        nodes = list(_walk_tree(tree))
+        names = {node["name"] for node, _ in nodes}
+        for expected in (
+            "service.prepare",
+            "service.batch",
+            "plan.execute",
+            "service.serialize",
+        ):
+            assert expected in names, expected
+
+        # Worker spans crossed the process boundary: recorded under a
+        # worker PID, parented under the dispatch inside a plan stage.
+        main_pid = os.getpid()
+        tasks = [
+            (node, parent) for node, parent in nodes if node["name"] == "pool.task"
+        ]
+        assert tasks, "no worker spans in the served trace"
+        for task, dispatch in tasks:
+            assert task["pid"] != main_pid
+            assert dispatch["name"] == "pool.dispatch"
+        dispatch_parents = {
+            parent["name"]
+            for node, parent in nodes
+            if node["name"] == "pool.dispatch"
+        }
+        assert dispatch_parents == {"plan.stage"}
+    finally:
+        TRACER.stop()
+        TRACER.clear()
+
+
+def test_http_coalesced_batch_trace_names_every_rider():
+    """When k requests fuse into one plan, each rider's trace contains the
+    shared ``service.batch`` subtree, attributed to all k request ids —
+    grafted (and marked shared) for every rider but the one whose root
+    parents it."""
+    from repro.telemetry import TRACER
+
+    params = toy_params()
+    local, enc, encoder = _session(params)
+    pairs = [
+        (
+            enc.encrypt(encoder.encode([r + 1, 2])),
+            enc.encrypt(encoder.encode([3, r + 4])),
+        )
+        for r in range(3)
+    ]
+    ops = ["multiply", "relinearize"]
+    rids = ["rider-a", "rider-b", "rider-c"]
+
+    try:
+        TRACER.start()
+        with ServerThread(batch_window=0.25, max_batch=8) as server:
+            client = AsyncServiceClient("127.0.0.1", server.port)
+
+            async def run_all():
+                responses = await asyncio.gather(
+                    *[
+                        client.compute_raw(
+                            params, ops, [a, b], seed=SEED, request_id=rid
+                        )
+                        for (a, b), rid in zip(pairs, rids)
+                    ]
+                )
+                traces = [await client.trace(rid) for rid in rids]
+                return responses, traces
+
+            responses, traces = asyncio.run(run_all())
+        TRACER.stop()
+
+        assert all(r["request_id"] == rid for r, rid in zip(responses, rids))
+        batches = {}
+        for rid, trace in zip(rids, traces):
+            tree = trace["trace"]
+            assert tree["attrs"]["request_id"] == rid
+            batch_nodes = [
+                node
+                for node, _ in _walk_tree(tree)
+                if node["name"] == "service.batch"
+            ]
+            assert batch_nodes, "rider %s has no batch in its trace" % rid
+            [batch] = batch_nodes
+            riders = tuple(batch["attrs"]["request_ids"])
+            assert rid in riders
+            # The fused execution itself is in every rider's tree.
+            subtree_names = {n["name"] for n, _ in _walk_tree(batch)}
+            assert "plan.execute" in subtree_names
+            batches.setdefault(riders, []).append(bool(batch.get("shared")))
+
+        # Issued concurrently inside a generous window: coalescing happened.
+        assert any(len(riders) > 1 for riders in batches)
+        for riders, shared_flags in batches.items():
+            if len(shared_flags) > 1:
+                # Exactly one rider owns the subtree; the rest see a graft.
+                assert sorted(shared_flags) == [False] + [True] * (
+                    len(shared_flags) - 1
+                )
+    finally:
+        TRACER.stop()
+        TRACER.clear()

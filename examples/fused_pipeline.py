@@ -83,19 +83,23 @@ def main() -> None:
     chain_pipeline = report("pipeline (one plan)", run_pipeline)
 
     # Same shape again: the compiled plan is reused, only execution runs.
-    # (reset_metrics above also zeroed the pipeline evaluator's plan
-    # counters, so these read as "since the last reset": no new compile,
-    # one cache hit.)
-    report("pipeline (cached)", run_pipeline)
+    # metrics_diff isolates exactly what this one warm run cost — no manual
+    # counter resets, just two snapshots and their delta.
+    context.reset_metrics()
+    before = context.metrics()
+    run_pipeline()
+    delta = HeContext.metrics_diff(before, context.metrics())
+    print("%-22s: %2d pool dispatches, %d conversions"
+          % ("pipeline (cached)", delta["pool.dispatches"],
+             delta["conversions.rows"]))
     print("plan cache     : %d newly compiled, %d hit(s) since reset"
           % (pipe.evaluator.plans_compiled, pipe.evaluator.plan_cache_hits))
 
-    # -- one flat snapshot of every counter the session touched -----------------------
-    snapshot = context.metrics()
-    print("metrics        : " + ", ".join(
-        "%s=%s" % (key, snapshot[key])
+    # -- the steady-state cost of one warm run, as a metrics delta --------------------
+    print("warm-run delta : " + ", ".join(
+        "%s=%s" % (key, delta[key])
         for key in ("pool.dispatches", "conversions.rows", "ntt.invocations",
-                    "plan.cache_hits", "shm.bytes_in_use")
+                    "plan.cache_hits")
     ))
 
     # -- all three execution models are bit-for-bit identical -------------------------

@@ -442,6 +442,14 @@ def infer_primes(
         elif isinstance(node, (ForwardNtt, InverseNtt, Neg, ScalarMul, Copy)):
             primes.append(primes[node.src])
         elif isinstance(node, Concat):
+            # OpGraph.concat rejects this at build time; a directly
+            # constructed (or pass-rewritten) plan must fail here, before
+            # any backend sees a zero-row tensor.
+            if not node.srcs:
+                raise ValueError(
+                    "plan node %d: cannot concatenate an empty value sequence"
+                    % index
+                )
             merged: list[int] = []
             for src in node.srcs:
                 merged.extend(primes[src])
@@ -509,6 +517,11 @@ def interpret(backend, plan: Plan, inputs: Mapping[str, object]) -> dict[str, ob
     cannot shard.
     """
     bound = gather_inputs(plan, inputs)
+    # Full static validation up front (prime mismatches, out-of-range slices
+    # and digits, empty concats): optimiser-rewritten plans take the same
+    # fail-before-dispatch path here as on the sharding backends, which
+    # already validate through their schedulers.
+    infer_primes(plan, {name: tensor.primes for name, tensor in bound.items()})
     values: list[object] = []
     for node in plan.nodes:
         if isinstance(node, Input):

@@ -1,0 +1,70 @@
+"""The plan-compiler subsystem: optimiser passes over the op-graph IR.
+
+The paper's headline is that NTT/iNTT dominates HE computation time; after
+the op-graph IR made execution declarative, the biggest remaining lever is
+to *not run* redundant transforms at all.  This package supplies that
+layer, between plan emission and ``backend.execute``:
+
+* :mod:`repro.compiler.passes` — named rewrite passes over
+  :class:`~repro.backends.ops.Plan` (transform-pair cancellation, structure
+  folding, CSE, NTT-domain residency of constants, dead-value
+  elimination), each independently testable and registered with a
+  one-line description.
+* :mod:`repro.compiler.manager` — :class:`PassManager` (fixpoint driving,
+  ``plan.pass.*`` spans and counters) and the selection precedence
+  ``explicit > set_default_passes > REPRO_PASSES > default``.
+* :mod:`repro.compiler.pool` — :class:`ConstantPool`, the per-context
+  cache of NTT images for constants the residency pass hoists out of
+  plans (relinearisation-key components, repeated plaintexts).
+* :mod:`repro.compiler.program` — :class:`HeProgram`, the whole-program
+  front end compiling many named statements into one fused plan.
+
+Every consumer of plans runs the default pipeline before caching
+(:meth:`Evaluator._run_plan <repro.he.evaluator.Evaluator._run_plan>`, and
+through it :mod:`repro.he.pipeline` and the serving layer's coalesced
+cross-request plans).  Optimised plans are bit-for-bit equal to their
+unoptimised forms on every backend — passes rewrite structure, never
+values.
+"""
+
+from .manager import (
+    DEFAULT_PASSES,
+    OptimizedPlan,
+    PASSES_ENV_VAR,
+    PassManager,
+    count_ntt_rows,
+    default_passes_spec,
+    parse_passes,
+    resolve_passes,
+    set_default_passes,
+)
+from .passes import (
+    PASS_REGISTRY,
+    PassContext,
+    PlanPass,
+    available_passes,
+    pass_descriptions,
+    register_pass,
+)
+from .pool import ConstantPool
+from .program import HeProgram
+
+__all__ = [
+    "DEFAULT_PASSES",
+    "ConstantPool",
+    "HeProgram",
+    "OptimizedPlan",
+    "PASSES_ENV_VAR",
+    "PASS_REGISTRY",
+    "PassContext",
+    "PassManager",
+    "PlanPass",
+    "available_passes",
+    "count_ntt_rows",
+    "default_passes_spec",
+    "parse_passes",
+    "pass_descriptions",
+    "register_pass",
+    "resolve_passes",
+    "set_default_passes",
+]

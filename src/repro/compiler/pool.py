@@ -1,0 +1,60 @@
+"""The per-context constant pool: NTT images of stable tensors, cached.
+
+The residency pass (:func:`repro.compiler.passes.ntt_residency`) removes
+``ForwardNtt`` nodes over constant inputs from the plan and replaces them
+with derived inputs named ``<source>@ntt``.  Somebody still has to produce
+those NTT-domain tensors — once, not once per execution.  That is this
+pool, keyed by tensor *identity*: relinearisation-key components are cached
+on the context and plaintexts re-used across calls keep their handles, so
+identity is exactly the "same constant" predicate (and the entry pins the
+source tensor alive, so a matching ``id`` can never be a recycled one).
+
+The pool never runs transforms itself.  A cold execution runs the plan's
+*cold-start variant* (see
+:func:`repro.compiler.manager.materialize_derived`), which computes the
+constants' NTT images inside the fused plan — same dispatch count as the
+unoptimised plan — and exports them as extra outputs that the evaluator
+:meth:`store`\\ s here; warm executions :meth:`lookup` the images and skip
+the transforms entirely.  Entries are evicted LRU beyond ``max_entries`` —
+a safety valve for callers streaming novel plaintexts through
+``multiply_plain`` (an evicted constant just pays one more cold run).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["ConstantPool"]
+
+
+class ConstantPool:
+    """Identity-keyed cache of forward-NTT images of constant tensors."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self._entries: OrderedDict[int, tuple] = OrderedDict()
+        self._max_entries = max_entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def lookup(self, tensor):
+        """The cached NTT image of ``tensor`` (``None`` when not pooled)."""
+        key = id(tensor)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is tensor:
+            self._entries.move_to_end(key)
+            return entry[1]
+        return None
+
+    def store(self, tensor, image) -> None:
+        """Pool ``image`` as the NTT image of the constant ``tensor``."""
+        key = id(tensor)
+        self._entries[key] = (tensor, image)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)

@@ -38,6 +38,13 @@ from ..backends.registry import (
     resolve_backend,
     set_default_backend,
 )
+from ..compiler import (
+    PASSES_ENV_VAR,
+    parse_passes,
+    pass_descriptions,
+    resolve_passes,
+    set_default_passes,
+)
 from ..telemetry import (
     TRACER,
     enable_tracing,
@@ -162,6 +169,15 @@ def main(argv: list[str]) -> int:
         "bit-for-bit identical to --fused)",
     )
     parser.add_argument(
+        "--passes",
+        default=None,
+        metavar="LIST",
+        help="plan-optimiser passes applied to compiled plans, as a "
+        "comma-separated list of registered names, or 'none' to disable "
+        "rewriting (default: %s env var, then the full default pipeline; "
+        "see --list for the registry)" % PASSES_ENV_VAR,
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
@@ -198,6 +214,18 @@ def main(argv: list[str]) -> int:
             "%s > fused)"
             % (resolve_execution_mode(args.execution), EXECUTION_ENV_VAR)
         )
+        try:
+            selected = resolve_passes(args.passes)
+        except KeyError as exc:
+            print("plan passes unresolved (%s)" % exc.args[0])
+        else:
+            print(
+                "plan passes: %s (--passes > set_default_passes > %s > default)"
+                % (",".join(selected) if selected else "none", PASSES_ENV_VAR)
+            )
+        print("registered plan passes:")
+        for name, description in pass_descriptions():
+            print("  %-16s %s" % (name, description))
         _print_engine_verdicts(args)
         return 0
 
@@ -241,6 +269,10 @@ def main(argv: list[str]) -> int:
                     "--p-bits must be in [%d, %d], got %d"
                     % (low, high, args.p_bits)
                 )
+        if args.passes is not None:
+            # Pre-checked with the pure parser so an unknown pass name
+            # cannot leave a half-mutated process default behind.
+            parse_passes(args.passes)
         if args.backend is not None:
             set_default_backend(args.backend)
         if args.engine is not None:
@@ -254,6 +286,8 @@ def main(argv: list[str]) -> int:
             # argparse constants are always valid, so this cannot fail after
             # the defaults above were already mutated.
             set_default_execution_mode(args.execution)
+        if args.passes is not None:
+            set_default_passes(args.passes)
     except (KeyError, ValueError) as exc:
         # Unknown names raise KeyError, malformed engine parameters
         # (e.g. "high_radix:3") or shard counts raise ValueError — both are

@@ -19,7 +19,12 @@ The individual components (KeyGenerator, Encryptor, Evaluator, ...) remain
 directly constructible for callers that need custom wiring.
 """
 
-from .bootstrap import BootstrapEstimate, BootstrapWorkloadModel, NoiseRefresher
+from .bootstrap import (
+    BootstrapEstimate,
+    BootstrapWorkloadModel,
+    NoiseRefresher,
+    bootstrap_circuit,
+)
 from .ciphertext import Ciphertext
 from .context import HeContext
 from .encoder import BatchEncoder, IntegerEncoder
@@ -53,6 +58,7 @@ __all__ = [
     "RelinearizationKey",
     "SecretKey",
     "HEParams",
+    "bootstrap_circuit",
     "bootstrappable_params",
     "generate_bgv_primes",
     "small_params",

@@ -20,6 +20,7 @@ this module substitutes two pieces that preserve what the paper needs:
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from ..core.on_the_fly import OnTheFlyConfig
@@ -31,7 +32,88 @@ from .ciphertext import Ciphertext
 from .encryptor import Decryptor, Encryptor
 from .params import HEParams
 
-__all__ = ["NoiseRefresher", "BootstrapWorkloadModel", "BootstrapEstimate"]
+__all__ = [
+    "NoiseRefresher",
+    "BootstrapWorkloadModel",
+    "BootstrapEstimate",
+    "bootstrap_circuit",
+]
+
+
+def _diagonal(rng: random.Random, basis, n: int, t: int, backend) -> RnsPolynomial:
+    """One deterministic pseudo-diagonal plaintext for the linear transforms."""
+    return RnsPolynomial.from_coefficients(
+        [rng.randrange(1, t) for _ in range(n)], basis, backend=backend
+    )
+
+
+def bootstrap_circuit(
+    context,
+    pipeline,
+    ciphertext: Ciphertext,
+    *,
+    c2s_terms: int = 2,
+    eval_depth: int = 1,
+    s2c_terms: int = 2,
+    seed: int = 1234,
+):
+    """A bootstrap-*shaped* homomorphic circuit as one lazy expression.
+
+    The structural skeleton of HEAAN-style bootstrapping — a CoeffToSlot
+    linear transform (a sum of ``c2s_terms`` plaintext-diagonal products),
+    ``eval_depth`` rounds of EvalMod-style nonlinear evaluation
+    (square → relinearise while the full-basis key still fits → modulus
+    switch → plaintext offset), and a SlotToCoeff transform (``s2c_terms``
+    diagonal products at the final level) — expressed through
+    :meth:`Pipeline <repro.he.pipeline.Pipeline>` combinators so the whole
+    circuit compiles into **one** plan.  The diagonals are deterministic
+    pseudo-random plaintexts (``seed``), not the DFT matrix: this is the
+    optimiser's and scheduler's workload, faithful in structure and NTT
+    profile, with no cryptographic claim.
+
+    The repeated diagonals are exactly what the compiler's residency pass
+    pools: every ``mul_plain`` re-uses encoded plaintexts with stable
+    identity, so warm executions skip their forward transforms entirely.
+
+    Returns the final :class:`~repro.he.pipeline.CiphertextExpr`; call
+    ``.run()`` (or hand it to :meth:`Pipeline.run_many`) to execute.
+    """
+    if c2s_terms < 1 or s2c_terms < 1 or eval_depth < 0:
+        raise ValueError("bootstrap circuit needs >= 1 transform term per side")
+    basis = ciphertext.basis
+    if eval_depth >= len(basis):
+        raise ValueError(
+            "eval_depth %d needs %d modulus switches but the ciphertext has "
+            "only %d primes" % (eval_depth, eval_depth, len(basis))
+        )
+    params = context.params
+    t = params.plaintext_modulus
+    rng = random.Random(seed)
+    relin_key = context.relinearization_key()
+
+    x = pipeline.load(ciphertext)
+
+    # CoeffToSlot: a sum of plaintext-diagonal products at the input level.
+    acc = x.mul_plain(_diagonal(rng, basis, params.n, t, context.backend))
+    for _ in range(c2s_terms - 1):
+        acc = acc + x.mul_plain(_diagonal(rng, basis, params.n, t, context.backend))
+
+    # EvalMod: square/relinearise/rescale rounds.  The session key is
+    # generated for the full basis, so relinearisation only applies while the
+    # ciphertext still lives there; deeper rounds carry the size-3 result.
+    for _ in range(eval_depth):
+        acc = acc.square()
+        if len(relin_key.components) == len(basis):
+            acc = acc.relinearize(relin_key)
+        acc = acc.mod_switch()
+        basis = basis.drop_last(1)
+        acc = acc.add_plain(_diagonal(rng, basis, params.n, t, context.backend))
+
+    # SlotToCoeff: diagonal products at the final level.
+    out = acc.mul_plain(_diagonal(rng, basis, params.n, t, context.backend))
+    for _ in range(s2c_terms - 1):
+        out = out + acc.mul_plain(_diagonal(rng, basis, params.n, t, context.backend))
+    return out
 
 
 class NoiseRefresher:

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from ..backends.base import ComputeBackend
 from ..backends.registry import build_backend, resolve_backend
+from ..compiler import ConstantPool
 from ..rns.basis import RnsBasis
 from ..telemetry import enable_tracing, maybe_enable_from_env
 from ..telemetry.metrics import MetricsRegistry
@@ -74,6 +75,10 @@ class HeContext:
         # registry so fleet-wide totals fall out of the same inc() walk.
         self._metrics = MetricsRegistry(parent=metrics_parent)
         self._metrics.declare("plan.compiled", "plan.cache_hits", "ntt.invocations")
+        # One pool of constant NTT images for the whole session: a
+        # relinearisation key transformed for any evaluator this context
+        # hands out stays resident for every other one.
+        self._constant_pool = ConstantPool()
 
     @classmethod
     def create(
@@ -196,7 +201,7 @@ class HeContext:
         """A decryptor holding the session secret key."""
         return Decryptor(self.params, self.secret_key())
 
-    def evaluator(self, mode: str | None = None) -> Evaluator:
+    def evaluator(self, mode: str | None = None, passes=None) -> Evaluator:
         """A homomorphic evaluator batching through the pinned backend.
 
         Args:
@@ -206,9 +211,21 @@ class HeContext:
                 the documented precedence (``REPRO_EXECUTION``, the CLI's
                 ``--fused``/``--eager``).  Both modes are bit-for-bit
                 identical.
+            passes: Plan-optimiser spec applied to compiled plans (see
+                :func:`repro.compiler.resolve_passes`): a comma-separated
+                string or iterable of pass names, ``"none"`` to disable
+                rewriting, ``None`` for the documented precedence
+                (``set_default_passes`` > ``REPRO_PASSES`` > default).
+                Optimised plans are bit-for-bit identical to unoptimised
+                ones on every backend.
         """
         return Evaluator(
-            self.params, backend=self.backend, mode=mode, metrics=self._metrics
+            self.params,
+            backend=self.backend,
+            mode=mode,
+            metrics=self._metrics,
+            passes=passes,
+            constant_pool=self._constant_pool,
         )
 
     # -- telemetry -------------------------------------------------------------
@@ -236,6 +253,46 @@ class HeContext:
         unaffected."""
         self.backend.metrics.reset()
         self._metrics.reset()
+
+    @staticmethod
+    def metrics_diff(before: dict, after: dict) -> dict:
+        """Counter deltas between two :meth:`metrics` snapshots.
+
+        The headline counters (``pool.dispatches``, ``conversions.rows``,
+        ``ntt.invocations``, ``fallback.rows``) are always present (zero when
+        untouched) so before/after comparisons — the pass benchmark, the
+        examples' tables — never need ``.get`` fallbacks; every other integer
+        counter that moved is included.  Histogram summaries and gauges
+        (dict/bool values) report state, not work, and are skipped.
+        """
+        diff = {
+            "pool.dispatches": 0,
+            "conversions.rows": 0,
+            "ntt.invocations": 0,
+            "fallback.rows": 0,
+        }
+        for key, value in after.items():
+            if isinstance(value, bool) or not isinstance(value, int):
+                continue
+            baseline = before.get(key, 0)
+            if not isinstance(baseline, int) or isinstance(baseline, bool):
+                baseline = 0
+            delta = value - baseline
+            if delta or key in diff:
+                diff[key] = delta
+        return diff
+
+    def program(self) -> "HeProgram":
+        """A whole-program front end: many named statements, one fused plan.
+
+        Statements recorded with :meth:`~repro.compiler.program.HeProgram.let`
+        compile together through :meth:`Pipeline.run_many`, so shared
+        sub-expressions lower once and the optimiser's CSE pass merges
+        duplicate transforms *across* statements.
+        """
+        from ..compiler.program import HeProgram
+
+        return HeProgram(self)
 
     def pipeline(self) -> "Pipeline":
         """A lazy ciphertext-expression pipeline over the pinned backend.

@@ -28,6 +28,7 @@ Expressions are ordinary immutable DAG nodes — sharing a sub-expression
 
 from __future__ import annotations
 
+from ..rns.poly import RnsPolynomial
 from .ciphertext import Ciphertext
 from .evaluator import _Emitter, Evaluator
 from .keys import RelinearizationKey
@@ -44,7 +45,7 @@ class CiphertextExpr:
     freely shareable between expressions of the same pipeline.
     """
 
-    __slots__ = ("pipeline", "kind", "children", "ciphertext", "key")
+    __slots__ = ("pipeline", "kind", "children", "ciphertext", "key", "plaintext")
 
     def __init__(
         self,
@@ -53,12 +54,14 @@ class CiphertextExpr:
         children: tuple["CiphertextExpr", ...] = (),
         ciphertext: Ciphertext | None = None,
         key: RelinearizationKey | None = None,
+        plaintext: RnsPolynomial | None = None,
     ) -> None:
         self.pipeline = pipeline
         self.kind = kind
         self.children = children
         self.ciphertext = ciphertext
         self.key = key
+        self.plaintext = plaintext
 
     def _combine(self, other: "CiphertextExpr", kind: str) -> "CiphertextExpr":
         if not isinstance(other, CiphertextExpr):
@@ -96,6 +99,27 @@ class CiphertextExpr:
 
     # Evaluator-style spelling, for symmetry with eager call sites.
     mod_switch_to_next = mod_switch
+
+    def _with_plain(self, plaintext: RnsPolynomial, kind: str) -> "CiphertextExpr":
+        if not isinstance(plaintext, RnsPolynomial):
+            raise TypeError(
+                "%s expects an RnsPolynomial plaintext, got %r"
+                % (kind, type(plaintext).__name__)
+            )
+        return CiphertextExpr(self.pipeline, kind, (self,), plaintext=plaintext)
+
+    def mul_plain(self, plaintext: RnsPolynomial) -> "CiphertextExpr":
+        """Lazy multiplication by an (unencrypted) plaintext polynomial.
+
+        Re-using one encoded plaintext across many expressions (a rotation
+        diagonal, a mask) gives it a stable identity, so the optimiser's
+        residency pass keeps its NTT image pooled across runs.
+        """
+        return self._with_plain(plaintext, "multiply_plain")
+
+    def add_plain(self, plaintext: RnsPolynomial) -> "CiphertextExpr":
+        """Lazy addition of an (unencrypted) plaintext polynomial."""
+        return self._with_plain(plaintext, "add_plain")
 
     def run(self) -> Ciphertext:
         """Compile (or fetch the cached plan for) this expression and execute it."""
@@ -147,13 +171,16 @@ class Pipeline:
         leaves: list,
         key_ordinals: dict,
         keys: list,
+        plain_ordinals: dict,
+        plains: list,
     ) -> tuple:
-        """Assign identity ordinals to leaves/keys and build the cache key.
+        """Assign identity ordinals to leaves/keys/plaintexts and build the cache key.
 
         The signature captures everything that changes the compiled plan:
-        the expression structure, each leaf's size/domains/basis and each
-        relinearisation key's component count.  Two runs with the same
-        signature bind different tensors to the same plan.
+        the expression structure, each leaf's size/domains/basis, each
+        relinearisation key's component count and each plaintext's ring and
+        domain.  Two runs with the same signature bind different tensors to
+        the same plan.
         """
         if expr.kind == "load":
             ordinal = leaf_ordinals.get(id(expr))
@@ -175,7 +202,8 @@ class Pipeline:
                 key_ordinals[id(expr.key)] = ordinal
                 keys.append(expr.key)
             child = self._collect(
-                expr.children[0], leaf_ordinals, leaves, key_ordinals, keys
+                expr.children[0], leaf_ordinals, leaves, key_ordinals, keys,
+                plain_ordinals, plains,
             )
             # Component domains are part of the compiled plan (coefficient
             # components get forward-NTT nodes, resident-NTT ones do not), so
@@ -188,8 +216,23 @@ class Pipeline:
                 tuple((rk0.domain, rk1.domain) for rk0, rk1 in expr.key.components),
                 child,
             )
+        if expr.kind in ("multiply_plain", "add_plain"):
+            ordinal = plain_ordinals.get(id(expr.plaintext))
+            if ordinal is None:
+                ordinal = len(plains)
+                plain_ordinals[id(expr.plaintext)] = ordinal
+                plains.append(expr.plaintext)
+            pt = expr.plaintext
+            child = self._collect(
+                expr.children[0], leaf_ordinals, leaves, key_ordinals, keys,
+                plain_ordinals, plains,
+            )
+            return (expr.kind, ordinal, pt.basis.primes, pt.domain, child)
         return (expr.kind,) + tuple(
-            self._collect(child, leaf_ordinals, leaves, key_ordinals, keys)
+            self._collect(
+                child, leaf_ordinals, leaves, key_ordinals, keys,
+                plain_ordinals, plains,
+            )
             for child in expr.children
         )
 
@@ -200,18 +243,65 @@ class Pipeline:
         level = Pipeline._result_level(expr.children[0])
         return level + 1 if expr.kind == "mod_switch" else level
 
+    @staticmethod
+    def _result_size(expr: CiphertextExpr) -> int:
+        """Component count of the expression's result, statically.
+
+        Needed to slice each statement's polynomials out of the flat output
+        list a multi-statement plan returns.
+        """
+        if expr.kind == "load":
+            return len(expr.ciphertext.polys)
+        sizes = [Pipeline._result_size(child) for child in expr.children]
+        if expr.kind == "multiply":
+            return sizes[0] + sizes[1] - 1
+        if expr.kind in ("add", "sub"):
+            return max(sizes)
+        if expr.kind == "square":
+            return 2 * sizes[0] - 1
+        if expr.kind == "relinearize":
+            return 2 if sizes[0] == 3 else sizes[0]
+        return sizes[0]
+
     def run(self, expr: CiphertextExpr) -> Ciphertext:
         """Lower, compile (cached) and execute an expression in one backend call."""
-        if expr.pipeline is not self:
-            raise ValueError("expression belongs to a different pipeline")
+        return self.run_many([expr])[0]
+
+    def run_many(self, exprs) -> list[Ciphertext]:
+        """Lower, compile (cached) and execute many expressions as ONE plan.
+
+        All expressions lower through one shared memo (shared sub-expressions
+        emit once) into a single plan executed in one backend call — the
+        engine behind :class:`repro.compiler.program.HeProgram`.  Returns the
+        result ciphertexts in input order.
+        """
+        exprs = list(exprs)
+        if not exprs:
+            raise ValueError("run_many needs at least one expression")
+        for expr in exprs:
+            if not isinstance(expr, CiphertextExpr):
+                raise TypeError(
+                    "run_many expects CiphertextExpr values, got %r"
+                    % type(expr).__name__
+                )
+            if expr.pipeline is not self:
+                raise ValueError("expression belongs to a different pipeline")
         evaluator = self.evaluator
         leaf_ordinals: dict = {}
         leaves: list = []
         key_ordinals: dict = {}
         keys: list = []
+        plain_ordinals: dict = {}
+        plains: list = []
         signature = (
             "pipeline",
-            self._collect(expr, leaf_ordinals, leaves, key_ordinals, keys),
+            tuple(
+                self._collect(
+                    expr, leaf_ordinals, leaves, key_ordinals, keys,
+                    plain_ordinals, plains,
+                )
+                for expr in exprs
+            ),
         )
 
         # Adoption happens per run (bindings always carry tensors resident
@@ -227,15 +317,29 @@ class Pipeline:
             ]
             for ordinal, key in enumerate(keys)
         }
+        adopted_plains = {
+            ordinal: evaluator._adopt(plain)
+            for ordinal, plain in enumerate(plains)
+        }
 
         bindings: dict = {}
+        constants: list = []
         for ordinal, polys in adopted.items():
             for index, poly in enumerate(polys):
                 bindings["ct%d_%d" % (ordinal, index)] = poly.tensor
+        # Key components and plaintexts are the cross-run-stable operands:
+        # naming them as constants lets the residency pass pool their NTT
+        # images across executions of the cached plan.
         for ordinal, components in adopted_keys.items():
             for index, (rk0, rk1) in enumerate(components):
-                bindings["key%d_rk0_%d" % (ordinal, index)] = rk0.tensor
-                bindings["key%d_rk1_%d" % (ordinal, index)] = rk1.tensor
+                for half, tensor in (("rk0", rk0.tensor), ("rk1", rk1.tensor)):
+                    name = "key%d_%s_%d" % (ordinal, half, index)
+                    bindings[name] = tensor
+                    constants.append(name)
+        for ordinal, plain in adopted_plains.items():
+            name = "pt%d" % ordinal
+            bindings[name] = plain.tensor
+            constants.append(name)
 
         def build():
             em = _Emitter()
@@ -248,6 +352,10 @@ class Pipeline:
                     for index, (rk0, rk1) in enumerate(components)
                 ]
                 for ordinal, components in adopted_keys.items()
+            }
+            bound_plains = {
+                ordinal: em.bind("pt%d" % ordinal, plain)
+                for ordinal, plain in adopted_plains.items()
             }
             memo: dict[int, _SymCt] = {}
 
@@ -305,16 +413,46 @@ class Pipeline:
                         ),
                         child.level + 1,
                     )
+                elif node.kind in ("multiply_plain", "add_plain"):
+                    child = lower(node.children[0])
+                    pt = bound_plains[plain_ordinals[id(node.plaintext)]]
+                    if (
+                        child.polys[0].basis.primes != pt.basis.primes
+                        or node.plaintext.n != evaluator.params.n
+                    ):
+                        raise ValueError(
+                            "plaintext lives in a different ring than the "
+                            "ciphertext; re-encode it for this level first"
+                        )
+                    emit = (
+                        evaluator._emit_multiply_plain
+                        if node.kind == "multiply_plain"
+                        else evaluator._emit_add_plain
+                    )
+                    result = _SymCt(emit(em, child.polys, pt), child.level)
                 else:  # pragma: no cover - defensive
                     raise ValueError("unknown expression kind %r" % node.kind)
                 memo[id(node)] = result
                 return result
 
-            return evaluator._finish(em, lower(expr).polys)
+            flat: list = []
+            for expr in exprs:
+                flat.extend(lower(expr).polys)
+            return evaluator._finish(em, flat)
 
-        polys = evaluator._run_plan(signature, build, bindings)
-        return Ciphertext(
-            polys=polys,
-            params=evaluator.params,
-            level=self._result_level(expr),
+        polys = evaluator._run_plan(
+            signature, build, bindings, constants=tuple(constants)
         )
+        results: list[Ciphertext] = []
+        offset = 0
+        for expr in exprs:
+            size = self._result_size(expr)
+            results.append(
+                Ciphertext(
+                    polys=polys[offset : offset + size],
+                    params=evaluator.params,
+                    level=self._result_level(expr),
+                )
+            )
+            offset += size
+        return results

@@ -271,12 +271,16 @@ def execute_group(
         for i, polys in enumerate(request):
             for j, poly in enumerate(polys):
                 bindings["r%d_i%d_p%d" % (r, i, j)] = poly.tensor
+    constants: list = []
     if relin is not None:
         for i, (rk0, rk1) in enumerate(relin):
             bindings["rk0_%d" % i] = rk0.tensor
             bindings["rk1_%d" % i] = rk1.tensor
+            constants += ["rk0_%d" % i, "rk1_%d" % i]
 
-    out = ev._run_plan(key, build, bindings)
+    # The tenant's relinearisation key is stable across flushes, so the
+    # optimiser's residency pass keeps its NTT images pooled between batches.
+    out = ev._run_plan(key, build, bindings, constants=tuple(constants))
     out_size = sizes[-1]
     level_bump = sum(1 for op in ops if op == "mod_switch")
     return [

@@ -244,6 +244,62 @@ def test_infer_primes_mirrors_eager_validation():
         ops.infer_primes(graph.compile(), {"a": (17, 97)})
 
 
+def test_ir_edge_cases_from_rewritten_plans(backends):
+    """Shapes an optimiser pass could (buggily) produce must fail in static
+    validation — or, when legal, execute cleanly — on every backend.
+
+    ``ops.Plan`` is a plain frozen dataclass, so a rewrite can construct
+    nodes the :class:`OpGraph` builder would have rejected; ``infer_primes``
+    (and through it ``interpret`` and the parallel scheduler) is the
+    backstop."""
+    # Empty concat: builder rejects it, a hand-rolled Plan must die in
+    # validation on every execution path, before any backend work.
+    empty_concat = ops.Plan(
+        (ops.Input("a"), ops.Concat(())), (("out", 1),)
+    )
+    primes = generate_ntt_primes(30, 2, N)
+    with pytest.raises(ValueError, match="empty value sequence"):
+        ops.infer_primes(empty_concat, {"a": tuple(primes)})
+    for backend in backends.values():
+        a = backend.from_rows(random_rows(primes, N, seed=3), primes)
+        with pytest.raises(ValueError, match="empty value sequence"):
+            backend.execute(empty_concat, {"a": a})
+
+    # Slice out of range after (a buggy) elimination shrank its source.
+    bad_slice = ops.Plan(
+        (ops.Input("a"), ops.SliceRows(0, 1, 5)), (("out", 1),)
+    )
+    with pytest.raises(ValueError, match="out of range"):
+        ops.infer_primes(bad_slice, {"a": tuple(primes)})
+    for backend in backends.values():
+        a = backend.from_rows(random_rows(primes, N, seed=3), primes)
+        with pytest.raises(ValueError, match="out of range"):
+            backend.execute(bad_slice, {"a": a})
+
+    # Copy chains are legal (fold_structure collapses them; a partial fold
+    # may leave a chain) and must execute to the same rows.
+    chain = ops.Plan(
+        (ops.Input("a"), ops.Copy(0), ops.Copy(1), ops.Copy(2)),
+        (("out", 3),),
+    )
+    for backend in backends.values():
+        rows = random_rows(primes, N, seed=5)
+        a = backend.from_rows(rows, primes)
+        assert backend.execute(chain, {"a": a})["out"].to_rows() == rows
+
+    # Two outputs referencing the same node: CSE merges output expressions
+    # deliberately; both names must resolve (aliased handles are fine for
+    # reads).
+    aliased = ops.Plan(
+        (ops.Input("a"), ops.Neg(0)), (("x", 1), ("y", 1))
+    )
+    for backend in backends.values():
+        rows = random_rows(primes, N, seed=7)
+        a = backend.from_rows(rows, primes)
+        out = backend.execute(aliased, {"a": a})
+        assert out["x"].to_rows() == out["y"].to_rows()
+
+
 def test_unknown_name_errors_list_plan_nodes_and_flags():
     with pytest.raises(KeyError) as backend_error:
         get_backend("no-such-backend")
